@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks for the Java Card VM case study: the cost
+//! of the functional (soft-stack) model versus the refined bus-attached
+//! hardware stack, per workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hierbus_core::Tlm1Bus;
+use hierbus_ec::{Address, AddressRange};
+use hierbus_jcvm::workloads::standard_workloads;
+use hierbus_jcvm::{BusStack, HwStackSlave, IfaceConfig, Interpreter, SoftStack};
+
+const STACK_BASE: u64 = 0x8000;
+
+fn bench_soft_vs_hw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jcvm");
+    group.sample_size(10);
+    for workload in standard_workloads() {
+        group.bench_function(BenchmarkId::new("soft_stack", workload.name), |b| {
+            b.iter(|| {
+                let mut vm = Interpreter::new();
+                let (entry, args) = (workload.build)(&mut vm);
+                let mut stack = SoftStack::new(512);
+                vm.run(entry, &args, &mut stack, 50_000_000)
+                    .expect("workload runs")
+            })
+        });
+        group.bench_function(BenchmarkId::new("hw_stack_tlm1", workload.name), |b| {
+            b.iter(|| {
+                let config = IfaceConfig::baseline(STACK_BASE);
+                let slave = HwStackSlave::new(
+                    AddressRange::new(Address::new(STACK_BASE), 0x100),
+                    config.width,
+                    512,
+                    config.waits(),
+                );
+                let bus = Tlm1Bus::new(vec![Box::new(slave)]);
+                let mut stack = BusStack::new(
+                    bus,
+                    IfaceConfig {
+                        capacity: 512,
+                        ..config
+                    },
+                );
+                let mut vm = Interpreter::new();
+                let (entry, args) = (workload.build)(&mut vm);
+                vm.run(entry, &args, &mut stack, 50_000_000)
+                    .expect("workload runs")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_soft_vs_hw);
+criterion_main!(benches);

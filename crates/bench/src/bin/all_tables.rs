@@ -1,0 +1,40 @@
+//! Convenience runner: regenerates every table and figure in one go,
+//! writing each binary's output to `results/<name>.txt` (and echoing to
+//! stdout). `cargo run --release -p hierbus-bench --bin all_tables`.
+
+use std::fs;
+use std::process::Command;
+
+const BINARIES: [&str; 6] = [
+    "table1_timing",
+    "table2_energy",
+    "table3_simperf",
+    "fig6_sampling",
+    "explore_jcvm",
+    "ablations",
+];
+
+fn main() {
+    fs::create_dir_all("results").expect("create results directory");
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin directory")
+        .to_path_buf();
+    for name in BINARIES {
+        println!("==== {name} ====");
+        let output = Command::new(exe_dir.join(name))
+            .output()
+            .unwrap_or_else(|e| panic!("running {name}: {e}"));
+        assert!(
+            output.status.success(),
+            "{name} failed:\n{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let text = String::from_utf8_lossy(&output.stdout);
+        println!("{text}");
+        fs::write(format!("results/{name}.txt"), text.as_bytes())
+            .unwrap_or_else(|e| panic!("writing results/{name}.txt: {e}"));
+    }
+    println!("wrote results/<name>.txt for: {}", BINARIES.join(", "));
+}

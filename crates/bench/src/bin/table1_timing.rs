@@ -1,0 +1,52 @@
+//! **Table 1** — timing error of the transaction-level models against
+//! the (gate-level-equivalent) cycle-true reference.
+//!
+//! Paper values: gate level 100 %, layer 1 100 % (0 % error), layer 2
+//! 100.5 % (+0.5 % error). Run with
+//! `cargo run -p hierbus-bench --bin table1_timing`.
+
+use hierbus::harness;
+use hierbus_bench::{pct, TextTable};
+
+fn main() {
+    let mut per_scenario = TextTable::new(["scenario", "ref cy", "L1 cy", "L2 cy", "L2 err"]);
+    let mut total = (0u64, 0u64, 0u64);
+    for scenario in harness::evaluation_scenarios() {
+        let r = harness::run_reference(&scenario, false);
+        let l1 = harness::run_layer1_timing_only(&scenario);
+        let l2 = harness::run_layer2_timing_only(&scenario);
+        per_scenario.row([
+            scenario.name.to_owned(),
+            r.cycles.to_string(),
+            l1.cycles.to_string(),
+            l2.cycles.to_string(),
+            pct((l2.cycles as f64 - r.cycles as f64) / r.cycles as f64),
+        ]);
+        total.0 += r.cycles;
+        total.1 += l1.cycles;
+        total.2 += l2.cycles;
+    }
+
+    println!("Per-scenario timing (verification suite + sequential mix):\n");
+    println!("{}", per_scenario.render());
+
+    let (r, l1, l2) = total;
+    let mut table1 = TextTable::new(["abstraction level", "cycles", "error"]);
+    table1.row([
+        "gate-level model".to_owned(),
+        "100%".to_owned(),
+        "-".to_owned(),
+    ]);
+    table1.row([
+        "layer one model".to_owned(),
+        format!("{:.2}%", 100.0 * l1 as f64 / r as f64),
+        pct((l1 as f64 - r as f64) / r as f64),
+    ]);
+    table1.row([
+        "layer two model".to_owned(),
+        format!("{:.2}%", 100.0 * l2 as f64 / r as f64),
+        pct((l2 as f64 - r as f64) / r as f64),
+    ]);
+    println!("Table 1 — timing error (paper: 100% / 100%+0% / 100.5%+0.5%):\n");
+    println!("{}", table1.render());
+}

@@ -1,0 +1,58 @@
+//! **Table 2** — energy-estimation error of the hierarchical models
+//! against the gate-level estimator.
+//!
+//! Paper values (relative to gate level = 100): layer 1 = 92.1 (−7.8 %),
+//! layer 2 = 114.7 (+14.7 %). Run with
+//! `cargo run -p hierbus-bench --bin table2_energy`.
+
+use hierbus::harness;
+use hierbus_bench::{pct, TextTable};
+
+fn main() {
+    println!("Characterizing on the training set (gate-level run)...");
+    let db = harness::standard_db();
+    println!("{db}\n");
+
+    let scenarios = harness::evaluation_scenarios();
+    let mut per_scenario =
+        TextTable::new(["scenario", "gate pJ", "L1 pJ", "L1 err", "L2 pJ", "L2 err"]);
+    let mut totals = (0.0f64, 0.0f64, 0.0f64);
+    for scenario in &scenarios {
+        let r = harness::run_reference(scenario, false);
+        let l1 = harness::run_layer1(scenario, &db);
+        let l2 = harness::run_layer2(scenario, &db, false);
+        per_scenario.row([
+            scenario.name.to_owned(),
+            format!("{:.1}", r.energy_pj),
+            format!("{:.1}", l1.energy_pj),
+            pct((l1.energy_pj - r.energy_pj) / r.energy_pj),
+            format!("{:.1}", l2.energy_pj),
+            pct((l2.energy_pj - r.energy_pj) / r.energy_pj),
+        ]);
+        totals.0 += r.energy_pj;
+        totals.1 += l1.energy_pj;
+        totals.2 += l2.energy_pj;
+    }
+    println!("Per-scenario energy (suite + sequential mix):\n");
+    println!("{}", per_scenario.render());
+
+    let (r, l1, l2) = totals;
+    let mut table2 = TextTable::new(["abstraction level", "energy", "error"]);
+    table2.row([
+        "gate-level estimation".to_owned(),
+        "100".to_owned(),
+        "-".to_owned(),
+    ]);
+    table2.row([
+        "TL layer 1 estimation".to_owned(),
+        format!("{:.1}", 100.0 * l1 / r),
+        pct((l1 - r) / r),
+    ]);
+    table2.row([
+        "TL layer 2 estimation".to_owned(),
+        format!("{:.1}", 100.0 * l2 / r),
+        pct((l2 - r) / r),
+    ]);
+    println!("Table 2 — energy estimation error (paper: 100 / 92.1 −7.8% / 114.7 +14.7%):\n");
+    println!("{}", table2.render());
+}

@@ -1,0 +1,421 @@
+//! Master-side replay of stimulus against a TLM bus, and the run harness.
+
+use hierbus_ec::record::TxnRecord;
+use hierbus_ec::{
+    AccessKind, BusError, BusStatus, MasterOp, OutstandingLimits, OutstandingTracker, Transaction,
+    TxnCategory, TxnId,
+};
+
+/// The completion payload a bus hands back when a transaction is picked
+/// up from the finish queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completed {
+    /// Cycle the address phase completed.
+    pub addr_done_cycle: Option<u64>,
+    /// Cycle the transaction completed.
+    pub done_cycle: u64,
+    /// Error that terminated it, if any.
+    pub error: Option<BusError>,
+    /// Read results (lane-extracted architectural values), empty for
+    /// writes.
+    pub data: Vec<u32>,
+}
+
+/// Result of polling an in-flight transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PollStatus {
+    /// Still in progress — poll again next cycle (the paper's `wait`).
+    Pending,
+    /// Finished; the completion payload (the paper's `ok`/`error`).
+    Done(Completed),
+}
+
+/// The cycle-driven interface both TLM bus layers expose to a master.
+///
+/// The master calls [`issue`](CycleBus::issue)/[`poll`](CycleBus::poll)
+/// at the rising clock edge and the kernel (or harness) calls
+/// [`bus_process`](CycleBus::bus_process) at the falling edge — the
+/// paper's clocking discipline.
+pub trait CycleBus {
+    /// Presents a new transaction. Returns
+    /// [`BusStatus::Request`](hierbus_ec::BusStatus) when accepted.
+    fn issue(&mut self, txn: Transaction, cycle: u64) -> BusStatus;
+
+    /// Polls an in-flight transaction; removes and returns it once done.
+    fn poll(&mut self, id: TxnId) -> PollStatus;
+
+    /// The bus process (falling edge).
+    fn bus_process(&mut self, cycle: u64);
+
+    /// True when the bus has no queued or in-progress work, allowing the
+    /// harness to skip the bus process — the dynamic-sensitivity
+    /// optimisation of the layer-2 model.
+    fn is_idle(&self) -> bool;
+
+    /// True if the bus process must run even on idle cycles. The layer-1
+    /// bus returns true while frame emission is enabled: its power module
+    /// watches the wires every cycle (handshake signals *fall* on the
+    /// first idle cycle, and that transition costs energy), so the
+    /// process stays statically sensitive like the paper's SC_METHOD.
+    fn wants_every_cycle(&self) -> bool {
+        false
+    }
+}
+
+/// Replays a [`MasterOp`] list against a [`CycleBus`], enforcing the
+/// one-issue-per-cycle rule and the outstanding-transaction ceilings, and
+/// producing [`TxnRecord`]s directly comparable with the RTL reference's.
+#[derive(Debug)]
+pub struct TlmMaster {
+    ops: Vec<MasterOp>,
+    next_op: usize,
+    idle_left: u32,
+    next_id: TxnId,
+    tracker: OutstandingTracker,
+    records: Vec<TxnRecord>,
+    in_flight: Vec<(TxnId, usize, TxnCategory)>,
+    keep_records: bool,
+    completed: u64,
+    last_done_cycle: u64,
+}
+
+impl TlmMaster {
+    /// Creates a master for `ops` with the core's default limits.
+    pub fn new(ops: Vec<MasterOp>) -> Self {
+        Self::with_limits(ops, OutstandingLimits::CORE_DEFAULT)
+    }
+
+    /// Creates a master with explicit limits.
+    pub fn with_limits(ops: Vec<MasterOp>, limits: OutstandingLimits) -> Self {
+        let idle_left = ops.first().map_or(0, |op| op.idle_before);
+        TlmMaster {
+            ops,
+            next_op: 0,
+            idle_left,
+            next_id: TxnId(0),
+            tracker: OutstandingTracker::new(limits),
+            records: Vec::new(),
+            in_flight: Vec::new(),
+            keep_records: true,
+            completed: 0,
+            last_done_cycle: 0,
+        }
+    }
+
+    /// Disables per-transaction record keeping (throughput measurement
+    /// mode): only the completion count and the final cycle survive.
+    pub fn disable_records(&mut self) {
+        self.keep_records = false;
+    }
+
+    /// Transactions completed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// The cycle of the latest completion seen so far.
+    pub fn last_done_cycle(&self) -> u64 {
+        self.last_done_cycle
+    }
+
+    /// Rising-edge step: picks up finished transactions (freeing limit
+    /// slots), then issues the next op if its idle gap has elapsed and a
+    /// slot is free.
+    pub fn rising_edge<B: CycleBus>(&mut self, bus: &mut B, cycle: u64) {
+        // Pick up completions first so a freed slot can be reused in the
+        // same cycle (matching the reference master's bookkeeping).
+        let mut i = 0;
+        while i < self.in_flight.len() {
+            let (id, rec, cat) = self.in_flight[i];
+            match bus.poll(id) {
+                PollStatus::Pending => i += 1,
+                PollStatus::Done(done) => {
+                    self.completed += 1;
+                    self.last_done_cycle = self.last_done_cycle.max(done.done_cycle);
+                    if self.keep_records {
+                        let r = &mut self.records[rec];
+                        r.addr_done_cycle = done.addr_done_cycle;
+                        r.done_cycle = Some(done.done_cycle);
+                        r.error = done.error;
+                        if r.kind != AccessKind::DataWrite {
+                            r.data = done.data;
+                        }
+                    }
+                    self.tracker.complete(cat);
+                    self.in_flight.swap_remove(i);
+                }
+            }
+        }
+
+        if self.next_op >= self.ops.len() {
+            return;
+        }
+        if self.idle_left > 0 {
+            self.idle_left -= 1;
+            return;
+        }
+        let op = &self.ops[self.next_op];
+        let category = TxnCategory::of(op.kind);
+        if !self.tracker.try_issue(category) {
+            return; // stalled on the outstanding limit
+        }
+        let id = self.next_id;
+        self.next_id = id.next();
+        let txn = Transaction::new(id, op.kind, op.addr, op.width, op.burst, op.data.clone());
+        let status = bus.issue(txn, cycle);
+        debug_assert_eq!(status, BusStatus::Request, "bus rejected a legal issue");
+        let rec = self.records.len();
+        if self.keep_records {
+            self.records.push(TxnRecord {
+                id,
+                kind: op.kind,
+                addr: op.addr,
+                width: op.width,
+                burst: op.burst,
+                issue_cycle: cycle,
+                addr_done_cycle: None,
+                done_cycle: None,
+                error: None,
+                data: if op.kind == AccessKind::DataWrite {
+                    op.data.clone()
+                } else {
+                    Vec::new()
+                },
+            });
+        }
+        self.in_flight.push((id, rec, category));
+        self.next_op += 1;
+        self.idle_left = self.ops.get(self.next_op).map_or(0, |op| op.idle_before);
+    }
+
+    /// True once every op has been issued and picked up.
+    pub fn is_finished(&self) -> bool {
+        self.next_op >= self.ops.len() && self.in_flight.is_empty()
+    }
+
+    /// The records accumulated so far.
+    pub fn records(&self) -> &[TxnRecord] {
+        &self.records
+    }
+}
+
+/// Summary of a completed TLM run.
+#[derive(Debug, Clone)]
+pub struct TlmReport {
+    /// Bus cycles from cycle 0 through the last completion, inclusive.
+    pub cycles: u64,
+    /// Per-transaction lifecycle records.
+    pub records: Vec<TxnRecord>,
+    /// How many falling-edge bus-process activations actually ran (idle
+    /// cycles are skipped — the dynamic-sensitivity saving).
+    pub bus_activations: u64,
+}
+
+/// Drives a [`TlmMaster`] and a [`CycleBus`] cycle by cycle.
+///
+/// See the [crate example](crate) for typical use. A per-cycle `hook`
+/// closure receives the bus after each bus-process activation so energy
+/// models can drain frames or phase events.
+#[derive(Debug)]
+pub struct TlmSystem<B> {
+    bus: B,
+    master: TlmMaster,
+    cycle: u64,
+    bus_activations: u64,
+}
+
+impl<B: CycleBus> TlmSystem<B> {
+    /// Creates a system replaying `ops` on `bus`.
+    pub fn new(bus: B, ops: Vec<MasterOp>) -> Self {
+        TlmSystem {
+            bus,
+            master: TlmMaster::new(ops),
+            cycle: 0,
+            bus_activations: 0,
+        }
+    }
+
+    /// Disables per-transaction record keeping (throughput measurement
+    /// mode); [`TlmReport::records`] will be empty but cycle and
+    /// completion counts stay correct.
+    pub fn disable_records(&mut self) {
+        self.master.disable_records();
+    }
+
+    /// Transactions completed so far.
+    pub fn completed(&self) -> u64 {
+        self.master.completed()
+    }
+
+    /// Shared access to the bus.
+    pub fn bus(&self) -> &B {
+        &self.bus
+    }
+
+    /// Exclusive access to the bus.
+    pub fn bus_mut(&mut self) -> &mut B {
+        &mut self.bus
+    }
+
+    /// The records accumulated so far.
+    pub fn records(&self) -> &[TxnRecord] {
+        self.master.records()
+    }
+
+    /// Executes one bus cycle: master at the rising edge, bus process at
+    /// the falling edge (skipped while the bus is idle), then `hook`.
+    pub fn step_cycle(&mut self, hook: &mut impl FnMut(&mut B)) {
+        self.master.rising_edge(&mut self.bus, self.cycle);
+        if !self.bus.is_idle() || self.bus.wants_every_cycle() {
+            self.bus.bus_process(self.cycle);
+            self.bus_activations += 1;
+            hook(&mut self.bus);
+        }
+        self.cycle += 1;
+    }
+
+    /// True once the stimulus has fully completed.
+    pub fn is_finished(&self) -> bool {
+        self.master.is_finished()
+    }
+
+    /// Runs to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stimulus does not finish within `max_cycles`.
+    pub fn run(&mut self, max_cycles: u64, mut hook: impl FnMut(&mut B)) -> TlmReport {
+        while !self.master.is_finished() {
+            assert!(
+                self.cycle < max_cycles,
+                "bus deadlock: {max_cycles} cycles without completion"
+            );
+            self.step_cycle(&mut hook);
+        }
+        let cycles = if self.master.completed() > 0 {
+            self.master.last_done_cycle() + 1
+        } else {
+            0
+        };
+        TlmReport {
+            cycles,
+            records: self.master.records().to_vec(),
+            bus_activations: self.bus_activations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hierbus_ec::{Address, BurstLen, DataWidth};
+    use std::collections::HashMap;
+
+    /// A bus that completes everything `LAT` cycles after issue.
+    #[derive(Debug, Default)]
+    struct FixedLatencyBus<const LAT: u64> {
+        pending: HashMap<TxnId, u64>,
+        cycle: u64,
+        processed: u64,
+    }
+
+    impl<const LAT: u64> CycleBus for FixedLatencyBus<LAT> {
+        fn issue(&mut self, txn: Transaction, cycle: u64) -> BusStatus {
+            self.pending.insert(txn.id, cycle + LAT);
+            BusStatus::Request
+        }
+        fn poll(&mut self, id: TxnId) -> PollStatus {
+            let due = self.pending[&id];
+            if self.cycle > due {
+                self.pending.remove(&id);
+                PollStatus::Done(Completed {
+                    addr_done_cycle: Some(due),
+                    done_cycle: due,
+                    error: None,
+                    data: vec![0xAB],
+                })
+            } else {
+                PollStatus::Pending
+            }
+        }
+        fn bus_process(&mut self, cycle: u64) {
+            self.cycle = cycle + 1; // completions visible next rising edge
+            self.processed += 1;
+        }
+        fn is_idle(&self) -> bool {
+            self.pending.is_empty()
+        }
+    }
+
+    fn ops(n: u64) -> Vec<MasterOp> {
+        (0..n).map(|i| MasterOp::read(0x100 + 4 * i)).collect()
+    }
+
+    #[test]
+    fn runs_to_completion_and_counts_cycles() {
+        let mut sys = TlmSystem::new(FixedLatencyBus::<0>::default(), ops(3));
+        let report = sys.run(100, |_| {});
+        assert_eq!(report.records.len(), 3);
+        assert_eq!(report.cycles, 3);
+        for (i, r) in report.records.iter().enumerate() {
+            assert_eq!(r.issue_cycle, i as u64);
+            assert_eq!(r.done_cycle, Some(i as u64));
+            assert_eq!(r.data, vec![0xAB]);
+        }
+    }
+
+    #[test]
+    fn idle_gaps_delay_issue() {
+        let mut stim = ops(2);
+        stim[1].idle_before = 3;
+        let mut sys = TlmSystem::new(FixedLatencyBus::<0>::default(), stim);
+        let report = sys.run(100, |_| {});
+        assert_eq!(report.records[1].issue_cycle, 4);
+    }
+
+    #[test]
+    fn limit_stalls_are_respected() {
+        // Latency 10 with a 4-deep read window: the 5th read must wait
+        // for the 1st to be picked up.
+        let mut sys = TlmSystem::new(FixedLatencyBus::<10>::default(), ops(5));
+        let report = sys.run(1_000, |_| {});
+        let r4 = &report.records[4];
+        let r0 = &report.records[0];
+        assert!(r4.issue_cycle > r0.done_cycle.unwrap());
+    }
+
+    #[test]
+    fn write_records_keep_their_payload() {
+        let stim = vec![MasterOp::write(0x10, 0xDEAD_BEEF)];
+        let mut sys = TlmSystem::new(FixedLatencyBus::<0>::default(), stim);
+        let report = sys.run(100, |_| {});
+        assert_eq!(report.records[0].data, vec![0xDEAD_BEEF]);
+    }
+
+    #[test]
+    fn hook_runs_once_per_bus_activation() {
+        let mut sys = TlmSystem::new(FixedLatencyBus::<0>::default(), ops(2));
+        let mut hooks = 0u64;
+        let report = sys.run(100, |_| hooks += 1);
+        assert_eq!(hooks, report.bus_activations);
+        assert!(hooks > 0);
+    }
+
+    #[test]
+    fn master_records_match_txn_shape() {
+        let stim = vec![MasterOp {
+            idle_before: 0,
+            kind: AccessKind::InstrFetch,
+            addr: Address::new(0x40),
+            width: DataWidth::W32,
+            burst: BurstLen::B4,
+            data: Vec::new(),
+        }];
+        let mut sys = TlmSystem::new(FixedLatencyBus::<1>::default(), stim);
+        let report = sys.run(100, |_| {});
+        let r = &report.records[0];
+        assert_eq!(r.kind, AccessKind::InstrFetch);
+        assert_eq!(r.burst, BurstLen::B4);
+        assert!(r.error.is_none());
+    }
+}

@@ -1,0 +1,646 @@
+//! The transaction-level **layer-2** (transaction layer) bus model.
+//!
+//! Timed but not cycle-accurate (§3.2 of the paper): one shared
+//! transaction list connects the interface functions to a bus process
+//! that decrements wait-state counters; a burst is carried as a *single*
+//! transaction whose data moves as one slice ("pointer passing"); the
+//! slave's block data interface is invoked once, at the end of the data
+//! phase. Slave wait states are read **once**, when the transaction is
+//! created during the first interface call.
+//!
+//! # The atomicity approximation
+//!
+//! Because a burst's data moves as one slice at data-phase completion,
+//! two *concurrent* transfers whose address ranges overlap (a read
+//! racing a write — a data race even on the real bus, where the outcome
+//! depends on beat interleaving) may observe a different interleaving
+//! than the per-beat reference. Race-free programs see identical data.
+//!
+//! # The timing approximation
+//!
+//! Single-beat transfers keep the layer-1 fusion (the data item can
+//! complete in the cycle the address phase completes), so they are
+//! cycle-exact. A **burst's** data block is handed to the countdown
+//! machinery and starts *the cycle after* its address phase completes —
+//! one cycle late when the data channel was free. This is the documented
+//! source of the layer-2 timing error (the paper's +0.5% row of Table 1):
+//! small, always pessimistic, proportional to the burst fraction of the
+//! traffic.
+//!
+//! # Energy hooks
+//!
+//! The bus emits one [`PhaseEvent`] when an address phase completes and
+//! one when a data phase completes. The layer-2 energy model estimates
+//! each phase's energy from the event alone — with no knowledge of the
+//! signal state left by *previous* transactions, which is exactly the
+//! correlation blindness the paper names as this layer's inaccuracy.
+
+use crate::master::{Completed, CycleBus, PollStatus};
+use crate::slave::{SlaveReply, TlmSlave};
+use hierbus_ec::{
+    AccessKind, Address, AddressMap, BusError, BusStatus, DataWidth, SlaveId, Transaction, TxnId,
+    WaitProfile,
+};
+use std::collections::{HashMap, VecDeque};
+
+/// Which protocol phase a [`PhaseEvent`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseKind {
+    /// An address phase completed.
+    Address,
+    /// A read data phase (all beats) completed.
+    ReadData,
+    /// A write data phase (all beats) completed.
+    WriteData,
+}
+
+/// A completed protocol phase, the layer-2 energy model's input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseEvent {
+    /// Which phase completed.
+    pub kind: PhaseKind,
+    /// Transaction start address.
+    pub addr: Address,
+    /// Fetch, load or store.
+    pub access: AccessKind,
+    /// Beat width.
+    pub width: DataWidth,
+    /// Beat count.
+    pub beats: u32,
+    /// Cycles the phase occupied.
+    pub cycles: u32,
+    /// Beat words (read results or write payload); empty for address
+    /// phases.
+    pub data: Vec<u32>,
+    /// Cycle the phase completed.
+    pub at_cycle: u64,
+}
+
+#[derive(Debug)]
+struct Active {
+    txn: Transaction,
+    slave: Option<SlaveId>,
+    /// Wait states captured at creation (first interface call).
+    waits: WaitProfile,
+    addr_done: Option<u64>,
+    done: Option<u64>,
+    error: Option<BusError>,
+    read_data: Vec<u32>,
+}
+
+#[derive(Debug)]
+enum AddrState {
+    Idle,
+    Counting {
+        idx: usize,
+        left: u32,
+        error: Option<BusError>,
+    },
+}
+
+#[derive(Debug)]
+struct DataState {
+    idx: usize,
+    left: u32,
+    total: u32,
+}
+
+/// One direction's data machinery: a queue plus the current countdown.
+#[derive(Debug, Default)]
+struct DataSide {
+    queue: VecDeque<usize>,
+    current: Option<DataState>,
+    /// A data phase completed in the current bus-process activation; the
+    /// channel is only *free for fusion* from the next cycle on (the
+    /// reference's channel is likewise occupied for the whole completion
+    /// cycle).
+    completed_this_cycle: bool,
+}
+
+/// The layer-2 bus. See the [module docs](self) for semantics.
+pub struct Tlm2Bus {
+    map: AddressMap,
+    slaves: Vec<Box<dyn TlmSlave>>,
+    active: Vec<Active>,
+    addr_q: VecDeque<usize>,
+    addr_state: AddrState,
+    read: DataSide,
+    write: DataSide,
+    finish_q: HashMap<TxnId, usize>,
+    events: Vec<PhaseEvent>,
+    emit_events: bool,
+    irq_mask: u64,
+}
+
+impl Tlm2Bus {
+    /// Builds the bus; the address map derives from the slaves'
+    /// configurations in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slave address windows overlap.
+    pub fn new(slaves: Vec<Box<dyn TlmSlave>>) -> Self {
+        let mut map = AddressMap::new();
+        for s in &slaves {
+            map.add_slave(s.config())
+                .expect("slave windows must not overlap");
+        }
+        Tlm2Bus {
+            map,
+            slaves,
+            active: Vec::new(),
+            addr_q: VecDeque::new(),
+            addr_state: AddrState::Idle,
+            read: DataSide::default(),
+            write: DataSide::default(),
+            finish_q: HashMap::new(),
+            events: Vec::new(),
+            emit_events: false,
+            irq_mask: 0,
+        }
+    }
+
+    /// Enables [`PhaseEvent`] emission for the layer-2 energy model.
+    pub fn enable_events(&mut self) {
+        self.emit_events = true;
+    }
+
+    /// Drains the phase events accumulated since the last call.
+    pub fn drain_events(&mut self) -> Vec<PhaseEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Interrupt lines sampled at the last bus-process activation, one
+    /// bit per slave (bit *n* = slave *n*).
+    pub fn irq_mask(&self) -> u64 {
+        self.irq_mask
+    }
+
+    /// Access to a slave (e.g. to inspect memory after a run).
+    pub fn slave(&self, id: SlaveId) -> &dyn TlmSlave {
+        self.slaves[id.0].as_ref()
+    }
+
+    /// Exclusive access to a slave.
+    pub fn slave_mut(&mut self, id: SlaveId) -> &mut dyn TlmSlave {
+        self.slaves[id.0].as_mut()
+    }
+
+    fn data_duration(a: &Active) -> u32 {
+        let wait = a.waits.data_wait(a.txn.kind);
+        a.txn.beats() * (1 + wait)
+    }
+
+    /// Completes the data phase of `idx`: one block slave call, record
+    /// keeping, optional event emission.
+    fn complete_data(&mut self, idx: usize, cycle: u64, phase_cycles: u32) {
+        let (addr, kind, width, beats, slave) = {
+            let a = &self.active[idx];
+            (
+                a.txn.addr,
+                a.txn.kind,
+                a.txn.width,
+                a.txn.beats(),
+                a.slave.expect("decoded"),
+            )
+        };
+        let mut error = None;
+        let mut words: Vec<u32> = Vec::new();
+        if kind.is_read() {
+            if width == DataWidth::W32 {
+                words = vec![0u32; beats as usize];
+                if self.slaves[slave.0].read_block(addr, &mut words) == SlaveReply::Error {
+                    error = Some(BusError::SlaveError(addr));
+                }
+            } else {
+                // Sub-word single: one word access plus lane extraction.
+                match self.slave_read_spin(slave, addr) {
+                    Ok(w) => words = vec![width.extract(addr, w)],
+                    Err(e) => error = Some(e),
+                }
+            }
+        } else {
+            let payload = self.active[idx].txn.data.clone();
+            if width == DataWidth::W32 {
+                if self.slaves[slave.0].write_block(addr, &payload) == SlaveReply::Error {
+                    error = Some(BusError::SlaveError(addr));
+                }
+            } else {
+                let ben = width.byte_enables(addr);
+                let bus_word = width.insert(addr, 0, payload[0]);
+                match self.slave_write_spin(slave, addr, bus_word, ben) {
+                    Ok(()) => {}
+                    Err(e) => error = Some(e),
+                }
+            }
+            words = payload;
+        }
+        let a = &mut self.active[idx];
+        a.done = Some(cycle);
+        a.error = error;
+        if kind.is_read() && error.is_none() {
+            a.read_data = words.clone();
+        }
+        self.finish_q.insert(a.txn.id, idx);
+        if self.emit_events {
+            self.events.push(PhaseEvent {
+                kind: if kind.is_read() {
+                    PhaseKind::ReadData
+                } else {
+                    PhaseKind::WriteData
+                },
+                addr,
+                access: kind,
+                width,
+                beats,
+                cycles: phase_cycles,
+                data: words,
+                at_cycle: cycle,
+            });
+        }
+    }
+
+    /// Word read spinning away dynamic waits (layer 2 cannot time them).
+    fn slave_read_spin(&mut self, slave: SlaveId, addr: Address) -> Result<u32, BusError> {
+        loop {
+            match self.slaves[slave.0].read_word(addr) {
+                SlaveReply::Ok(w) => return Ok(w),
+                SlaveReply::Wait => continue,
+                SlaveReply::Error => return Err(BusError::SlaveError(addr)),
+            }
+        }
+    }
+
+    fn slave_write_spin(
+        &mut self,
+        slave: SlaveId,
+        addr: Address,
+        word: u32,
+        ben: u8,
+    ) -> Result<(), BusError> {
+        loop {
+            match self.slaves[slave.0].write_word(addr, word, ben) {
+                SlaveReply::Ok(()) => return Ok(()),
+                SlaveReply::Wait => continue,
+                SlaveReply::Error => return Err(BusError::SlaveError(addr)),
+            }
+        }
+    }
+
+    /// One direction's countdown step: pop, decrement, complete.
+    fn data_step(&mut self, is_read: bool, cycle: u64) {
+        let side = if is_read {
+            &mut self.read
+        } else {
+            &mut self.write
+        };
+        if side.current.is_none() {
+            if let Some(idx) = side.queue.pop_front() {
+                let total = Self::data_duration(&self.active[idx]);
+                side.current = Some(DataState {
+                    idx,
+                    left: total,
+                    total,
+                });
+            } else {
+                return;
+            }
+        }
+        let side = if is_read {
+            &mut self.read
+        } else {
+            &mut self.write
+        };
+        let st = side.current.as_mut().expect("state just ensured");
+        st.left -= 1;
+        if st.left == 0 {
+            let idx = st.idx;
+            let total = st.total;
+            side.current = None;
+            side.completed_this_cycle = true;
+            self.complete_data(idx, cycle, total);
+        }
+    }
+}
+
+impl CycleBus for Tlm2Bus {
+    fn issue(&mut self, txn: Transaction, _cycle: u64) -> BusStatus {
+        // Read the slave state once, at transaction creation.
+        let (slave, waits) = match self.map.decode(txn.addr, txn.kind) {
+            Ok(id) => (Some(id), self.map.config(id).waits),
+            Err(_) => (None, WaitProfile::ZERO),
+        };
+        let idx = self.active.len();
+        self.active.push(Active {
+            txn,
+            slave,
+            waits,
+            addr_done: None,
+            done: None,
+            error: None,
+            read_data: Vec::new(),
+        });
+        self.addr_q.push_back(idx);
+        BusStatus::Request
+    }
+
+    fn poll(&mut self, id: TxnId) -> PollStatus {
+        match self.finish_q.remove(&id) {
+            None => PollStatus::Pending,
+            Some(idx) => {
+                let a = &mut self.active[idx];
+                PollStatus::Done(Completed {
+                    addr_done_cycle: a.addr_done,
+                    done_cycle: a.done.expect("finished entries have a done cycle"),
+                    error: a.error,
+                    data: std::mem::take(&mut a.read_data),
+                })
+            }
+        }
+    }
+
+    fn bus_process(&mut self, cycle: u64) {
+        let mut irq = 0u64;
+        for (i, s) in self.slaves.iter_mut().enumerate() {
+            s.tick(cycle);
+            if s.irq() {
+                irq |= 1 << i;
+            }
+        }
+        self.irq_mask = irq;
+        // Data countdowns first: a block that finishes this cycle frees
+        // its channel for a pop next cycle, like the reference.
+        self.read.completed_this_cycle = false;
+        self.write.completed_this_cycle = false;
+        self.data_step(true, cycle);
+        self.data_step(false, cycle);
+
+        // Address phase countdown.
+        if matches!(self.addr_state, AddrState::Idle) {
+            if let Some(idx) = self.addr_q.pop_front() {
+                let a = &self.active[idx];
+                let error = match a.slave {
+                    Some(_) => None,
+                    None => Some(
+                        self.map
+                            .decode(a.txn.addr, a.txn.kind)
+                            .expect_err("slave absent implies decode failure"),
+                    ),
+                };
+                self.addr_state = AddrState::Counting {
+                    idx,
+                    left: if error.is_some() { 0 } else { a.waits.address },
+                    error,
+                };
+            }
+        }
+        if let AddrState::Counting { idx, left, error } = &mut self.addr_state {
+            if *left > 0 {
+                *left -= 1;
+            } else {
+                let idx = *idx;
+                let error = *error;
+                self.addr_state = AddrState::Idle;
+                let (addr, kind, width, burst_beats, addr_waits) = {
+                    let a = &self.active[idx];
+                    (
+                        a.txn.addr,
+                        a.txn.kind,
+                        a.txn.width,
+                        a.txn.beats(),
+                        a.waits.address,
+                    )
+                };
+                if self.emit_events {
+                    self.events.push(PhaseEvent {
+                        kind: PhaseKind::Address,
+                        addr,
+                        access: kind,
+                        width,
+                        beats: burst_beats,
+                        cycles: 1 + addr_waits,
+                        data: Vec::new(),
+                        at_cycle: cycle,
+                    });
+                }
+                match error {
+                    Some(e) => {
+                        let a = &mut self.active[idx];
+                        a.done = Some(cycle);
+                        a.error = Some(e);
+                        self.finish_q.insert(a.txn.id, idx);
+                    }
+                    None => {
+                        self.active[idx].addr_done = Some(cycle);
+                        let is_read = kind.is_read();
+                        let side = if is_read {
+                            &mut self.read
+                        } else {
+                            &mut self.write
+                        };
+                        let single = burst_beats == 1;
+                        if single
+                            && side.current.is_none()
+                            && side.queue.is_empty()
+                            && !side.completed_this_cycle
+                        {
+                            // Fusion: a single data item may complete in
+                            // the cycle its address phase completes.
+                            let wait = self.active[idx].waits.data_wait(kind);
+                            if wait == 0 {
+                                self.complete_data(idx, cycle, 1);
+                            } else {
+                                side.current = Some(DataState {
+                                    idx,
+                                    left: wait,
+                                    total: 1 + wait,
+                                });
+                            }
+                        } else {
+                            // Bursts (and contended singles) go through
+                            // the queue — the documented +1-cycle
+                            // approximation for uncontended bursts.
+                            side.queue.push_back(idx);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.addr_q.is_empty()
+            && matches!(self.addr_state, AddrState::Idle)
+            && self.read.queue.is_empty()
+            && self.read.current.is_none()
+            && self.write.queue.is_empty()
+            && self.write.current.is_none()
+    }
+}
+
+impl crate::slave::HasSlaves for Tlm2Bus {
+    fn slave_ref(&self, id: SlaveId) -> &dyn TlmSlave {
+        self.slaves[id.0].as_ref()
+    }
+
+    fn slave_count(&self) -> usize {
+        self.slaves.len()
+    }
+}
+
+impl std::fmt::Debug for Tlm2Bus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tlm2Bus")
+            .field("slaves", &self.slaves.len())
+            .field("active", &self.active.len())
+            .field("addr_q", &self.addr_q.len())
+            .field("finish_q", &self.finish_q.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::master::TlmSystem;
+    use crate::slave::MemSlave;
+    use hierbus_ec::sequences::{self, MasterOp};
+    use hierbus_ec::{AccessRights, AddressRange, BurstLen, SlaveConfig};
+
+    fn bus_with_waits(waits: WaitProfile) -> Tlm2Bus {
+        let mem = MemSlave::new(SlaveConfig::new(
+            AddressRange::new(Address::new(0), 0x1_0000),
+            waits,
+            AccessRights::RWX,
+        ));
+        Tlm2Bus::new(vec![Box::new(mem)])
+    }
+
+    fn run(ops: Vec<MasterOp>, waits: WaitProfile) -> crate::master::TlmReport {
+        let mut sys = TlmSystem::new(bus_with_waits(waits), ops);
+        sys.run(10_000, |_| {})
+    }
+
+    #[test]
+    fn zero_wait_single_read_is_cycle_exact() {
+        let report = run(vec![MasterOp::read(0x100)], WaitProfile::ZERO);
+        let r = &report.records[0];
+        assert_eq!(r.addr_done_cycle, Some(0));
+        assert_eq!(r.done_cycle, Some(0));
+        assert_eq!(report.cycles, 1);
+    }
+
+    #[test]
+    fn waited_single_read_is_cycle_exact() {
+        // addr_wait 1, read_wait 2: layer 1 finishes at cycle 3.
+        let report = run(vec![MasterOp::read(0x100)], WaitProfile::new(1, 2, 0));
+        assert_eq!(report.records[0].done_cycle, Some(3));
+    }
+
+    #[test]
+    fn back_to_back_single_reads_are_cycle_exact() {
+        let report = run(sequences::back_to_back_reads().ops, WaitProfile::ZERO);
+        assert_eq!(report.cycles, 4);
+    }
+
+    #[test]
+    fn uncontended_burst_pays_one_extra_cycle() {
+        // Reference timing: addr done cycle 0, 4 beats at 1/cycle →
+        // done cycle 3, total 4. Layer 2: data starts cycle 1 → done
+        // cycle 4, total 5.
+        let report = run(
+            vec![MasterOp::burst_read(0x100, BurstLen::B4)],
+            WaitProfile::ZERO,
+        );
+        assert_eq!(report.records[0].done_cycle, Some(4));
+        assert_eq!(report.cycles, 5);
+    }
+
+    #[test]
+    fn burst_data_matches_memory_contents() {
+        let data = vec![0xA1, 0xB2, 0xC3, 0xD4];
+        let mut mem = MemSlave::new(SlaveConfig::new(
+            AddressRange::new(Address::new(0), 0x1_0000),
+            WaitProfile::ZERO,
+            AccessRights::RWX,
+        ));
+        mem.load(Address::new(0x400), &data);
+        let bus = Tlm2Bus::new(vec![Box::new(mem)]);
+        let mut sys = TlmSystem::new(bus, vec![MasterOp::burst_read(0x400, BurstLen::B4)]);
+        let report = sys.run(100, |_| {});
+        assert_eq!(report.records[0].data, data);
+    }
+
+    #[test]
+    fn burst_write_lands_in_memory_as_block() {
+        let data = vec![0x11, 0x22];
+        let bus = bus_with_waits(WaitProfile::ZERO);
+        let mut sys = TlmSystem::new(bus, vec![MasterOp::burst_write(0x500, data)]);
+        sys.run(100, |_| {});
+        let slave = sys.bus().slave(SlaveId(0));
+        let cfg = slave.config();
+        assert!(cfg.range.contains(Address::new(0x500)));
+        // Inspect through the trait by downcast-free read.
+        let mut sys2 = TlmSystem::new(
+            std::mem::replace(sys.bus_mut(), Tlm2Bus::new(vec![])),
+            vec![MasterOp::read(0x500), MasterOp::read(0x504)],
+        );
+        let report = sys2.run(100, |_| {});
+        assert_eq!(report.records[0].data, vec![0x11]);
+        assert_eq!(report.records[1].data, vec![0x22]);
+    }
+
+    #[test]
+    fn decode_error_reported() {
+        let report = run(vec![MasterOp::read(0xF_0000)], WaitProfile::ZERO);
+        assert!(matches!(report.records[0].error, Some(BusError::Decode(_))));
+    }
+
+    #[test]
+    fn phase_events_emitted_in_order() {
+        let mut bus = bus_with_waits(WaitProfile::new(1, 1, 0));
+        bus.enable_events();
+        let mut sys = TlmSystem::new(bus, vec![MasterOp::burst_read(0x100, BurstLen::B2)]);
+        let mut events = Vec::new();
+        sys.run(100, |b: &mut Tlm2Bus| events.extend(b.drain_events()));
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, PhaseKind::Address);
+        assert_eq!(events[0].cycles, 2); // 1 + addr_wait
+        assert_eq!(events[1].kind, PhaseKind::ReadData);
+        assert_eq!(events[1].beats, 2);
+        assert_eq!(events[1].cycles, 4); // 2 beats × (1 + 1 wait)
+        assert_eq!(events[1].data.len(), 2);
+    }
+
+    #[test]
+    fn all_spec_scenarios_complete_without_error() {
+        for scenario in sequences::all_scenarios() {
+            let report = run(scenario.ops.clone(), scenario.waits);
+            for r in &report.records {
+                assert!(r.error.is_none(), "{}: {:?}", scenario.name, r.error);
+            }
+        }
+    }
+
+    #[test]
+    fn layer2_never_finishes_before_layer1_on_the_suite() {
+        use crate::tlm1::Tlm1Bus;
+        for scenario in sequences::all_scenarios() {
+            let l2 = run(scenario.ops.clone(), scenario.waits);
+            let mem = MemSlave::new(SlaveConfig::new(
+                AddressRange::new(Address::new(0), 0x1_0000),
+                scenario.waits,
+                AccessRights::RWX,
+            ));
+            let mut sys1 = TlmSystem::new(Tlm1Bus::new(vec![Box::new(mem)]), scenario.ops.clone());
+            let l1 = sys1.run(10_000, |_| {});
+            assert!(
+                l2.cycles >= l1.cycles,
+                "{}: layer2 {} < layer1 {}",
+                scenario.name,
+                l2.cycles,
+                l1.cycles
+            );
+        }
+    }
+}

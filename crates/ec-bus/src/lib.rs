@@ -1,0 +1,62 @@
+//! Protocol layer for an EC-like smart-card core bus.
+//!
+//! The DATE 2004 paper models the MIPS 4Ksc *EC interface*: a single-master
+//! core interface with a 36-bit address bus, separated unidirectional 32-bit
+//! read and write data buses (each with its own error indication), pipelined
+//! address and data phases, slave-inserted wait states, 8/16/32-bit accesses
+//! following fixed merge patterns, and at most four outstanding burst
+//! instruction reads, four burst data reads and four burst writes. A bus
+//! controller extends the one-master/one-slave interface to several slaves.
+//!
+//! The original specification is proprietary; this crate is a clean-room
+//! protocol with exactly the properties the paper states, shared by **all**
+//! models in the workspace — the cycle-true RTL reference, the layer-1 and
+//! layer-2 TLM buses and the energy models — so that accuracy comparisons
+//! are comparisons of *modeling style*, never of protocol interpretation.
+//!
+//! Contents:
+//!
+//! * [`Address`], [`AddressRange`] — 36-bit addressing.
+//! * [`DataWidth`], [`merge`] — access sizes and byte-lane merge patterns.
+//! * [`BusStatus`] — the four interface return states
+//!   (`Request`/`Wait`/`Ok`/`Error`) of the non-blocking master interface.
+//! * [`Transaction`], [`AccessKind`], [`BurstLen`] — transaction
+//!   descriptors.
+//! * [`OutstandingLimits`], [`OutstandingTracker`] — per-category
+//!   outstanding-transaction accounting.
+//! * [`SlaveConfig`], [`AccessRights`], [`WaitProfile`] — the "slave
+//!   control interface" of the paper: address range, wait states, rights.
+//! * [`AddressMap`] — bus-controller address decoding.
+//! * [`SignalFrame`], [`SignalClass`] — the canonical signal-level view of
+//!   one bus cycle, shared by the RTL reference and the layer-1 energy
+//!   model ("TLM-to-RTL adapter").
+//! * [`sequences`] — the verification scenarios of §4.1 plus random mixes.
+
+pub mod addr;
+pub mod error;
+pub mod frame;
+pub mod limits;
+pub mod map;
+pub mod merge;
+pub mod record;
+pub mod sequences;
+pub mod slave;
+pub mod status;
+pub mod txn;
+
+pub use addr::{Address, AddressRange};
+pub use error::BusError;
+pub use frame::{SignalClass, SignalFrame, TogglesByClass};
+pub use limits::{OutstandingLimits, OutstandingTracker, TxnCategory};
+pub use map::AddressMap;
+pub use merge::DataWidth;
+pub use record::TxnRecord;
+pub use sequences::{DataProfile, MasterOp, MixParams, Scenario};
+pub use slave::{AccessRights, SlaveConfig, SlaveId, WaitProfile};
+pub use status::BusStatus;
+pub use txn::{AccessKind, BurstLen, Transaction, TxnId};
+
+/// Width of the address bus in bits.
+pub const ADDR_BITS: u32 = 36;
+/// Width of each data bus in bits.
+pub const DATA_BITS: u32 = 32;

@@ -1,0 +1,215 @@
+//! Bus-controller address decoding.
+
+use crate::addr::Address;
+use crate::error::BusError;
+use crate::slave::{SlaveConfig, SlaveId};
+use crate::txn::AccessKind;
+use std::fmt;
+
+/// The address decoder of the bus controller: an ordered, overlap-checked
+/// set of slave configurations.
+///
+/// The core interface itself supports one master and one slave; the bus
+/// controller (which the paper's models implement together with the
+/// address decoder) extends it to many slaves. Decoding an address that no
+/// slave claims, or with a kind the slave's rights forbid, yields a
+/// [`BusError`] which the models turn into an error-terminated transaction.
+///
+/// ```
+/// use hierbus_ec::*;
+/// let mut map = AddressMap::new();
+/// let rom = map.add_slave(SlaveConfig::new(
+///     AddressRange::new(Address::new(0x0), 0x1000),
+///     WaitProfile::ZERO,
+///     AccessRights::RX,
+/// )).unwrap();
+/// assert_eq!(map.decode(Address::new(0x10), AccessKind::DataRead), Ok(rom));
+/// assert!(map.decode(Address::new(0x10), AccessKind::DataWrite).is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AddressMap {
+    slaves: Vec<SlaveConfig>,
+}
+
+impl AddressMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        AddressMap { slaves: Vec::new() }
+    }
+
+    /// Registers a slave window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::Overlap`] if the window overlaps an existing
+    /// slave's window.
+    pub fn add_slave(&mut self, config: SlaveConfig) -> Result<SlaveId, MapError> {
+        for (i, existing) in self.slaves.iter().enumerate() {
+            if existing.range.overlaps(&config.range) {
+                return Err(MapError::Overlap {
+                    new: config,
+                    existing: *existing,
+                    existing_id: SlaveId(i),
+                });
+            }
+        }
+        let id = SlaveId(self.slaves.len());
+        self.slaves.push(config);
+        Ok(id)
+    }
+
+    /// Number of registered slaves.
+    pub fn len(&self) -> usize {
+        self.slaves.len()
+    }
+
+    /// True if no slave is registered.
+    pub fn is_empty(&self) -> bool {
+        self.slaves.is_empty()
+    }
+
+    /// The configuration of a slave.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by this map's
+    /// [`add_slave`](Self::add_slave).
+    pub fn config(&self, id: SlaveId) -> &SlaveConfig {
+        &self.slaves[id.0]
+    }
+
+    /// Iterates over `(id, config)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (SlaveId, &SlaveConfig)> {
+        self.slaves.iter().enumerate().map(|(i, c)| (SlaveId(i), c))
+    }
+
+    /// Decodes `addr` for an access of `kind`.
+    ///
+    /// # Errors
+    ///
+    /// [`BusError::Decode`] if no slave claims the address,
+    /// [`BusError::AccessViolation`] if the claiming slave's rights forbid
+    /// the access kind.
+    pub fn decode(&self, addr: Address, kind: AccessKind) -> Result<SlaveId, BusError> {
+        for (i, cfg) in self.slaves.iter().enumerate() {
+            if cfg.contains(addr) {
+                return if cfg.rights.permits(kind) {
+                    Ok(SlaveId(i))
+                } else {
+                    Err(BusError::AccessViolation(addr, kind))
+                };
+            }
+        }
+        Err(BusError::Decode(addr))
+    }
+}
+
+/// Errors raised while constructing an [`AddressMap`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MapError {
+    /// The new slave window overlaps an existing one.
+    Overlap {
+        /// The configuration being added.
+        new: SlaveConfig,
+        /// The already-registered configuration it collides with.
+        existing: SlaveConfig,
+        /// The id of the colliding slave.
+        existing_id: SlaveId,
+    },
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::Overlap {
+                new,
+                existing,
+                existing_id,
+            } => write!(
+                f,
+                "window {} overlaps {existing_id} ({})",
+                new.range, existing.range
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::AddressRange;
+    use crate::slave::{AccessRights, WaitProfile};
+
+    fn cfg(base: u64, size: u64, rights: AccessRights) -> SlaveConfig {
+        SlaveConfig::new(
+            AddressRange::new(Address::new(base), size),
+            WaitProfile::ZERO,
+            rights,
+        )
+    }
+
+    #[test]
+    fn decode_picks_containing_slave() {
+        let mut map = AddressMap::new();
+        let rom = map
+            .add_slave(cfg(0x0000, 0x1000, AccessRights::RX))
+            .unwrap();
+        let ram = map
+            .add_slave(cfg(0x1000, 0x1000, AccessRights::RWX))
+            .unwrap();
+        assert_eq!(
+            map.decode(Address::new(0x0abc), AccessKind::InstrFetch),
+            Ok(rom)
+        );
+        assert_eq!(
+            map.decode(Address::new(0x1abc), AccessKind::DataWrite),
+            Ok(ram)
+        );
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn decode_error_outside_all_windows() {
+        let mut map = AddressMap::new();
+        map.add_slave(cfg(0, 0x100, AccessRights::RWX)).unwrap();
+        assert_eq!(
+            map.decode(Address::new(0x200), AccessKind::DataRead),
+            Err(BusError::Decode(Address::new(0x200)))
+        );
+    }
+
+    #[test]
+    fn rights_violation_reported() {
+        let mut map = AddressMap::new();
+        map.add_slave(cfg(0, 0x100, AccessRights::RO)).unwrap();
+        assert_eq!(
+            map.decode(Address::new(0x10), AccessKind::DataWrite),
+            Err(BusError::AccessViolation(
+                Address::new(0x10),
+                AccessKind::DataWrite
+            ))
+        );
+    }
+
+    #[test]
+    fn overlapping_windows_rejected() {
+        let mut map = AddressMap::new();
+        map.add_slave(cfg(0, 0x100, AccessRights::RWX)).unwrap();
+        let err = map
+            .add_slave(cfg(0x80, 0x100, AccessRights::RW))
+            .unwrap_err();
+        assert!(matches!(err, MapError::Overlap { .. }));
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn iter_visits_in_registration_order() {
+        let mut map = AddressMap::new();
+        map.add_slave(cfg(0, 0x10, AccessRights::RX)).unwrap();
+        map.add_slave(cfg(0x10, 0x10, AccessRights::RW)).unwrap();
+        let ids: Vec<usize> = map.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+}

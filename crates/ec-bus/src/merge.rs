@@ -1,0 +1,183 @@
+//! Access widths and byte-lane merge patterns.
+//!
+//! The EC interface transfers 8-, 16- and 32-bit quantities over the 32-bit
+//! data buses using fixed *merge patterns*: the byte lanes a datum occupies
+//! are determined by the access width and the low address bits. This module
+//! encodes those patterns as byte-enable masks and provides the lane
+//! extraction/insertion helpers every model uses to move sub-word data.
+
+use crate::addr::Address;
+use std::fmt;
+
+/// The width of a single data beat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataWidth {
+    /// 8-bit access; any byte offset.
+    W8,
+    /// 16-bit access; address must be 2-byte aligned.
+    W16,
+    /// 32-bit access; address must be 4-byte aligned.
+    W32,
+}
+
+impl DataWidth {
+    /// All widths, narrowest first.
+    pub const ALL: [DataWidth; 3] = [DataWidth::W8, DataWidth::W16, DataWidth::W32];
+
+    /// Size of one beat in bytes.
+    pub const fn bytes(self) -> u64 {
+        match self {
+            DataWidth::W8 => 1,
+            DataWidth::W16 => 2,
+            DataWidth::W32 => 4,
+        }
+    }
+
+    /// Size of one beat in bits.
+    pub const fn bits(self) -> u32 {
+        (self.bytes() as u32) * 8
+    }
+
+    /// Two-bit field encoding used on the signal-level interface.
+    pub const fn encode(self) -> u8 {
+        match self {
+            DataWidth::W8 => 0b00,
+            DataWidth::W16 => 0b01,
+            DataWidth::W32 => 0b10,
+        }
+    }
+
+    /// Decodes the two-bit signal field; returns `None` for the reserved
+    /// encoding `0b11`.
+    pub const fn decode(bits: u8) -> Option<DataWidth> {
+        match bits & 0b11 {
+            0b00 => Some(DataWidth::W8),
+            0b01 => Some(DataWidth::W16),
+            0b10 => Some(DataWidth::W32),
+            _ => None,
+        }
+    }
+
+    /// True if `addr` satisfies this width's alignment requirement.
+    pub fn is_aligned(self, addr: Address) -> bool {
+        addr.is_aligned(self.bytes())
+    }
+
+    /// The merge pattern (byte-enable mask, bit *n* = byte lane *n*) for an
+    /// access of this width at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` violates the width's alignment requirement — the
+    /// protocol has no encoding for misaligned beats, so models must reject
+    /// them before this point.
+    pub fn byte_enables(self, addr: Address) -> u8 {
+        assert!(self.is_aligned(addr), "misaligned {self} access at {addr}");
+        let lane = addr.byte_in_word();
+        match self {
+            DataWidth::W8 => 1 << lane,
+            DataWidth::W16 => 0b11 << lane,
+            DataWidth::W32 => 0b1111,
+        }
+    }
+
+    /// Extracts the beat value from the 32-bit bus `word` for an access at
+    /// `addr`, already shifted down to bit zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics on misaligned `addr` (see [`byte_enables`](Self::byte_enables)).
+    pub fn extract(self, addr: Address, word: u32) -> u32 {
+        let shift = addr.byte_in_word() * 8;
+        let mask = self.value_mask();
+        assert!(self.is_aligned(addr), "misaligned {self} access at {addr}");
+        (word >> shift) & mask
+    }
+
+    /// Inserts `value` into `word` at the lanes for an access at `addr`,
+    /// leaving the other lanes untouched (the write-bus merge operation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on misaligned `addr` (see [`byte_enables`](Self::byte_enables)).
+    pub fn insert(self, addr: Address, word: u32, value: u32) -> u32 {
+        assert!(self.is_aligned(addr), "misaligned {self} access at {addr}");
+        let shift = addr.byte_in_word() * 8;
+        let mask = self.value_mask() << shift;
+        (word & !mask) | ((value << shift) & mask)
+    }
+
+    /// Value mask for one beat (`0xff`, `0xffff` or `0xffff_ffff`).
+    pub const fn value_mask(self) -> u32 {
+        match self {
+            DataWidth::W8 => 0xff,
+            DataWidth::W16 => 0xffff,
+            DataWidth::W32 => 0xffff_ffff,
+        }
+    }
+}
+
+impl fmt::Display for DataWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-bit", self.bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_enable_patterns_match_spec() {
+        // 8-bit accesses: one lane per byte offset.
+        for lane in 0..4u64 {
+            let be = DataWidth::W8.byte_enables(Address::new(0x100 + lane));
+            assert_eq!(be, 1 << lane);
+        }
+        // 16-bit accesses at offsets 0 and 2.
+        assert_eq!(DataWidth::W16.byte_enables(Address::new(0x100)), 0b0011);
+        assert_eq!(DataWidth::W16.byte_enables(Address::new(0x102)), 0b1100);
+        // 32-bit access drives all lanes.
+        assert_eq!(DataWidth::W32.byte_enables(Address::new(0x100)), 0b1111);
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_half_word_rejected() {
+        let _ = DataWidth::W16.byte_enables(Address::new(0x101));
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_word_rejected() {
+        let _ = DataWidth::W32.byte_enables(Address::new(0x102));
+    }
+
+    #[test]
+    fn extract_and_insert_roundtrip() {
+        let word = 0xDDCC_BBAA;
+        assert_eq!(DataWidth::W8.extract(Address::new(0), word), 0xAA);
+        assert_eq!(DataWidth::W8.extract(Address::new(3), word), 0xDD);
+        assert_eq!(DataWidth::W16.extract(Address::new(2), word), 0xDDCC);
+        assert_eq!(DataWidth::W32.extract(Address::new(0), word), word);
+
+        let merged = DataWidth::W8.insert(Address::new(1), word, 0xEE);
+        assert_eq!(merged, 0xDDCC_EEAA);
+        let merged = DataWidth::W16.insert(Address::new(0), word, 0x1122);
+        assert_eq!(merged, 0xDDCC_1122);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for w in DataWidth::ALL {
+            assert_eq!(DataWidth::decode(w.encode()), Some(w));
+        }
+        assert_eq!(DataWidth::decode(0b11), None);
+    }
+
+    #[test]
+    fn insert_masks_oversized_value() {
+        let merged = DataWidth::W8.insert(Address::new(0), 0, 0xABCD);
+        assert_eq!(merged, 0xCD);
+    }
+}

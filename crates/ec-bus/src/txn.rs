@@ -1,0 +1,359 @@
+//! Transaction descriptors.
+
+use crate::addr::Address;
+use crate::merge::DataWidth;
+use std::fmt;
+
+/// A monotonically increasing transaction identity, unique per master.
+///
+/// On the signal-level interface the low three bits are carried on the
+/// `r_id`/`w_id` wires so data phases can be matched to address phases
+/// when several transactions are outstanding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct TxnId(pub u64);
+
+impl TxnId {
+    /// The three-bit tag driven on the data-phase id wires.
+    pub const fn tag(self) -> u8 {
+        (self.0 & 0x7) as u8
+    }
+
+    /// The next id in sequence.
+    pub const fn next(self) -> TxnId {
+        TxnId(self.0 + 1)
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn#{}", self.0)
+    }
+}
+
+/// The three kinds of access the core interface distinguishes.
+///
+/// Instruction fetches travel on a dedicated master interface (the paper's
+/// I-IF) but share the bus; the distinction matters for outstanding-limit
+/// accounting and for access-right checks (fetch requires execute rights).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Instruction fetch (a read with execute-right checking).
+    InstrFetch,
+    /// Data load.
+    DataRead,
+    /// Data store.
+    DataWrite,
+}
+
+impl AccessKind {
+    /// All kinds.
+    pub const ALL: [AccessKind; 3] = [
+        AccessKind::InstrFetch,
+        AccessKind::DataRead,
+        AccessKind::DataWrite,
+    ];
+
+    /// True for the two read-direction kinds.
+    pub const fn is_read(self) -> bool {
+        !matches!(self, AccessKind::DataWrite)
+    }
+
+    /// Two-bit field encoding used on the signal-level interface.
+    pub const fn encode(self) -> u8 {
+        match self {
+            AccessKind::InstrFetch => 0b00,
+            AccessKind::DataRead => 0b01,
+            AccessKind::DataWrite => 0b10,
+        }
+    }
+
+    /// Decodes the two-bit signal field; `0b11` is reserved.
+    pub const fn decode(bits: u8) -> Option<AccessKind> {
+        match bits & 0b11 {
+            0b00 => Some(AccessKind::InstrFetch),
+            0b01 => Some(AccessKind::DataRead),
+            0b10 => Some(AccessKind::DataWrite),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessKind::InstrFetch => "fetch",
+            AccessKind::DataRead => "read",
+            AccessKind::DataWrite => "write",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Burst length in beats. Bursts are word-width and address-incrementing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BurstLen {
+    /// A single beat (not a burst).
+    Single,
+    /// Two beats.
+    B2,
+    /// Four beats — the natural cache-line fill of the modeled core.
+    B4,
+    /// Eight beats.
+    B8,
+}
+
+impl BurstLen {
+    /// All lengths, shortest first.
+    pub const ALL: [BurstLen; 4] = [BurstLen::Single, BurstLen::B2, BurstLen::B4, BurstLen::B8];
+
+    /// Number of data beats.
+    pub const fn beats(self) -> u32 {
+        match self {
+            BurstLen::Single => 1,
+            BurstLen::B2 => 2,
+            BurstLen::B4 => 4,
+            BurstLen::B8 => 8,
+        }
+    }
+
+    /// True for multi-beat transfers.
+    pub const fn is_burst(self) -> bool {
+        !matches!(self, BurstLen::Single)
+    }
+
+    /// Two-bit field encoding (log2 of the beat count).
+    pub const fn encode(self) -> u8 {
+        match self {
+            BurstLen::Single => 0b00,
+            BurstLen::B2 => 0b01,
+            BurstLen::B4 => 0b10,
+            BurstLen::B8 => 0b11,
+        }
+    }
+
+    /// Decodes the two-bit signal field (total, all encodings valid).
+    pub const fn decode(bits: u8) -> BurstLen {
+        match bits & 0b11 {
+            0b00 => BurstLen::Single,
+            0b01 => BurstLen::B2,
+            0b10 => BurstLen::B4,
+            _ => BurstLen::B8,
+        }
+    }
+}
+
+impl fmt::Display for BurstLen {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.beats())
+    }
+}
+
+/// A bus transaction: one address phase plus one data phase of
+/// [`beats`](BurstLen::beats) beats.
+///
+/// Burst transfers are always [`DataWidth::W32`]; sub-word widths are only
+/// legal on single transfers (enforced by [`Transaction::new`]). For writes
+/// `data` carries one word per beat going in; for reads the interconnect
+/// fills it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transaction {
+    /// Master-assigned identity.
+    pub id: TxnId,
+    /// Fetch, load or store.
+    pub kind: AccessKind,
+    /// Start address of the first beat.
+    pub addr: Address,
+    /// Width of each beat.
+    pub width: DataWidth,
+    /// Number of beats.
+    pub burst: BurstLen,
+    /// Beat payloads (writes: input; reads: filled on completion).
+    pub data: Vec<u32>,
+}
+
+impl Transaction {
+    /// Creates a transaction descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a burst is requested with a sub-word width, if `addr`
+    /// violates the width's alignment, or if `data` is non-empty but does
+    /// not have one entry per beat.
+    pub fn new(
+        id: TxnId,
+        kind: AccessKind,
+        addr: Address,
+        width: DataWidth,
+        burst: BurstLen,
+        data: Vec<u32>,
+    ) -> Self {
+        assert!(
+            !burst.is_burst() || width == DataWidth::W32,
+            "burst transfers must be word-width"
+        );
+        assert!(
+            width.is_aligned(addr),
+            "misaligned {width} access at {addr}"
+        );
+        assert!(
+            data.is_empty() || data.len() == burst.beats() as usize,
+            "payload length {} does not match {} beats",
+            data.len(),
+            burst.beats()
+        );
+        Transaction {
+            id,
+            kind,
+            addr,
+            width,
+            burst,
+            data,
+        }
+    }
+
+    /// Convenience constructor for a single-beat read.
+    pub fn single_read(id: TxnId, addr: Address, width: DataWidth) -> Self {
+        Transaction::new(
+            id,
+            AccessKind::DataRead,
+            addr,
+            width,
+            BurstLen::Single,
+            Vec::new(),
+        )
+    }
+
+    /// Convenience constructor for a single-beat write.
+    pub fn single_write(id: TxnId, addr: Address, width: DataWidth, value: u32) -> Self {
+        Transaction::new(
+            id,
+            AccessKind::DataWrite,
+            addr,
+            width,
+            BurstLen::Single,
+            vec![value & width.value_mask()],
+        )
+    }
+
+    /// Convenience constructor for an instruction fetch (single or burst).
+    pub fn fetch(id: TxnId, addr: Address, burst: BurstLen) -> Self {
+        Transaction::new(
+            id,
+            AccessKind::InstrFetch,
+            addr,
+            DataWidth::W32,
+            burst,
+            Vec::new(),
+        )
+    }
+
+    /// The address of beat `i` (word-incrementing for bursts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not less than the beat count.
+    pub fn beat_addr(&self, i: u32) -> Address {
+        assert!(i < self.burst.beats(), "beat {i} out of range");
+        self.addr + (i as u64) * self.width.bytes()
+    }
+
+    /// Number of data beats.
+    pub fn beats(&self) -> u32 {
+        self.burst.beats()
+    }
+
+    /// Total bytes transferred.
+    pub fn bytes(&self) -> u64 {
+        self.width.bytes() * self.burst.beats() as u64
+    }
+}
+
+impl fmt::Display for Transaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} {} @{}",
+            self.id, self.kind, self.width, self.burst, self.addr
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_id_tagging() {
+        assert_eq!(TxnId(0).tag(), 0);
+        assert_eq!(TxnId(9).tag(), 1);
+        assert_eq!(TxnId(3).next(), TxnId(4));
+    }
+
+    #[test]
+    fn kind_direction_and_codes() {
+        assert!(AccessKind::InstrFetch.is_read());
+        assert!(AccessKind::DataRead.is_read());
+        assert!(!AccessKind::DataWrite.is_read());
+        for k in AccessKind::ALL {
+            assert_eq!(AccessKind::decode(k.encode()), Some(k));
+        }
+        assert_eq!(AccessKind::decode(0b11), None);
+    }
+
+    #[test]
+    fn burst_beats_and_codes() {
+        let beats: Vec<u32> = BurstLen::ALL.iter().map(|b| b.beats()).collect();
+        assert_eq!(beats, vec![1, 2, 4, 8]);
+        for b in BurstLen::ALL {
+            assert_eq!(BurstLen::decode(b.encode()), b);
+        }
+        assert!(!BurstLen::Single.is_burst());
+        assert!(BurstLen::B4.is_burst());
+    }
+
+    #[test]
+    fn beat_addresses_increment_by_width() {
+        let t = Transaction::fetch(TxnId(1), Address::new(0x100), BurstLen::B4);
+        assert_eq!(t.beat_addr(0), Address::new(0x100));
+        assert_eq!(t.beat_addr(3), Address::new(0x10c));
+        assert_eq!(t.bytes(), 16);
+    }
+
+    #[test]
+    fn single_write_masks_payload() {
+        let t = Transaction::single_write(TxnId(0), Address::new(0x3), DataWidth::W8, 0xABCD);
+        assert_eq!(t.data, vec![0xCD]);
+    }
+
+    #[test]
+    #[should_panic(expected = "word-width")]
+    fn subword_burst_rejected() {
+        let _ = Transaction::new(
+            TxnId(0),
+            AccessKind::DataRead,
+            Address::new(0),
+            DataWidth::W8,
+            BurstLen::B4,
+            Vec::new(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_txn_rejected() {
+        let _ = Transaction::single_read(TxnId(0), Address::new(0x2), DataWidth::W32);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload length")]
+    fn wrong_payload_length_rejected() {
+        let _ = Transaction::new(
+            TxnId(0),
+            AccessKind::DataWrite,
+            Address::new(0),
+            DataWidth::W32,
+            BurstLen::B2,
+            vec![1, 2, 3],
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests of the protocol layer's algebra: merge patterns,
+//! address arithmetic, frame diffs, and outstanding-limit accounting.
+
+use hierbus_ec::record::TxnRecord;
+use hierbus_ec::*;
+use proptest::prelude::*;
+
+fn arb_width() -> impl Strategy<Value = DataWidth> {
+    prop_oneof![
+        Just(DataWidth::W8),
+        Just(DataWidth::W16),
+        Just(DataWidth::W32),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn merge_extract_insert_roundtrip(
+        word in any::<u32>(),
+        value in any::<u32>(),
+        offset in 0u64..4,
+        width in arb_width(),
+    ) {
+        // Align the offset to the width.
+        let offset = offset & !(width.bytes() - 1);
+        let addr = Address::new(0x1000 + offset);
+        let merged = width.insert(addr, word, value);
+        // Extracting what was inserted returns the masked value.
+        prop_assert_eq!(width.extract(addr, merged), value & width.value_mask());
+        // Lanes outside the byte enables are untouched.
+        let ben = width.byte_enables(addr);
+        for lane in 0..4u32 {
+            if ben & (1 << lane) == 0 {
+                let mask = 0xFFu32 << (8 * lane);
+                prop_assert_eq!(merged & mask, word & mask);
+            }
+        }
+    }
+
+    #[test]
+    fn byte_enables_cover_exactly_the_width(
+        offset in 0u64..4,
+        width in arb_width(),
+    ) {
+        let offset = offset & !(width.bytes() - 1);
+        let ben = width.byte_enables(Address::new(offset));
+        prop_assert_eq!(u64::from(ben.count_ones()), width.bytes());
+    }
+
+    #[test]
+    fn address_masking_is_idempotent(raw in any::<u64>()) {
+        let a = Address::new(raw);
+        prop_assert_eq!(Address::new(a.raw()), a);
+        prop_assert!(a.raw() < (1u64 << 36));
+    }
+
+    #[test]
+    fn frame_diff_is_symmetric_and_zero_on_self(
+        addr in 0u64..(1 << 36),
+        rdata in any::<u32>(),
+        wdata in any::<u32>(),
+        flags in any::<u8>(),
+    ) {
+        let a = SignalFrame {
+            a_addr: addr,
+            r_data: rdata,
+            w_data: wdata,
+            a_valid: flags & 1 != 0,
+            r_valid: flags & 2 != 0,
+            w_valid: flags & 4 != 0,
+            ..SignalFrame::default()
+        };
+        let b = SignalFrame::default();
+        prop_assert_eq!(a.diff(&a).total(), 0);
+        prop_assert_eq!(a.diff(&b).total(), b.diff(&a).total());
+        // The diff equals the Hamming distance of the packed fields.
+        let expected = addr.count_ones()
+            + rdata.count_ones()
+            + wdata.count_ones()
+            + u32::from(a.a_valid)
+            + u32::from(a.r_valid)
+            + u32::from(a.w_valid);
+        prop_assert_eq!(a.diff(&b).total(), expected);
+    }
+
+    #[test]
+    fn outstanding_tracker_never_exceeds_limits(
+        script in proptest::collection::vec((0u8..3, any::<bool>()), 1..200),
+    ) {
+        let mut t = OutstandingTracker::new(OutstandingLimits::CORE_DEFAULT);
+        for (cat_sel, issue) in script {
+            let cat = TxnCategory::ALL[cat_sel as usize];
+            if issue {
+                let _ = t.try_issue(cat);
+            } else if t.in_flight(cat) > 0 {
+                t.complete(cat);
+            }
+            for c in TxnCategory::ALL {
+                prop_assert!(t.in_flight(c) <= OutstandingLimits::CORE_DEFAULT.limit(c));
+            }
+        }
+    }
+
+    #[test]
+    fn burst_beat_addresses_stay_in_order_and_aligned(
+        word in 0u64..(1 << 30),
+        burst_sel in 0u8..4,
+    ) {
+        let burst = BurstLen::ALL[burst_sel as usize];
+        let txn = Transaction::fetch(TxnId(0), Address::new(word * 4), burst);
+        let mut prev = None;
+        for i in 0..txn.beats() {
+            let a = txn.beat_addr(i);
+            prop_assert!(a.is_aligned(4));
+            if let Some(p) = prev {
+                prop_assert_eq!(a.raw(), p + 4);
+            }
+            prev = Some(a.raw());
+        }
+    }
+
+    #[test]
+    fn record_latency_is_positive_and_consistent(
+        issue in 0u64..1_000_000,
+        duration in 0u64..10_000,
+    ) {
+        let r = TxnRecord {
+            id: TxnId(0),
+            kind: AccessKind::DataRead,
+            addr: Address::new(0),
+            width: DataWidth::W32,
+            burst: BurstLen::Single,
+            issue_cycle: issue,
+            addr_done_cycle: Some(issue),
+            done_cycle: Some(issue + duration),
+            error: None,
+            data: Vec::new(),
+        };
+        prop_assert_eq!(r.latency(), Some(duration + 1));
+    }
+}

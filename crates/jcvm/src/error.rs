@@ -1,0 +1,70 @@
+//! VM error conditions.
+
+use std::fmt;
+
+/// Everything that can abort bytecode execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JcvmError {
+    /// Operand stack capacity exceeded.
+    StackOverflow,
+    /// Pop or peek from an empty operand stack.
+    StackUnderflow,
+    /// The applet firewall denied a cross-context access.
+    SecurityViolation,
+    /// `invokestatic` named a method outside the table.
+    NoSuchMethod(u8),
+    /// A static-field index outside the table.
+    NoSuchField(u8),
+    /// Array handle or index out of range.
+    ArrayBounds,
+    /// A local-variable slot outside the frame.
+    BadLocal(u8),
+    /// Branch target outside the method.
+    BadBranch,
+    /// `return` executed with no caller and no result convention.
+    FrameUnderflow,
+    /// The hardware stack path reported a bus error.
+    BusFault,
+    /// Execution exceeded the step budget (runaway applet).
+    Timeout,
+}
+
+impl fmt::Display for JcvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JcvmError::StackOverflow => f.write_str("operand stack overflow"),
+            JcvmError::StackUnderflow => f.write_str("operand stack underflow"),
+            JcvmError::SecurityViolation => f.write_str("applet firewall denied the access"),
+            JcvmError::NoSuchMethod(m) => write!(f, "no method with index {m}"),
+            JcvmError::NoSuchField(i) => write!(f, "no static field with index {i}"),
+            JcvmError::ArrayBounds => f.write_str("array access out of bounds"),
+            JcvmError::BadLocal(i) => write!(f, "local variable {i} outside the frame"),
+            JcvmError::BadBranch => f.write_str("branch target outside the method"),
+            JcvmError::FrameUnderflow => f.write_str("return without a caller frame"),
+            JcvmError::BusFault => f.write_str("bus error on the hardware stack path"),
+            JcvmError::Timeout => f.write_str("step budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for JcvmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_without_period() {
+        let errs = [
+            JcvmError::StackOverflow,
+            JcvmError::SecurityViolation,
+            JcvmError::NoSuchMethod(3),
+            JcvmError::BusFault,
+        ];
+        for e in errs {
+            let m = e.to_string();
+            assert!(m.chars().next().unwrap().is_lowercase());
+            assert!(!m.ends_with('.'));
+        }
+    }
+}

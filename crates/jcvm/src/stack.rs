@@ -1,0 +1,177 @@
+//! The operand-stack interface — the HW/SW boundary under exploration.
+
+use crate::error::JcvmError;
+
+/// What the bytecode interpreter requires of an operand stack.
+///
+/// In the unrefined model (Fig. 7a) this is a plain in-memory stack; in
+/// the refined model (Fig. 7b) the same calls cross the TLM bus through
+/// the master adapter. The interpreter never knows which — that is the
+/// point of the refinement.
+pub trait OperandStack {
+    /// Pushes a value.
+    ///
+    /// # Errors
+    ///
+    /// [`JcvmError::StackOverflow`] at capacity;
+    /// [`JcvmError::BusFault`] if the hardware path fails.
+    fn push(&mut self, value: i32) -> Result<(), JcvmError>;
+
+    /// Pops the top value.
+    ///
+    /// # Errors
+    ///
+    /// [`JcvmError::StackUnderflow`] when empty;
+    /// [`JcvmError::BusFault`] if the hardware path fails.
+    fn pop(&mut self) -> Result<i32, JcvmError>;
+
+    /// Reads the top value without removing it.
+    ///
+    /// # Errors
+    ///
+    /// As for [`pop`](Self::pop).
+    fn peek(&mut self) -> Result<i32, JcvmError> {
+        let v = self.pop()?;
+        self.push(v)?;
+        Ok(v)
+    }
+
+    /// Pushes several values, first element first (deepest). The default
+    /// loops over [`push`](Self::push); bus-attached stacks may override
+    /// it with burst transfers.
+    ///
+    /// # Errors
+    ///
+    /// As for [`push`](Self::push).
+    fn push_slice(&mut self, values: &[i32]) -> Result<(), JcvmError> {
+        for &v in values {
+            self.push(v)?;
+        }
+        Ok(())
+    }
+
+    /// Pops `n` values, returned top-first. The default loops over
+    /// [`pop`](Self::pop); bus-attached stacks may override it with
+    /// burst transfers.
+    ///
+    /// # Errors
+    ///
+    /// As for [`pop`](Self::pop).
+    fn pop_many(&mut self, n: usize) -> Result<Vec<i32>, JcvmError> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.pop()?);
+        }
+        Ok(out)
+    }
+
+    /// Current depth, if cheaply known (`None` when finding out would
+    /// cost bus transactions).
+    fn depth_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// The functional, in-memory operand stack of the unrefined model.
+#[derive(Debug, Clone)]
+pub struct SoftStack {
+    values: Vec<i32>,
+    capacity: usize,
+    /// push + pop + peek call count (for adapter-traffic comparisons).
+    ops: u64,
+}
+
+impl SoftStack {
+    /// Creates a stack with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "stack capacity must be non-zero");
+        SoftStack {
+            values: Vec::with_capacity(capacity),
+            capacity,
+            ops: 0,
+        }
+    }
+
+    /// Total interface calls served.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// The values bottom-to-top (inspection aid).
+    pub fn values(&self) -> &[i32] {
+        &self.values
+    }
+}
+
+impl OperandStack for SoftStack {
+    fn push(&mut self, value: i32) -> Result<(), JcvmError> {
+        self.ops += 1;
+        if self.values.len() >= self.capacity {
+            return Err(JcvmError::StackOverflow);
+        }
+        self.values.push(value);
+        Ok(())
+    }
+
+    fn pop(&mut self) -> Result<i32, JcvmError> {
+        self.ops += 1;
+        self.values.pop().ok_or(JcvmError::StackUnderflow)
+    }
+
+    fn peek(&mut self) -> Result<i32, JcvmError> {
+        self.ops += 1;
+        self.values.last().copied().ok_or(JcvmError::StackUnderflow)
+    }
+
+    fn depth_hint(&self) -> Option<usize> {
+        Some(self.values.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_lifo() {
+        let mut s = SoftStack::new(8);
+        s.push(1).unwrap();
+        s.push(2).unwrap();
+        assert_eq!(s.peek(), Ok(2));
+        assert_eq!(s.pop(), Ok(2));
+        assert_eq!(s.pop(), Ok(1));
+        assert_eq!(s.pop(), Err(JcvmError::StackUnderflow));
+        assert_eq!(s.ops(), 6); // the failed pop is still an interface call
+    }
+
+    #[test]
+    fn overflow_at_capacity() {
+        let mut s = SoftStack::new(2);
+        s.push(1).unwrap();
+        s.push(2).unwrap();
+        assert_eq!(s.push(3), Err(JcvmError::StackOverflow));
+        assert_eq!(s.depth_hint(), Some(2));
+    }
+
+    #[test]
+    fn default_peek_roundtrips_through_pop_push() {
+        struct Minimal(Vec<i32>);
+        impl OperandStack for Minimal {
+            fn push(&mut self, v: i32) -> Result<(), JcvmError> {
+                self.0.push(v);
+                Ok(())
+            }
+            fn pop(&mut self) -> Result<i32, JcvmError> {
+                self.0.pop().ok_or(JcvmError::StackUnderflow)
+            }
+        }
+        let mut m = Minimal(vec![7]);
+        assert_eq!(m.peek(), Ok(7));
+        assert_eq!(m.0, vec![7]);
+        assert_eq!(m.depth_hint(), None);
+    }
+}

@@ -1,0 +1,321 @@
+//! Benchmark applets for the HW/SW interface exploration.
+
+use crate::bytecode::{Bytecode, Method, MethodId};
+use crate::interp::Interpreter;
+use Bytecode::*;
+
+/// A named applet: builds itself into a VM and knows its expected
+/// result, so every exploration run is also a correctness check.
+pub struct Workload {
+    /// Short identifier.
+    pub name: &'static str,
+    /// Installs the methods; returns the entry point and its arguments.
+    pub build: fn(&mut Interpreter) -> (MethodId, Vec<i32>),
+    /// The correct result.
+    pub expected: i32,
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .field("expected", &self.expected)
+            .finish()
+    }
+}
+
+/// The standard applet set: stack-light arithmetic, call-heavy
+/// recursion, array traffic and crypto-style bit mixing.
+pub fn standard_workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "arith_loop",
+            build: build_arith_loop,
+            expected: 5050, // sum 1..=100
+        },
+        Workload {
+            name: "fib_rec",
+            build: build_fib,
+            expected: 144, // fib(12)
+        },
+        Workload {
+            name: "array_checksum",
+            build: build_array_checksum,
+            expected: checksum_reference(16),
+        },
+        Workload {
+            name: "bit_mix",
+            build: build_bit_mix,
+            expected: bit_mix_reference(0x1234_5678, 12),
+        },
+        Workload {
+            name: "dup_squares",
+            build: build_dup_squares,
+            expected: (1..=10).map(|i| i * i).sum(), // 385
+        },
+        Workload {
+            name: "poly_call",
+            build: build_poly_call,
+            expected: poly_call_reference(),
+        },
+    ]
+}
+
+fn build_arith_loop(vm: &mut Interpreter) -> (MethodId, Vec<i32>) {
+    // locals: 0 = i, 1 = acc; sum 1..=100.
+    let code = vec![
+        Const(100),
+        Istore(0),
+        Const(0),
+        Istore(1),
+        // loop @4:
+        Iload(1),
+        Iload(0),
+        Iadd,
+        Istore(1),
+        Iinc(0, -1),
+        Iload(0),
+        IfNe(4),
+        Iload(1),
+        Ireturn,
+    ];
+    (vm.add_method(Method::new(code, 0, 2)), vec![])
+}
+
+fn build_fib(vm: &mut Interpreter) -> (MethodId, Vec<i32>) {
+    let fib = MethodId(0);
+    let code = vec![
+        Iload(0),
+        Const(2),
+        IfIcmpGe(5),
+        Iload(0),
+        Ireturn,
+        // recurse @5:
+        Iload(0),
+        Const(1),
+        Isub,
+        Invokestatic(fib),
+        Iload(0),
+        Const(2),
+        Isub,
+        Invokestatic(fib),
+        Iadd,
+        Ireturn,
+    ];
+    let id = vm.add_method(Method::new(code, 1, 1));
+    debug_assert_eq!(id, fib);
+    (id, vec![12])
+}
+
+/// Reference for `array_checksum`: xor of (i*i + i) over 0..n.
+fn checksum_reference(n: i32) -> i32 {
+    (0..n).fold(0, |acc, i| acc ^ (i.wrapping_mul(i).wrapping_add(i)))
+}
+
+fn build_array_checksum(vm: &mut Interpreter) -> (MethodId, Vec<i32>) {
+    // locals: 0 = n, 1 = handle, 2 = i, 3 = acc.
+    let code = vec![
+        Iload(0),
+        NewArray,
+        Istore(1),
+        Const(0),
+        Istore(2),
+        // fill loop @5: a[i] = i*i + i
+        Iload(1),
+        Iload(2),
+        Iload(2),
+        Iload(2),
+        Imul,
+        Iload(2),
+        Iadd,
+        ArrayStore,
+        Iinc(2, 1),
+        Iload(2),
+        Iload(0),
+        IfIcmpLt(5),
+        // xor loop
+        Const(0),
+        Istore(3),
+        Const(0),
+        Istore(2),
+        // @21:
+        Iload(3),
+        Iload(1),
+        Iload(2),
+        ArrayLoad,
+        Ixor,
+        Istore(3),
+        Iinc(2, 1),
+        Iload(2),
+        Iload(0),
+        IfIcmpLt(21),
+        Iload(3),
+        Ireturn,
+    ];
+    (vm.add_method(Method::new(code, 1, 4)), vec![16])
+}
+
+/// Reference for `bit_mix`: a TEA-flavoured mixing loop.
+fn bit_mix_reference(seed: i32, rounds: i32) -> i32 {
+    let mut v = seed;
+    for _ in 0..rounds {
+        v = v
+            .wrapping_mul(3)
+            .wrapping_add(v.wrapping_shl(4) ^ v.wrapping_shr(5))
+            .wrapping_add(0x9E37);
+    }
+    v
+}
+
+fn build_bit_mix(vm: &mut Interpreter) -> (MethodId, Vec<i32>) {
+    // Arguments arrive in locals: 0 = v, 1 = round counter.
+    let code = vec![
+        // loop @0: v = v*3 + (v<<4 ^ v>>5) + 0x9E37
+        Iload(0),
+        Const(3),
+        Imul,
+        Iload(0),
+        Const(4),
+        Ishl,
+        Iload(0),
+        Const(5),
+        Ishr,
+        Ixor,
+        Iadd,
+        Const(0x9E37),
+        Iadd,
+        Istore(0),
+        Iinc(1, -1),
+        Iload(1),
+        IfNe(0),
+        Iload(0),
+        Ireturn,
+    ];
+    (
+        vm.add_method(Method::new(code, 2, 2)),
+        vec![0x1234_5678, 12],
+    )
+}
+
+fn build_dup_squares(vm: &mut Interpreter) -> (MethodId, Vec<i32>) {
+    // Sum of squares 1..=10, squaring via Dup + Imul — the peek-heavy
+    // pattern that separates the register organisations (a single-data-
+    // register stack pays a pop + re-push for every Dup).
+    // locals: 0 = i, 1 = acc.
+    let code = vec![
+        Const(10),
+        Istore(0),
+        Const(0),
+        Istore(1),
+        // loop @4:
+        Iload(0),
+        Dup,
+        Imul,
+        Iload(1),
+        Iadd,
+        Istore(1),
+        Iinc(0, -1),
+        Iload(0),
+        IfNe(4),
+        Iload(1),
+        Ireturn,
+    ];
+    (vm.add_method(Method::new(code, 0, 2)), vec![])
+}
+
+/// Reference for `poly_call`: Σ horner(i, i+1, i+2, i+3) for i in 1..=12
+/// with horner(x,a,b,c) = (a·x + b)·x + c.
+fn poly_call_reference() -> i32 {
+    (1..=12i32).fold(0, |acc, i| {
+        let (x, a, b, c) = (i, i + 1, i + 2, i + 3);
+        acc.wrapping_add(
+            (a.wrapping_mul(x).wrapping_add(b))
+                .wrapping_mul(x)
+                .wrapping_add(c),
+        )
+    })
+}
+
+fn build_poly_call(vm: &mut Interpreter) -> (MethodId, Vec<i32>) {
+    // horner(x, a, b, c) = (a*x + b)*x + c — four arguments per call, so
+    // the burst-transfer interface variant can fetch them as one B4.
+    let horner = vm.add_method(Method::new(
+        vec![
+            Iload(1),
+            Iload(0),
+            Imul,
+            Iload(2),
+            Iadd,
+            Iload(0),
+            Imul,
+            Iload(3),
+            Iadd,
+            Ireturn,
+        ],
+        4,
+        4,
+    ));
+    // main: locals 0 = i, 1 = acc.
+    let code = vec![
+        Const(1),
+        Istore(0),
+        Const(0),
+        Istore(1),
+        // loop @4: acc += horner(i, i+1, i+2, i+3)
+        Iload(1),
+        Iload(0),
+        Iload(0),
+        Const(1),
+        Iadd,
+        Iload(0),
+        Const(2),
+        Iadd,
+        Iload(0),
+        Const(3),
+        Iadd,
+        Invokestatic(horner),
+        Iadd,
+        Istore(1),
+        Iinc(0, 1),
+        Iload(0),
+        Const(13),
+        IfIcmpLt(4),
+        Iload(1),
+        Ireturn,
+    ];
+    (vm.add_method(Method::new(code, 0, 2)), vec![])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::SoftStack;
+
+    #[test]
+    fn every_workload_matches_its_reference_on_the_soft_stack() {
+        for w in standard_workloads() {
+            let mut vm = Interpreter::new();
+            let (entry, args) = (w.build)(&mut vm);
+            let mut stack = SoftStack::new(512);
+            let result = vm
+                .run(entry, &args, &mut stack, 10_000_000)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert_eq!(result, Some(w.expected), "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn references_are_nontrivial() {
+        assert_ne!(checksum_reference(16), 0);
+        assert_ne!(bit_mix_reference(0x1234_5678, 12), 0x1234_5678);
+    }
+
+    #[test]
+    fn workload_names_are_unique() {
+        let names: Vec<&str> = standard_workloads().iter().map(|w| w.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

@@ -1,0 +1,232 @@
+//! The characterization database.
+
+use hierbus_ec::SignalClass;
+use std::fmt;
+
+/// Phase/beat counts of a training run, used to turn class transition
+/// totals into per-phase averages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseCounts {
+    /// Address phases executed (one per transaction, including errored
+    /// ones).
+    pub addr_phases: u64,
+    /// Read data beats executed.
+    pub read_beats: u64,
+    /// Write data beats executed.
+    pub write_beats: u64,
+}
+
+/// Average energy per transition per signal class, plus average per-phase
+/// transition counts — everything the TLM energy models need.
+///
+/// Built from a gate-level training run via
+/// [`from_class_stats`](CharacterizationDb::from_class_stats). Because
+/// the gate-level transition counts include glitches, the per-phase
+/// averages are slightly pessimistic for a cycle-boundary view — one of
+/// the documented reasons layer 2 overestimates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharacterizationDb {
+    /// pJ per transition, indexed by [`SignalClass::index`].
+    energy_per_toggle: [f64; 6],
+    /// Average transitions per address phase for the two address classes.
+    avg_addr_toggles: [f64; 2],
+    /// Average transitions per read beat (data, control).
+    avg_read_toggles: [f64; 2],
+    /// Average transitions per write beat (data, control).
+    avg_write_toggles: [f64; 2],
+}
+
+impl CharacterizationDb {
+    /// Builds the database from gate-level class statistics
+    /// (`(class, total energy pJ, total transitions)`) and the training
+    /// run's phase counts.
+    ///
+    /// Classes that never toggled during training get zero energy per
+    /// transition — choose training sequences that exercise every class
+    /// (the canned [`training_scenarios`](hierbus_ec::sequences::training_scenarios)
+    /// plus a random mix do).
+    pub fn from_class_stats(stats: &[(SignalClass, f64, u64)], counts: PhaseCounts) -> Self {
+        let mut energy_per_toggle = [0.0; 6];
+        let mut transitions = [0u64; 6];
+        for &(class, energy, count) in stats {
+            transitions[class.index()] = count;
+            energy_per_toggle[class.index()] = if count > 0 {
+                energy / count as f64
+            } else {
+                0.0
+            };
+        }
+        let per_phase = |class: SignalClass, phases: u64| -> f64 {
+            if phases == 0 {
+                0.0
+            } else {
+                transitions[class.index()] as f64 / phases as f64
+            }
+        };
+        CharacterizationDb {
+            energy_per_toggle,
+            avg_addr_toggles: [
+                per_phase(SignalClass::AddrBus, counts.addr_phases),
+                per_phase(SignalClass::AddrCtl, counts.addr_phases),
+            ],
+            avg_read_toggles: [
+                per_phase(SignalClass::ReadData, counts.read_beats),
+                per_phase(SignalClass::ReadCtl, counts.read_beats),
+            ],
+            avg_write_toggles: [
+                per_phase(SignalClass::WriteData, counts.write_beats),
+                per_phase(SignalClass::WriteCtl, counts.write_beats),
+            ],
+        }
+    }
+
+    /// A synthetic database for tests and examples that do not want to
+    /// run a gate-level training pass: 1 pJ per toggle everywhere,
+    /// half-width average activity per phase.
+    pub fn uniform() -> Self {
+        CharacterizationDb {
+            energy_per_toggle: [1.0; 6],
+            avg_addr_toggles: [
+                SignalClass::AddrBus.wires() as f64 / 2.0,
+                SignalClass::AddrCtl.wires() as f64 / 2.0,
+            ],
+            avg_read_toggles: [
+                SignalClass::ReadData.wires() as f64 / 2.0,
+                SignalClass::ReadCtl.wires() as f64 / 2.0,
+            ],
+            avg_write_toggles: [
+                SignalClass::WriteData.wires() as f64 / 2.0,
+                SignalClass::WriteCtl.wires() as f64 / 2.0,
+            ],
+        }
+    }
+
+    /// pJ per transition of a class.
+    pub fn energy_per_toggle(&self, class: SignalClass) -> f64 {
+        self.energy_per_toggle[class.index()]
+    }
+
+    /// Average transitions of the address bus per address phase.
+    pub fn avg_addr_bus_toggles(&self) -> f64 {
+        self.avg_addr_toggles[0]
+    }
+
+    /// Average transitions of the address control group per address
+    /// phase.
+    pub fn avg_addr_ctl_toggles(&self) -> f64 {
+        self.avg_addr_toggles[1]
+    }
+
+    /// Average (data, control) transitions per read beat.
+    pub fn avg_read_beat_toggles(&self) -> (f64, f64) {
+        (self.avg_read_toggles[0], self.avg_read_toggles[1])
+    }
+
+    /// Average (data, control) transitions per write beat.
+    pub fn avg_write_beat_toggles(&self) -> (f64, f64) {
+        (self.avg_write_toggles[0], self.avg_write_toggles[1])
+    }
+}
+
+impl fmt::Display for CharacterizationDb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "class             pJ/toggle")?;
+        for class in SignalClass::ALL {
+            writeln!(
+                f,
+                "  {:<14} {:.4}",
+                class.to_string(),
+                self.energy_per_toggle(class)
+            )?;
+        }
+        writeln!(
+            f,
+            "  addr phase avg toggles: bus {:.2} ctl {:.2}",
+            self.avg_addr_toggles[0], self.avg_addr_toggles[1]
+        )?;
+        writeln!(
+            f,
+            "  read beat avg toggles:  data {:.2} ctl {:.2}",
+            self.avg_read_toggles[0], self.avg_read_toggles[1]
+        )?;
+        write!(
+            f,
+            "  write beat avg toggles: data {:.2} ctl {:.2}",
+            self.avg_write_toggles[0], self.avg_write_toggles[1]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> Vec<(SignalClass, f64, u64)> {
+        vec![
+            (SignalClass::AddrBus, 100.0, 50),
+            (SignalClass::AddrCtl, 10.0, 20),
+            (SignalClass::ReadData, 80.0, 40),
+            (SignalClass::ReadCtl, 5.0, 10),
+            (SignalClass::WriteData, 60.0, 30),
+            (SignalClass::WriteCtl, 6.0, 12),
+        ]
+    }
+
+    #[test]
+    fn energy_per_toggle_is_the_ratio() {
+        let db = CharacterizationDb::from_class_stats(
+            &stats(),
+            PhaseCounts {
+                addr_phases: 10,
+                read_beats: 8,
+                write_beats: 6,
+            },
+        );
+        assert_eq!(db.energy_per_toggle(SignalClass::AddrBus), 2.0);
+        assert_eq!(db.energy_per_toggle(SignalClass::ReadData), 2.0);
+        assert_eq!(db.energy_per_toggle(SignalClass::WriteCtl), 0.5);
+    }
+
+    #[test]
+    fn per_phase_averages() {
+        let db = CharacterizationDb::from_class_stats(
+            &stats(),
+            PhaseCounts {
+                addr_phases: 10,
+                read_beats: 8,
+                write_beats: 6,
+            },
+        );
+        assert_eq!(db.avg_addr_bus_toggles(), 5.0);
+        assert_eq!(db.avg_addr_ctl_toggles(), 2.0);
+        assert_eq!(db.avg_read_beat_toggles(), (5.0, 1.25));
+        assert_eq!(db.avg_write_beat_toggles(), (5.0, 2.0));
+    }
+
+    #[test]
+    fn zero_counts_do_not_divide_by_zero() {
+        let db = CharacterizationDb::from_class_stats(
+            &[(SignalClass::AddrBus, 0.0, 0)],
+            PhaseCounts::default(),
+        );
+        assert_eq!(db.energy_per_toggle(SignalClass::AddrBus), 0.0);
+        assert_eq!(db.avg_addr_bus_toggles(), 0.0);
+    }
+
+    #[test]
+    fn uniform_db_is_nonzero_everywhere() {
+        let db = CharacterizationDb::uniform();
+        for class in SignalClass::ALL {
+            assert!(db.energy_per_toggle(class) > 0.0, "{class}");
+        }
+        assert!(db.avg_addr_bus_toggles() > 0.0);
+    }
+
+    #[test]
+    fn display_lists_all_classes() {
+        let s = CharacterizationDb::uniform().to_string();
+        for class in SignalClass::ALL {
+            assert!(s.contains(&class.to_string()), "{class}");
+        }
+    }
+}

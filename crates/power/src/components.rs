@@ -1,0 +1,248 @@
+//! Component energy models — the paper's announced extension.
+//!
+//! The conclusion of the paper: *"We will extend this first model to
+//! allow an early energy estimation for several different typical smart
+//! card components, like random number generators, UARTs or timers."*
+//! This module is that extension: per-component activity-based energy
+//! models in the same characterize-then-estimate spirit as the bus
+//! models. Each model maps a component's observable activity counters
+//! (bytes transmitted, timer decrements, RNG words drawn, cipher blocks)
+//! plus elapsed cycles onto energy:
+//!
+//! `E = static_per_cycle × cycles + Σ event_cost × event_count`
+//!
+//! The default coefficients are derived from the same synthetic layout
+//! scale as the bus wires (pF-level capacitances at the 1.8 V core
+//! supply); like the bus characterization they are placeholders for a
+//! gate-level characterization run in a real flow.
+
+use std::fmt;
+
+/// One activity class of a component and its unit energy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActivityCost {
+    /// Label (for breakdowns), e.g. `"byte shifted"`.
+    pub label: &'static str,
+    /// Energy per event in pJ.
+    pub pj_per_event: f64,
+}
+
+/// A generic activity-based component energy model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentEnergyModel {
+    name: &'static str,
+    /// Clock-tree plus leakage charge per cycle, in pJ.
+    static_pj_per_cycle: f64,
+    costs: Vec<ActivityCost>,
+}
+
+impl ComponentEnergyModel {
+    /// Creates a model.
+    pub fn new(name: &'static str, static_pj_per_cycle: f64, costs: Vec<ActivityCost>) -> Self {
+        ComponentEnergyModel {
+            name,
+            static_pj_per_cycle,
+            costs,
+        }
+    }
+
+    /// The component's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The activity classes of the model, in estimation order.
+    pub fn costs(&self) -> &[ActivityCost] {
+        &self.costs
+    }
+
+    /// Estimates total energy for `cycles` elapsed cycles and one event
+    /// count per activity class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `events` does not have one entry per activity class.
+    pub fn estimate(&self, cycles: u64, events: &[u64]) -> ComponentEstimate {
+        assert_eq!(
+            events.len(),
+            self.costs.len(),
+            "{}: one event count per activity class",
+            self.name
+        );
+        let static_pj = self.static_pj_per_cycle * cycles as f64;
+        let dynamic: Vec<(&'static str, f64)> = self
+            .costs
+            .iter()
+            .zip(events)
+            .map(|(c, &n)| (c.label, c.pj_per_event * n as f64))
+            .collect();
+        ComponentEstimate {
+            name: self.name,
+            static_pj,
+            dynamic,
+        }
+    }
+
+    /// The UART: energy per byte shifted out (the shift register plus
+    /// pad driver dominate) and per register access.
+    pub fn uart() -> Self {
+        ComponentEnergyModel::new(
+            "uart",
+            0.02,
+            vec![
+                ActivityCost {
+                    label: "byte shifted",
+                    pj_per_event: 18.0,
+                },
+                ActivityCost {
+                    label: "register access",
+                    pj_per_event: 0.9,
+                },
+            ],
+        )
+    }
+
+    /// A 16-bit down-counter timer: a decrement toggles ~2 bits on
+    /// average (binary countdown), an expiry reloads the full register.
+    pub fn timer() -> Self {
+        ComponentEnergyModel::new(
+            "timer",
+            0.015,
+            vec![
+                ActivityCost {
+                    label: "decrement",
+                    pj_per_event: 0.35,
+                },
+                ActivityCost {
+                    label: "expiry/reload",
+                    pj_per_event: 2.6,
+                },
+            ],
+        )
+    }
+
+    /// The RNG: each drawn word churns the whole generator state.
+    pub fn rng() -> Self {
+        ComponentEnergyModel::new(
+            "rng",
+            0.03,
+            vec![ActivityCost {
+                label: "word drawn",
+                pj_per_event: 5.2,
+            }],
+        )
+    }
+
+    /// The crypto coprocessor: per processed block (rounds × datapath
+    /// width) plus per register access.
+    pub fn crypto() -> Self {
+        ComponentEnergyModel::new(
+            "crypto",
+            0.05,
+            vec![
+                ActivityCost {
+                    label: "block processed",
+                    pj_per_event: 340.0,
+                },
+                ActivityCost {
+                    label: "register access",
+                    pj_per_event: 1.1,
+                },
+            ],
+        )
+    }
+}
+
+/// The result of one component estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentEstimate {
+    /// Component name.
+    pub name: &'static str,
+    /// Static (clock/leakage) share in pJ.
+    pub static_pj: f64,
+    /// `(activity label, energy pJ)` per class.
+    pub dynamic: Vec<(&'static str, f64)>,
+}
+
+impl ComponentEstimate {
+    /// Total energy in pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.static_pj + self.dynamic.iter().map(|(_, e)| e).sum::<f64>()
+    }
+
+    /// The dynamic share in pJ.
+    pub fn dynamic_pj(&self) -> f64 {
+        self.dynamic.iter().map(|(_, e)| e).sum()
+    }
+}
+
+impl fmt::Display for ComponentEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.1} pJ ({:.1} static",
+            self.name,
+            self.total_pj(),
+            self.static_pj
+        )?;
+        for (label, e) in &self.dynamic {
+            write!(f, ", {e:.1} {label}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_is_linear_in_activity() {
+        let m = ComponentEnergyModel::uart();
+        let once = m.estimate(100, &[1, 4]);
+        let twice = m.estimate(100, &[2, 8]);
+        assert!((twice.dynamic_pj() - 2.0 * once.dynamic_pj()).abs() < 1e-9);
+        assert_eq!(once.static_pj, twice.static_pj);
+    }
+
+    #[test]
+    fn static_share_scales_with_cycles() {
+        let m = ComponentEnergyModel::timer();
+        let short = m.estimate(100, &[0, 0]);
+        let long = m.estimate(1_000, &[0, 0]);
+        assert!((long.static_pj - 10.0 * short.static_pj).abs() < 1e-9);
+        assert_eq!(short.dynamic_pj(), 0.0);
+    }
+
+    #[test]
+    fn idle_component_still_burns_static_energy() {
+        let m = ComponentEnergyModel::rng();
+        let e = m.estimate(10_000, &[0]);
+        assert!(e.total_pj() > 0.0);
+        assert_eq!(e.total_pj(), e.static_pj);
+    }
+
+    #[test]
+    fn crypto_blocks_dominate_register_traffic() {
+        let m = ComponentEnergyModel::crypto();
+        let e = m.estimate(1_000, &[4, 40]);
+        let block = e.dynamic[0].1;
+        let regs = e.dynamic[1].1;
+        assert!(block > 10.0 * regs);
+    }
+
+    #[test]
+    #[should_panic(expected = "one event count per activity class")]
+    fn event_count_arity_checked() {
+        let _ = ComponentEnergyModel::uart().estimate(10, &[1]);
+    }
+
+    #[test]
+    fn display_names_every_activity() {
+        let m = ComponentEnergyModel::uart();
+        let s = m.estimate(10, &[3, 7]).to_string();
+        assert!(s.contains("byte shifted"));
+        assert!(s.contains("register access"));
+        assert!(s.contains("uart"));
+    }
+}

@@ -1,0 +1,293 @@
+//! Address- and data-channel state machines.
+//!
+//! These implement the canonical timing rules listed in the
+//! [crate docs](crate): one address phase at a time, independent read and
+//! write beat channels, wait-state countdowns, beat `k+1` starting the
+//! cycle after beat `k` completes. The layer-1 TLM bus implements the same
+//! rules over queues; integration tests assert cycle-exact agreement.
+
+use hierbus_ec::BusError;
+use std::collections::VecDeque;
+
+/// Index of an active transaction in the system's table.
+pub(crate) type ActiveIdx = usize;
+
+/// The address channel: serialises address phases.
+#[derive(Debug, Default)]
+pub struct AddressChannel {
+    queue: VecDeque<ActiveIdx>,
+    /// Wait count and pre-detected error per queue entry, kept in lockstep
+    /// with `queue`.
+    meta: VecDeque<(u32, Option<BusError>)>,
+    current: Option<AddrPhase>,
+}
+
+#[derive(Debug)]
+struct AddrPhase {
+    idx: ActiveIdx,
+    waits_left: u32,
+    error: Option<BusError>,
+}
+
+/// The outcome of one address-channel cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddrCycle {
+    /// Nothing to do this cycle.
+    Idle,
+    /// A phase is in progress (wait state); the address wires stay driven.
+    Busy(ActiveIdx),
+    /// The phase of this transaction completed successfully this cycle.
+    Done(ActiveIdx),
+    /// The phase terminated with an error this cycle.
+    Failed(ActiveIdx, BusError),
+}
+
+impl AddressChannel {
+    /// Creates an empty channel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues a newly issued transaction. `error` carries a decode or
+    /// rights failure detected by the bus controller; an errored phase
+    /// still occupies the channel for one cycle (the error response).
+    pub fn push(&mut self, idx: ActiveIdx, addr_waits: u32, error: Option<BusError>) {
+        self.queue.push_back(idx);
+        self.meta.push_back((addr_waits, error));
+    }
+
+    /// True if no phase is active or queued.
+    pub fn is_idle(&self) -> bool {
+        self.current.is_none() && self.queue.is_empty()
+    }
+
+    /// Advances one cycle.
+    pub fn step(&mut self) -> AddrCycle {
+        if self.current.is_none() {
+            if let Some(idx) = self.queue.pop_front() {
+                let (waits, error) = self.meta.pop_front().expect("meta in sync");
+                self.current = Some(AddrPhase {
+                    idx,
+                    waits_left: if error.is_some() { 0 } else { waits },
+                    error,
+                });
+            } else {
+                return AddrCycle::Idle;
+            }
+        }
+        let phase = self.current.as_mut().expect("phase just ensured");
+        if phase.waits_left > 0 {
+            phase.waits_left -= 1;
+            return AddrCycle::Busy(phase.idx);
+        }
+        let done = self.current.take().expect("phase present");
+        match done.error {
+            Some(e) => AddrCycle::Failed(done.idx, e),
+            None => AddrCycle::Done(done.idx),
+        }
+    }
+}
+
+/// A data channel (one instance for reads, one for writes).
+#[derive(Debug, Default)]
+pub struct DataChannel {
+    queue: VecDeque<DataJob>,
+    current: Option<BeatState>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DataJob {
+    idx: ActiveIdx,
+    beats: u32,
+    wait_per_beat: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BeatState {
+    job: DataJob,
+    beat: u32,
+    waits_left: u32,
+    /// Set when the beat was armed in a previous cycle's completion and
+    /// must not complete before its own start cycle has elapsed.
+    armed_next_cycle: bool,
+}
+
+/// The outcome of one data-channel cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataCycle {
+    /// Nothing active.
+    Idle,
+    /// A beat is waiting on the slave.
+    Busy(ActiveIdx),
+    /// Beat `beat` of this transaction completed this cycle; `last` marks
+    /// the transaction's final beat.
+    Beat {
+        /// The transaction whose beat completed.
+        idx: ActiveIdx,
+        /// Zero-based beat number.
+        beat: u32,
+        /// True for the final beat.
+        last: bool,
+    },
+}
+
+impl DataChannel {
+    /// Creates an empty channel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueues the data phase of a transaction whose address phase
+    /// completed this cycle. Eligible immediately (beat 0 may complete in
+    /// this same cycle if the channel is free and there are no waits).
+    pub fn push(&mut self, idx: ActiveIdx, beats: u32, wait_per_beat: u32) {
+        self.queue.push_back(DataJob {
+            idx,
+            beats,
+            wait_per_beat,
+        });
+    }
+
+    /// True if no beat is active or queued.
+    pub fn is_idle(&self) -> bool {
+        self.current.is_none() && self.queue.is_empty()
+    }
+
+    /// Advances one cycle.
+    pub fn step(&mut self) -> DataCycle {
+        if self.current.is_none() {
+            if let Some(job) = self.queue.pop_front() {
+                self.current = Some(BeatState {
+                    job,
+                    beat: 0,
+                    waits_left: job.wait_per_beat,
+                    armed_next_cycle: false,
+                });
+            } else {
+                return DataCycle::Idle;
+            }
+        }
+        let st = self.current.as_mut().expect("beat just ensured");
+        if st.armed_next_cycle {
+            // This beat was armed when the previous beat completed; it
+            // starts now.
+            st.armed_next_cycle = false;
+        }
+        if st.waits_left > 0 {
+            st.waits_left -= 1;
+            return DataCycle::Busy(st.job.idx);
+        }
+        let idx = st.job.idx;
+        let beat = st.beat;
+        let last = beat + 1 == st.job.beats;
+        if last {
+            self.current = None;
+        } else {
+            st.beat += 1;
+            st.waits_left = st.job.wait_per_beat;
+            st.armed_next_cycle = true;
+        }
+        DataCycle::Beat { idx, beat, last }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_wait_address_phase_completes_same_cycle() {
+        let mut ch = AddressChannel::new();
+        ch.push(0, 0, None);
+        assert_eq!(ch.step(), AddrCycle::Done(0));
+        assert!(ch.is_idle());
+    }
+
+    #[test]
+    fn address_waits_delay_completion() {
+        let mut ch = AddressChannel::new();
+        ch.push(3, 2, None);
+        assert_eq!(ch.step(), AddrCycle::Busy(3));
+        assert_eq!(ch.step(), AddrCycle::Busy(3));
+        assert_eq!(ch.step(), AddrCycle::Done(3));
+    }
+
+    #[test]
+    fn address_phases_serialize() {
+        let mut ch = AddressChannel::new();
+        ch.push(0, 1, None);
+        ch.push(1, 0, None);
+        assert_eq!(ch.step(), AddrCycle::Busy(0));
+        assert_eq!(ch.step(), AddrCycle::Done(0));
+        // Transaction 1 starts the *next* cycle, even with zero waits.
+        assert_eq!(ch.step(), AddrCycle::Done(1));
+    }
+
+    #[test]
+    fn decode_error_completes_in_one_cycle_ignoring_waits() {
+        use hierbus_ec::Address;
+        let mut ch = AddressChannel::new();
+        let err = BusError::Decode(Address::new(0xBAD));
+        ch.push(7, 5, Some(err));
+        assert_eq!(ch.step(), AddrCycle::Failed(7, err));
+    }
+
+    #[test]
+    fn zero_wait_single_beat_completes_same_cycle() {
+        let mut ch = DataChannel::new();
+        ch.push(0, 1, 0);
+        assert_eq!(
+            ch.step(),
+            DataCycle::Beat {
+                idx: 0,
+                beat: 0,
+                last: true
+            }
+        );
+        assert!(ch.is_idle());
+    }
+
+    #[test]
+    fn burst_beats_are_one_per_cycle_at_zero_wait() {
+        let mut ch = DataChannel::new();
+        ch.push(0, 4, 0);
+        for beat in 0..4 {
+            assert_eq!(
+                ch.step(),
+                DataCycle::Beat {
+                    idx: 0,
+                    beat,
+                    last: beat == 3
+                }
+            );
+        }
+        assert_eq!(ch.step(), DataCycle::Idle);
+    }
+
+    #[test]
+    fn beat_waits_stretch_each_beat() {
+        let mut ch = DataChannel::new();
+        ch.push(0, 2, 1);
+        assert_eq!(ch.step(), DataCycle::Busy(0)); // beat 0 wait
+        assert!(matches!(ch.step(), DataCycle::Beat { beat: 0, .. }));
+        assert_eq!(ch.step(), DataCycle::Busy(0)); // beat 1 wait
+        assert!(matches!(
+            ch.step(),
+            DataCycle::Beat {
+                beat: 1,
+                last: true,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn jobs_queue_in_order() {
+        let mut ch = DataChannel::new();
+        ch.push(0, 1, 0);
+        ch.push(1, 1, 0);
+        assert!(matches!(ch.step(), DataCycle::Beat { idx: 0, .. }));
+        // Next job starts (and completes) the following cycle.
+        assert!(matches!(ch.step(), DataCycle::Beat { idx: 1, .. }));
+    }
+}

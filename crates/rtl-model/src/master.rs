@@ -1,0 +1,217 @@
+//! The stimulus-driven master (bus interface unit).
+
+use hierbus_ec::{
+    AccessKind, BusError, MasterOp, OutstandingLimits, OutstandingTracker, Transaction,
+    TxnCategory, TxnId,
+};
+
+pub use hierbus_ec::record::TxnRecord;
+
+/// The master: replays a [`MasterOp`] stimulus list, enforcing the
+/// one-issue-per-cycle rule and the outstanding-transaction ceilings, and
+/// records every transaction's lifetime.
+#[derive(Debug)]
+pub struct RtlMaster {
+    ops: Vec<MasterOp>,
+    next_op: usize,
+    idle_left: u32,
+    next_id: TxnId,
+    tracker: OutstandingTracker,
+    records: Vec<TxnRecord>,
+    /// Completions seen this cycle; their limit slots free next cycle
+    /// (the master picks results up on its next interface call).
+    pending_frees: Vec<TxnCategory>,
+}
+
+impl RtlMaster {
+    /// Creates a master that will replay `ops` under the given limits.
+    pub fn new(ops: Vec<MasterOp>, limits: OutstandingLimits) -> Self {
+        let idle_left = ops.first().map_or(0, |op| op.idle_before);
+        RtlMaster {
+            ops,
+            next_op: 0,
+            idle_left,
+            next_id: TxnId(0),
+            tracker: OutstandingTracker::new(limits),
+            records: Vec::new(),
+            pending_frees: Vec::new(),
+        }
+    }
+
+    /// Rising-edge step: frees limit slots of last cycle's completions,
+    /// then possibly issues the next op. Returns the transaction to place
+    /// on the bus, if one issues this cycle.
+    pub fn rising_edge(&mut self, cycle: u64) -> Option<(usize, Transaction)> {
+        for cat in self.pending_frees.drain(..) {
+            self.tracker.complete(cat);
+        }
+        if self.next_op >= self.ops.len() {
+            return None;
+        }
+        if self.idle_left > 0 {
+            self.idle_left -= 1;
+            return None;
+        }
+        let op = &self.ops[self.next_op];
+        let category = TxnCategory::of(op.kind);
+        if !self.tracker.try_issue(category) {
+            // Stalled on the outstanding limit; retry next cycle.
+            return None;
+        }
+        let id = self.next_id;
+        self.next_id = id.next();
+        let txn = Transaction::new(id, op.kind, op.addr, op.width, op.burst, op.data.clone());
+        let rec_idx = self.records.len();
+        self.records.push(TxnRecord {
+            id,
+            kind: op.kind,
+            addr: op.addr,
+            width: op.width,
+            burst: op.burst,
+            issue_cycle: cycle,
+            addr_done_cycle: None,
+            done_cycle: None,
+            error: None,
+            data: if op.kind == AccessKind::DataWrite {
+                op.data.clone()
+            } else {
+                Vec::new()
+            },
+        });
+        self.next_op += 1;
+        self.idle_left = self.ops.get(self.next_op).map_or(0, |op| op.idle_before);
+        Some((rec_idx, txn))
+    }
+
+    /// Records an address-phase completion.
+    pub fn address_done(&mut self, rec: usize, cycle: u64) {
+        self.records[rec].addr_done_cycle = Some(cycle);
+    }
+
+    /// Records a completed read beat's data.
+    pub fn read_beat(&mut self, rec: usize, beat: u32, data: u32) {
+        let rec = &mut self.records[rec];
+        debug_assert_eq!(rec.data.len(), beat as usize, "beats arrive in order");
+        rec.data.push(data);
+    }
+
+    /// Records transaction completion (successful or errored); the limit
+    /// slot frees on the next rising edge.
+    pub fn complete(&mut self, rec: usize, cycle: u64, error: Option<BusError>) {
+        let r = &mut self.records[rec];
+        debug_assert!(r.done_cycle.is_none(), "{} completed twice", r.id);
+        r.done_cycle = Some(cycle);
+        r.error = error;
+        self.pending_frees.push(TxnCategory::of(r.kind));
+    }
+
+    /// True once every op has been issued and completed.
+    pub fn is_finished(&self) -> bool {
+        self.next_op >= self.ops.len() && self.records.iter().all(|r| r.done_cycle.is_some())
+    }
+
+    /// The transaction records accumulated so far.
+    pub fn records(&self) -> &[TxnRecord] {
+        &self.records
+    }
+
+    /// Consumes the master and returns the records.
+    pub fn into_records(self) -> Vec<TxnRecord> {
+        self.records
+    }
+
+    /// The outstanding-transaction tracker (for occupancy diagnostics).
+    pub fn tracker(&self) -> &OutstandingTracker {
+        &self.tracker
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hierbus_ec::BurstLen;
+
+    fn read_op(addr: u64) -> MasterOp {
+        MasterOp::read(addr)
+    }
+
+    #[test]
+    fn issues_one_op_per_cycle_in_order() {
+        let mut m = RtlMaster::new(
+            vec![read_op(0), read_op(4)],
+            OutstandingLimits::CORE_DEFAULT,
+        );
+        let (r0, t0) = m.rising_edge(0).expect("first issue");
+        assert_eq!(r0, 0);
+        assert_eq!(t0.id, TxnId(0));
+        let (r1, t1) = m.rising_edge(1).expect("second issue");
+        assert_eq!(r1, 1);
+        assert_eq!(t1.id, TxnId(1));
+        assert!(m.rising_edge(2).is_none());
+    }
+
+    #[test]
+    fn idle_before_delays_issue() {
+        let mut m = RtlMaster::new(
+            vec![read_op(0), read_op(4).after_idle(2)],
+            OutstandingLimits::CORE_DEFAULT,
+        );
+        assert!(m.rising_edge(0).is_some());
+        assert!(m.rising_edge(1).is_none());
+        assert!(m.rising_edge(2).is_none());
+        assert!(m.rising_edge(3).is_some());
+        assert_eq!(m.records()[1].issue_cycle, 3);
+    }
+
+    #[test]
+    fn limit_stall_and_release() {
+        let limits = OutstandingLimits {
+            instr_reads: 4,
+            data_reads: 1,
+            writes: 4,
+        };
+        let mut m = RtlMaster::new(vec![read_op(0), read_op(4)], limits);
+        let (rec, _) = m.rising_edge(0).expect("first issue");
+        assert!(m.rising_edge(1).is_none(), "stalled on limit");
+        m.complete(rec, 1, None);
+        // Slot frees at the next rising edge, so issue succeeds at cycle 2.
+        assert!(m.rising_edge(2).is_some());
+    }
+
+    #[test]
+    fn records_track_lifecycle() {
+        let mut m = RtlMaster::new(
+            vec![MasterOp::write(8, 0xAB)],
+            OutstandingLimits::CORE_DEFAULT,
+        );
+        let (rec, _) = m.rising_edge(0).expect("issue");
+        m.address_done(rec, 0);
+        m.complete(rec, 2, None);
+        let r = &m.records()[0];
+        assert_eq!(r.addr_done_cycle, Some(0));
+        assert_eq!(r.done_cycle, Some(2));
+        assert_eq!(r.latency(), Some(3));
+        assert!(m.is_finished());
+    }
+
+    #[test]
+    fn read_beats_collect_in_order() {
+        let mut m = RtlMaster::new(
+            vec![MasterOp::burst_read(0, BurstLen::B2)],
+            OutstandingLimits::CORE_DEFAULT,
+        );
+        let (rec, _) = m.rising_edge(0).expect("issue");
+        m.read_beat(rec, 0, 0x11);
+        m.read_beat(rec, 1, 0x22);
+        assert_eq!(m.records()[0].data, vec![0x11, 0x22]);
+    }
+
+    #[test]
+    fn not_finished_while_in_flight() {
+        let mut m = RtlMaster::new(vec![read_op(0)], OutstandingLimits::CORE_DEFAULT);
+        let (rec, _) = m.rising_edge(0).expect("issue");
+        assert!(!m.is_finished());
+        m.complete(rec, 0, None);
+        assert!(m.is_finished());
+    }
+}

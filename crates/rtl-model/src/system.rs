@@ -1,0 +1,593 @@
+//! The assembled cycle-true reference system.
+
+use crate::channels::{AddrCycle, AddressChannel, DataChannel, DataCycle};
+use crate::glitch::GlitchConfig;
+use crate::master::{RtlMaster, TxnRecord};
+use crate::power::{GateLevelPowerEstimator, PowerConfig, TransitionPhase};
+use crate::slave::RtlSlaveModel;
+use crate::wires::InterfaceWires;
+use hierbus_ec::{
+    AddressMap, BusError, OutstandingLimits, Scenario, SignalClass, SignalFrame, SlaveId,
+    Transaction,
+};
+
+/// One transaction currently (or formerly) active on the bus.
+#[derive(Debug)]
+struct ActiveTxn {
+    rec: usize,
+    txn: Transaction,
+    slave: Option<SlaveId>,
+}
+
+/// Summary of a completed run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Bus cycles from cycle 0 through the last completion, inclusive.
+    pub cycles: u64,
+    /// Per-transaction lifecycle records.
+    pub records: Vec<TxnRecord>,
+    /// Total gate-level energy in pJ (0 when estimation was disabled).
+    pub energy_pj: f64,
+    /// Total wire transitions (including glitches).
+    pub transitions: u64,
+    /// Glitch transitions alone.
+    pub glitch_transitions: u64,
+}
+
+impl RunReport {
+    /// Number of transactions executed.
+    pub fn transactions(&self) -> usize {
+        self.records.len()
+    }
+}
+
+/// The cycle-true reference: stimulus master, bus controller (decode +
+/// channels), slaves, explicit wires, hazard model and gate-level power
+/// estimator.
+pub struct RtlSystem {
+    master: RtlMaster,
+    map: AddressMap,
+    slaves: Vec<Box<dyn RtlSlaveModel>>,
+    addr_ch: AddressChannel,
+    read_ch: DataChannel,
+    write_ch: DataChannel,
+    active: Vec<ActiveTxn>,
+    wires: InterfaceWires,
+    estimator: GateLevelPowerEstimator,
+    glitch: GlitchConfig,
+    estimate: bool,
+    cycle: u64,
+    last_done: u64,
+    /// Optional per-cycle settled-frame log (for model-equivalence tests).
+    frame_log: Option<Vec<SignalFrame>>,
+    /// Optional VCD waveform recording of the wire bundle.
+    waveform: Option<(hierbus_sim::trace::TraceRecorder, WaveChannels)>,
+}
+
+/// Channel handles of the waveform recording.
+struct WaveChannels {
+    a_addr: hierbus_sim::trace::ChannelId,
+    a_ctl: hierbus_sim::trace::ChannelId,
+    r_data: hierbus_sim::trace::ChannelId,
+    r_ctl: hierbus_sim::trace::ChannelId,
+    w_data: hierbus_sim::trace::ChannelId,
+    w_ctl: hierbus_sim::trace::ChannelId,
+}
+
+impl RtlSystem {
+    /// Builds a system from stimulus ops and slave models. The address map
+    /// is derived from the slaves' configurations in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slave address windows overlap.
+    pub fn new(
+        ops: Vec<hierbus_ec::MasterOp>,
+        slaves: Vec<Box<dyn RtlSlaveModel>>,
+        power: PowerConfig,
+        glitch: GlitchConfig,
+    ) -> Self {
+        let mut map = AddressMap::new();
+        for s in &slaves {
+            map.add_slave(s.config())
+                .expect("slave windows must not overlap");
+        }
+        RtlSystem {
+            master: RtlMaster::new(ops, OutstandingLimits::CORE_DEFAULT),
+            map,
+            slaves,
+            addr_ch: AddressChannel::new(),
+            read_ch: DataChannel::new(),
+            write_ch: DataChannel::new(),
+            active: Vec::new(),
+            wires: InterfaceWires::new(),
+            estimator: GateLevelPowerEstimator::new(power),
+            glitch,
+            estimate: true,
+            cycle: 0,
+            last_done: 0,
+            frame_log: None,
+            waveform: None,
+        }
+    }
+
+    /// Convenience constructor: one memory slave sized/configured for a
+    /// [`Scenario`], default power and glitch models.
+    pub fn for_scenario(scenario: &Scenario) -> Self {
+        use crate::slave::SimpleMem;
+        use hierbus_ec::{AccessRights, Address, AddressRange, SlaveConfig};
+        let mem = SimpleMem::new(SlaveConfig::new(
+            AddressRange::new(Address::new(0), 0x2_0000),
+            scenario.waits,
+            AccessRights::RWX,
+        ));
+        RtlSystem::new(
+            scenario.ops.clone(),
+            vec![Box::new(mem)],
+            PowerConfig::default(),
+            GlitchConfig::default(),
+        )
+    }
+
+    /// Disables energy estimation (pure timing run).
+    pub fn disable_estimation(&mut self) {
+        self.estimate = false;
+    }
+
+    /// Replaces the hazard model (e.g. [`GlitchConfig::off`] for the
+    /// ablation bench).
+    pub fn set_glitch(&mut self, glitch: GlitchConfig) {
+        self.glitch = glitch;
+    }
+
+    /// Starts logging the settled frame of every cycle.
+    pub fn enable_frame_log(&mut self) {
+        self.frame_log = Some(Vec::new());
+    }
+
+    /// Starts recording the wire bundle into a VCD waveform (one sample
+    /// per cycle, timescale = one tick per cycle).
+    pub fn enable_waveform(&mut self) {
+        use hierbus_sim::trace::TraceRecorder;
+        let mut rec = TraceRecorder::new("10ns");
+        let channels = WaveChannels {
+            a_addr: rec.add_channel("a_addr", 36),
+            a_ctl: rec.add_channel("a_ctl", SignalClass::AddrCtl.wires()),
+            r_data: rec.add_channel("r_data", 32),
+            r_ctl: rec.add_channel("r_ctl", SignalClass::ReadCtl.wires()),
+            w_data: rec.add_channel("w_data", 32),
+            w_ctl: rec.add_channel("w_ctl", SignalClass::WriteCtl.wires()),
+        };
+        self.waveform = Some((rec, channels));
+    }
+
+    /// The recorded waveform as VCD text, if recording was enabled.
+    pub fn waveform_vcd(&self) -> Option<String> {
+        self.waveform.as_ref().map(|(rec, _)| rec.to_vcd())
+    }
+
+    /// Enables the estimator's per-cycle energy trace.
+    pub fn enable_power_trace(&mut self) {
+        self.estimator.enable_trace();
+    }
+
+    /// The settled frames, if logging was enabled.
+    pub fn frames(&self) -> Option<&[SignalFrame]> {
+        self.frame_log.as_deref()
+    }
+
+    /// The gate-level estimator (characterization source).
+    pub fn estimator(&self) -> &GateLevelPowerEstimator {
+        &self.estimator
+    }
+
+    /// Transaction records so far.
+    pub fn records(&self) -> &[TxnRecord] {
+        self.master.records()
+    }
+
+    /// Current cycle number (cycles executed so far).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Executes one full bus cycle.
+    pub fn step_cycle(&mut self) {
+        let cycle = self.cycle;
+        // Rising edge: the master may issue one request.
+        if let Some((rec, txn)) = self.master.rising_edge(cycle) {
+            let decode = self.map.decode(txn.addr, txn.kind);
+            let (slave, addr_waits, error) = match decode {
+                Ok(id) => (Some(id), self.map.config(id).waits.address, None),
+                Err(e) => (None, 0, Some(e)),
+            };
+            let idx = self.active.len();
+            self.active.push(ActiveTxn { rec, txn, slave });
+            self.addr_ch.push(idx, addr_waits, error);
+        }
+
+        // Falling edge: the bus process evaluates the three phases in the
+        // paper's order (address, read, write) and drives the wires.
+        let mut frame = self.wires.snapshot().to_idle();
+
+        match self.addr_ch.step() {
+            AddrCycle::Idle => {}
+            AddrCycle::Busy(idx) => {
+                let t = &self.active[idx].txn;
+                frame.drive_address(t.addr.raw(), t.kind, t.width, t.burst, false, false);
+            }
+            AddrCycle::Done(idx) => {
+                let (kind, beats, wait, rec) = {
+                    let a = &self.active[idx];
+                    let waits = self.map.config(a.slave.expect("decoded")).waits;
+                    (
+                        a.txn.kind,
+                        a.txn.beats(),
+                        waits.data_wait(a.txn.kind),
+                        a.rec,
+                    )
+                };
+                let t = &self.active[idx].txn;
+                frame.drive_address(t.addr.raw(), t.kind, t.width, t.burst, true, false);
+                self.master.address_done(rec, cycle);
+                if kind.is_read() {
+                    self.read_ch.push(idx, beats, wait);
+                } else {
+                    self.write_ch.push(idx, beats, wait);
+                }
+            }
+            AddrCycle::Failed(idx, err) => {
+                let t = &self.active[idx].txn;
+                frame.drive_address(t.addr.raw(), t.kind, t.width, t.burst, true, true);
+                let rec = self.active[idx].rec;
+                self.master.complete(rec, cycle, Some(err));
+                self.last_done = cycle;
+            }
+        }
+
+        match self.read_ch.step() {
+            DataCycle::Idle | DataCycle::Busy(_) => {}
+            DataCycle::Beat { idx, beat, last } => {
+                let (word, tag, rec, err) = {
+                    let a = &self.active[idx];
+                    let addr = a.txn.beat_addr(beat);
+                    let slave = a.slave.expect("decoded");
+                    let word = self.slaves[slave.0].read_word(addr);
+                    (word, a.txn.id.tag(), a.rec, None::<BusError>)
+                };
+                frame.drive_read(word, tag, true, false);
+                let a = &self.active[idx];
+                let value = a.txn.width.extract(a.txn.beat_addr(beat), word);
+                self.master.read_beat(rec, beat, value);
+                if last {
+                    self.master.complete(rec, cycle, err);
+                    self.last_done = cycle;
+                }
+            }
+        }
+
+        match self.write_ch.step() {
+            DataCycle::Idle | DataCycle::Busy(_) => {}
+            DataCycle::Beat { idx, beat, last } => {
+                let (bus_word, ben, tag, rec) = {
+                    let a = &self.active[idx];
+                    let addr = a.txn.beat_addr(beat);
+                    let value = a.txn.data[beat as usize];
+                    // Non-enabled lanes hold the previous bus value
+                    // (keeper behaviour), enabled lanes carry the datum.
+                    let prev = self.wires.w_data.value() as u32;
+                    let bus_word = a.txn.width.insert(addr, prev, value);
+                    let ben = a.txn.width.byte_enables(addr);
+                    (bus_word, ben, a.txn.id.tag(), a.rec)
+                };
+                frame.drive_write(bus_word, ben, tag, true, false);
+                {
+                    let a = &self.active[idx];
+                    let addr = a.txn.beat_addr(beat);
+                    let slave = a.slave.expect("decoded");
+                    self.slaves[slave.0].write_word(addr, bus_word, ben);
+                }
+                if last {
+                    self.master.complete(rec, cycle, None);
+                    self.last_done = cycle;
+                }
+            }
+        }
+
+        self.settle(&frame);
+        self.cycle += 1;
+    }
+
+    /// Drives the wires to `frame`, injecting hazards and feeding the
+    /// estimator.
+    fn settle(&mut self, frame: &SignalFrame) {
+        self.wires.drive(frame);
+        for class in SignalClass::ALL {
+            let group = self.wires.group_mut(class);
+            let old = group.value();
+            let new = group.next_value();
+            if self.estimate {
+                let hazard = self.glitch.hazard_mask(
+                    self.cycle
+                        .wrapping_mul(8)
+                        .wrapping_add(class.index() as u64),
+                    old,
+                    new,
+                    group.width(),
+                );
+                if hazard != 0 {
+                    group.set(old ^ hazard);
+                    let pulse_up = group.update();
+                    group.set(old);
+                    let pulse_down = group.update();
+                    group.set(new);
+                    self.estimator
+                        .observe(class, pulse_up, TransitionPhase::Glitch);
+                    self.estimator
+                        .observe(class, pulse_down, TransitionPhase::Glitch);
+                }
+                let settled = group.update();
+                self.estimator
+                    .observe(class, settled, TransitionPhase::Settled);
+            } else {
+                group.update();
+            }
+        }
+        if self.estimate {
+            self.estimator.cycle_boundary();
+        }
+        if let Some(log) = &mut self.frame_log {
+            log.push(self.wires.snapshot());
+        }
+        if let Some((rec, ch)) = &mut self.waveform {
+            let t = hierbus_sim::SimTime::from_ticks(self.cycle);
+            rec.sample(t, ch.a_addr, self.wires.a_addr.value());
+            rec.sample(t, ch.a_ctl, self.wires.a_ctl.value());
+            rec.sample(t, ch.r_data, self.wires.r_data.value());
+            rec.sample(t, ch.r_ctl, self.wires.r_ctl.value());
+            rec.sample(t, ch.w_data, self.wires.w_data.value());
+            rec.sample(t, ch.w_ctl, self.wires.w_ctl.value());
+        }
+    }
+
+    /// Runs until the stimulus completes. Returns the run report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system fails to finish within `max_cycles` — a
+    /// deadlock would otherwise loop forever.
+    pub fn run(&mut self, max_cycles: u64) -> RunReport {
+        while !self.master.is_finished() {
+            assert!(
+                self.cycle < max_cycles,
+                "bus deadlock: {} cycles without completion",
+                max_cycles
+            );
+            self.step_cycle();
+        }
+        // One more cycle settles the bus back to idle: the handshake
+        // wires fall, and those transitions cost energy the layer-1 model
+        // (whose process also runs that cycle) must see too.
+        self.step_cycle();
+        let glitches: u64 = SignalClass::ALL
+            .iter()
+            .map(|&c| self.estimator.class_glitch_transitions(c))
+            .sum();
+        RunReport {
+            cycles: self.last_done + 1,
+            records: self.master.records().to_vec(),
+            energy_pj: self.estimator.total_energy(),
+            transitions: self.estimator.total_transitions(),
+            glitch_transitions: glitches,
+        }
+    }
+}
+
+impl std::fmt::Debug for RtlSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RtlSystem")
+            .field("cycle", &self.cycle)
+            .field("slaves", &self.slaves.len())
+            .field("active", &self.active.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slave::SimpleMem;
+    use hierbus_ec::sequences::{self, MasterOp};
+    use hierbus_ec::{AccessRights, Address, AddressRange, BurstLen, SlaveConfig, WaitProfile};
+
+    fn system_with_waits(ops: Vec<MasterOp>, waits: WaitProfile) -> RtlSystem {
+        let mem = SimpleMem::new(SlaveConfig::new(
+            AddressRange::new(Address::new(0), 0x1_0000),
+            waits,
+            AccessRights::RWX,
+        ));
+        RtlSystem::new(
+            ops,
+            vec![Box::new(mem)],
+            PowerConfig::default(),
+            GlitchConfig::off(),
+        )
+    }
+
+    #[test]
+    fn single_zero_wait_read_takes_one_cycle() {
+        let mut sys = system_with_waits(vec![MasterOp::read(0x100)], WaitProfile::ZERO);
+        let report = sys.run(100);
+        assert_eq!(report.cycles, 1);
+        let r = &report.records[0];
+        assert_eq!(r.issue_cycle, 0);
+        assert_eq!(r.addr_done_cycle, Some(0));
+        assert_eq!(r.done_cycle, Some(0));
+        assert_eq!(r.data[0], SimpleMem::fill_pattern(Address::new(0x100)));
+    }
+
+    #[test]
+    fn wait_states_stretch_the_transaction() {
+        // 1 address wait + 2 read waits: addr done at cycle 1, beat done
+        // at cycle 3.
+        let mut sys = system_with_waits(vec![MasterOp::read(0x100)], WaitProfile::new(1, 2, 0));
+        let report = sys.run(100);
+        let r = &report.records[0];
+        assert_eq!(r.addr_done_cycle, Some(1));
+        assert_eq!(r.done_cycle, Some(3));
+        assert_eq!(report.cycles, 4);
+    }
+
+    #[test]
+    fn back_to_back_reads_pipeline_one_per_cycle() {
+        let ops = sequences::back_to_back_reads().ops;
+        let mut sys = system_with_waits(ops, WaitProfile::ZERO);
+        let report = sys.run(100);
+        assert_eq!(report.cycles, 4);
+        for (i, r) in report.records.iter().enumerate() {
+            assert_eq!(r.done_cycle, Some(i as u64));
+        }
+    }
+
+    #[test]
+    fn burst_read_beats_complete_one_per_cycle() {
+        let ops = vec![MasterOp::burst_read(0x200, BurstLen::B4)];
+        let mut sys = system_with_waits(ops, WaitProfile::ZERO);
+        let report = sys.run(100);
+        // Address completes cycle 0, beats complete cycles 0..=3.
+        assert_eq!(report.cycles, 4);
+        assert_eq!(report.records[0].data.len(), 4);
+    }
+
+    #[test]
+    fn reads_overtake_slow_writes() {
+        let s = sequences::read_after_write_reordered();
+        let mut sys = system_with_waits(s.ops, s.waits);
+        let report = sys.run(100);
+        let write = &report.records[0];
+        let read = &report.records[1];
+        assert!(read.done_cycle.unwrap() < write.done_cycle.unwrap());
+    }
+
+    #[test]
+    fn write_then_read_data_roundtrip() {
+        let ops = vec![
+            MasterOp::write(0x300, 0x1234_5678),
+            MasterOp::read(0x300).after_idle(3),
+        ];
+        let mut sys = system_with_waits(ops, WaitProfile::ZERO);
+        let report = sys.run(100);
+        assert_eq!(report.records[1].data[0], 0x1234_5678);
+    }
+
+    #[test]
+    fn decode_error_terminates_with_error() {
+        let ops = vec![MasterOp::read(0x5_0000)]; // outside the slave window
+        let mut sys = system_with_waits(ops, WaitProfile::ZERO);
+        let report = sys.run(100);
+        let r = &report.records[0];
+        assert!(matches!(r.error, Some(BusError::Decode(_))));
+        assert_eq!(r.done_cycle, Some(0));
+    }
+
+    #[test]
+    fn rights_violation_is_an_error() {
+        let rom = SimpleMem::new(SlaveConfig::new(
+            AddressRange::new(Address::new(0), 0x1000),
+            WaitProfile::ZERO,
+            AccessRights::RX,
+        ));
+        let mut sys = RtlSystem::new(
+            vec![MasterOp::write(0x10, 1)],
+            vec![Box::new(rom)],
+            PowerConfig::default(),
+            GlitchConfig::off(),
+        );
+        let report = sys.run(100);
+        assert!(matches!(
+            report.records[0].error,
+            Some(BusError::AccessViolation(..))
+        ));
+    }
+
+    #[test]
+    fn all_spec_scenarios_complete() {
+        for scenario in sequences::all_scenarios() {
+            let mut sys = RtlSystem::for_scenario(&scenario);
+            let report = sys.run(10_000);
+            assert!(report.cycles > 0, "{}", scenario.name);
+            for r in &report.records {
+                assert!(r.error.is_none(), "{}: {:?}", scenario.name, r.error);
+            }
+        }
+    }
+
+    #[test]
+    fn energy_grows_with_traffic() {
+        let short = {
+            let mut sys = system_with_waits(vec![MasterOp::read(0x100)], WaitProfile::ZERO);
+            sys.set_glitch(GlitchConfig::default());
+            sys.run(100).energy_pj
+        };
+        let long = {
+            let ops = (0..16).map(|i| MasterOp::read(0x100 + 4 * i)).collect();
+            let mut sys = system_with_waits(ops, WaitProfile::ZERO);
+            sys.set_glitch(GlitchConfig::default());
+            sys.run(1000).energy_pj
+        };
+        assert!(long > short);
+        assert!(short > 0.0);
+    }
+
+    #[test]
+    fn glitches_add_energy_without_changing_timing() {
+        let ops: Vec<MasterOp> = (0..32).map(|i| MasterOp::read(0x100 + 4 * i)).collect();
+        let mut clean = system_with_waits(ops.clone(), WaitProfile::ZERO);
+        let clean_report = clean.run(1000);
+        let mut hazy = system_with_waits(ops, WaitProfile::ZERO);
+        hazy.set_glitch(GlitchConfig::default());
+        let hazy_report = hazy.run(1000);
+        assert_eq!(clean_report.cycles, hazy_report.cycles);
+        assert!(hazy_report.energy_pj > clean_report.energy_pj);
+        assert!(hazy_report.glitch_transitions > 0);
+        assert_eq!(clean_report.glitch_transitions, 0);
+    }
+
+    #[test]
+    fn frame_log_covers_run_plus_return_to_idle() {
+        let mut sys = system_with_waits(vec![MasterOp::read(0x100)], WaitProfile::new(1, 1, 0));
+        sys.enable_frame_log();
+        let report = sys.run(100);
+        let frames = sys.frames().unwrap();
+        assert_eq!(frames.len() as u64, report.cycles + 1);
+        let last = frames.last().unwrap();
+        assert!(
+            !last.a_valid && !last.r_valid && !last.w_valid,
+            "bus settles idle"
+        );
+    }
+
+    #[test]
+    fn waveform_records_bus_activity() {
+        let mut sys = system_with_waits(vec![MasterOp::read(0x100)], WaitProfile::ZERO);
+        sys.enable_waveform();
+        sys.run(100);
+        let vcd = sys.waveform_vcd().expect("waveform enabled");
+        assert!(vcd.contains("$var wire 36"));
+        assert!(vcd.contains("a_addr"));
+        assert!(vcd.contains("b100000000 ")); // 0x100 on the address bus
+    }
+
+    #[test]
+    fn estimation_disable_keeps_timing() {
+        let ops = sequences::burst_writes().ops;
+        let waits = sequences::burst_writes().waits;
+        let mut with = system_with_waits(ops.clone(), waits);
+        let r1 = with.run(1000);
+        let mut without = system_with_waits(ops, waits);
+        without.disable_estimation();
+        let r2 = without.run(1000);
+        assert_eq!(r1.cycles, r2.cycles);
+        assert_eq!(r2.energy_pj, 0.0);
+    }
+}

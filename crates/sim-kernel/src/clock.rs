@@ -1,0 +1,138 @@
+//! Free-running clocks.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// Identifies a clock registered with [`Kernel::add_clock`].
+///
+/// [`Kernel::add_clock`]: crate::Kernel::add_clock
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClockId(pub(crate) usize);
+
+impl ClockId {
+    /// Returns the kernel-internal index of this clock.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ClockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "clk{}", self.0)
+    }
+}
+
+/// A clock edge. The bus models follow the paper's convention: masters and
+/// slaves are triggered at the [`Rising`](Edge::Rising) edge, the bus
+/// process at the [`Falling`](Edge::Falling) edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Edge {
+    /// Low-to-high transition; first edge of each period.
+    Rising,
+    /// High-to-low transition; occurs half a period after the rising edge.
+    Falling,
+}
+
+impl Edge {
+    /// The edge that follows this one within a clock period.
+    pub fn opposite(self) -> Edge {
+        match self {
+            Edge::Rising => Edge::Falling,
+            Edge::Falling => Edge::Rising,
+        }
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Edge::Rising => f.write_str("rising"),
+            Edge::Falling => f.write_str("falling"),
+        }
+    }
+}
+
+/// Static description of a clock: full period in ticks and the time of its
+/// first rising edge.
+///
+/// The falling edge occurs `period / 2` ticks after each rising edge, so
+/// periods should be even; [`ClockSpec::new`] enforces this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockSpec {
+    period: u64,
+    start: SimTime,
+}
+
+impl ClockSpec {
+    /// Creates a clock with the given period whose first rising edge fires
+    /// at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero or odd (the kernel schedules the falling
+    /// edge at exactly half a period).
+    pub fn new(period: u64, start: SimTime) -> Self {
+        assert!(period > 0, "clock period must be non-zero");
+        assert!(period.is_multiple_of(2), "clock period must be even, got {period}");
+        ClockSpec { period, start }
+    }
+
+    /// Full period in ticks.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// Time of the first rising edge.
+    pub fn start(&self) -> SimTime {
+        self.start
+    }
+
+    /// Half period (rising-to-falling distance) in ticks.
+    pub fn half_period(&self) -> u64 {
+        self.period / 2
+    }
+}
+
+/// Mutable per-clock scheduling state tracked by the kernel.
+#[derive(Debug, Clone)]
+pub(crate) struct ClockState {
+    pub spec: ClockSpec,
+    /// Cycles completed, counted at rising edges.
+    pub cycles: u64,
+}
+
+impl ClockState {
+    pub fn new(spec: ClockSpec) -> Self {
+        ClockState { spec, cycles: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_half_period() {
+        let s = ClockSpec::new(10, SimTime::ZERO);
+        assert_eq!(s.half_period(), 5);
+        assert_eq!(s.period(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_period_rejected() {
+        let _ = ClockSpec::new(0, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_period_rejected() {
+        let _ = ClockSpec::new(3, SimTime::ZERO);
+    }
+
+    #[test]
+    fn edge_opposite() {
+        assert_eq!(Edge::Rising.opposite(), Edge::Falling);
+        assert_eq!(Edge::Falling.opposite(), Edge::Rising);
+    }
+}

@@ -1,0 +1,39 @@
+//! Dynamically notified events.
+
+use std::fmt;
+
+/// Identifies an event created with [`Kernel::add_event`].
+///
+/// Events are the kernel's dynamic-sensitivity mechanism: a process that
+/// registered interest via
+/// [`ProcessBuilder::sensitive_to_event`](crate::ProcessBuilder::sensitive_to_event)
+/// runs whenever the event fires. The layer-2 bus model uses this to sleep
+/// while no transaction is outstanding — the master interface notifies the
+/// bus event on the first request, exactly as the SystemC original uses
+/// `sc_event::notify` to avoid useless process activations.
+///
+/// [`Kernel::add_event`]: crate::Kernel::add_event
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(pub(crate) usize);
+
+impl EventId {
+    /// Returns the kernel-internal index of this event.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ev{}", self.0)
+    }
+}
+
+/// Per-event kernel state: the processes statically sensitive to it.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct EventState {
+    pub name: String,
+    pub waiters: Vec<crate::process::ProcessId>,
+    /// Number of times the event has fired (for statistics and tests).
+    pub fire_count: u64,
+}

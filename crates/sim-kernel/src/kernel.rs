@@ -1,0 +1,618 @@
+//! The discrete-event scheduler.
+
+use crate::clock::{ClockId, ClockSpec, ClockState, Edge};
+use crate::event::{EventId, EventState};
+use crate::process::{ProcessId, ProcessMeta, WakeCause};
+use crate::stats::KernelStats;
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+type Handler<W> = Box<dyn FnMut(&mut W, &mut Api)>;
+
+/// What a queue entry activates when it is popped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Activity {
+    ClockEdgeRising(usize),
+    ClockEdgeFalling(usize),
+    Event(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    what: Activity,
+}
+
+/// Services available to a process while it runs.
+///
+/// Handlers receive `(&mut W, &mut Api)`: full access to the world plus
+/// this restricted view of the kernel. Notifications and stop requests are
+/// buffered and applied when the handler returns, so a handler never
+/// observes a half-updated scheduler.
+#[derive(Debug)]
+pub struct Api {
+    time: SimTime,
+    cause: WakeCause,
+    cycle: u64,
+    notifications: Vec<(EventId, u64)>,
+    cancellations: Vec<EventId>,
+    next_trigger: Option<EventId>,
+    stop: bool,
+}
+
+impl Api {
+    /// Current simulation time.
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+
+    /// What woke this process.
+    pub fn cause(&self) -> WakeCause {
+        self.cause
+    }
+
+    /// Completed cycles of the triggering clock (0 when woken by an event).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Schedules `event` to fire `delay` ticks from now. A zero delay is a
+    /// *delta* notification: it fires at the current time, but strictly
+    /// after every activity already scheduled for this instant.
+    pub fn notify(&mut self, event: EventId, delay: u64) {
+        self.notifications.push((event, delay));
+    }
+
+    /// Cancels all pending notifications of `event` (SystemC
+    /// `sc_event::cancel`). Applied when the handler returns, before any
+    /// notification issued by the same handler.
+    pub fn cancel(&mut self, event: EventId) {
+        self.cancellations.push(event);
+    }
+
+    /// Suspends this process's *static* sensitivities until `event` next
+    /// fires — SystemC's `next_trigger(event)` for `SC_METHOD`s. The
+    /// process skips clock edges while suspended, runs once when the
+    /// event fires, and is statically sensitive again afterwards. This
+    /// is the dynamic-sensitivity mechanism the layer-2 bus model uses
+    /// to sleep while no transaction is pending.
+    pub fn next_trigger(&mut self, event: EventId) {
+        self.next_trigger = Some(event);
+    }
+
+    /// Asks the kernel to stop after the current activity completes.
+    pub fn stop(&mut self) {
+        self.stop = true;
+    }
+}
+
+/// Finishes registration of a process: attach clock-edge and event
+/// sensitivities, then drop the builder (or keep the [`ProcessId`]).
+///
+/// Returned by [`Kernel::register`]. A process with no attached
+/// sensitivity never runs.
+pub struct ProcessBuilder<'k, W> {
+    kernel: &'k mut Kernel<W>,
+    id: ProcessId,
+}
+
+impl<W> ProcessBuilder<'_, W> {
+    /// Runs the process at every `edge` of `clock`. Processes fire in
+    /// registration order within one edge.
+    pub fn sensitive_to_clock(self, clock: ClockId, edge: Edge) -> Self {
+        let lists = &mut self.kernel.clock_sensitivity[clock.0];
+        let list = match edge {
+            Edge::Rising => &mut lists.0,
+            Edge::Falling => &mut lists.1,
+        };
+        list.push(self.id);
+        self
+    }
+
+    /// Runs the process whenever `event` fires.
+    pub fn sensitive_to_event(self, event: EventId) -> Self {
+        self.kernel.events[event.0].waiters.push(self.id);
+        self
+    }
+
+    /// The id of the process being built.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+}
+
+/// The simulation kernel: owns the world, the processes and the schedule.
+///
+/// See the [crate-level documentation](crate) for a usage example.
+pub struct Kernel<W> {
+    world: W,
+    time: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    clocks: Vec<ClockState>,
+    /// Per clock: (rising-sensitive, falling-sensitive) process lists.
+    clock_sensitivity: Vec<(Vec<ProcessId>, Vec<ProcessId>)>,
+    events: Vec<EventState>,
+    handlers: Vec<Option<Handler<W>>>,
+    meta: Vec<ProcessMeta>,
+    /// Per-process dynamic-sensitivity override (`next_trigger`).
+    suspensions: Vec<Option<EventId>>,
+    stats: KernelStats,
+    stopped: bool,
+    /// Scratch buffer reused across activities to avoid per-edge allocation.
+    run_list: Vec<ProcessId>,
+}
+
+impl<W> Kernel<W> {
+    /// Creates a kernel owning `world`.
+    pub fn new(world: W) -> Self {
+        Kernel {
+            world,
+            time: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            clocks: Vec::new(),
+            clock_sensitivity: Vec::new(),
+            events: Vec::new(),
+            handlers: Vec::new(),
+            meta: Vec::new(),
+            suspensions: Vec::new(),
+            stats: KernelStats::default(),
+            stopped: false,
+            run_list: Vec::new(),
+        }
+    }
+
+    /// Adds a free-running clock with the given even `period`, first rising
+    /// edge at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero or odd (see [`ClockSpec::new`]).
+    pub fn add_clock(&mut self, period: u64) -> ClockId {
+        self.add_clock_spec(ClockSpec::new(period, SimTime::ZERO))
+    }
+
+    /// Adds a clock from a full [`ClockSpec`].
+    pub fn add_clock_spec(&mut self, spec: ClockSpec) -> ClockId {
+        let id = ClockId(self.clocks.len());
+        self.schedule(spec.start(), Activity::ClockEdgeRising(id.0));
+        self.clocks.push(ClockState::new(spec));
+        self.clock_sensitivity.push((Vec::new(), Vec::new()));
+        id
+    }
+
+    /// Creates a named event for dynamic notification.
+    pub fn add_event(&mut self, name: &str) -> EventId {
+        let id = EventId(self.events.len());
+        self.events.push(EventState {
+            name: name.to_owned(),
+            ..EventState::default()
+        });
+        id
+    }
+
+    /// Registers a process; attach sensitivities via the returned builder.
+    pub fn register<F>(&mut self, name: &str, handler: F) -> ProcessBuilder<'_, W>
+    where
+        F: FnMut(&mut W, &mut Api) + 'static,
+    {
+        let id = ProcessId(self.handlers.len());
+        self.handlers.push(Some(Box::new(handler)));
+        self.suspensions.push(None);
+        self.meta.push(ProcessMeta {
+            name: name.to_owned(),
+            activations: 0,
+        });
+        ProcessBuilder { kernel: self, id }
+    }
+
+    /// Notifies `event` to fire `delay` ticks from the current time
+    /// (from outside any process; inside a process use [`Api::notify`]).
+    pub fn notify(&mut self, event: EventId, delay: u64) {
+        let at = self.time.saturating_add(delay);
+        self.schedule(at, Activity::Event(event.0));
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+
+    /// Completed cycles of `clock` (counted at rising edges).
+    pub fn cycles(&self, clock: ClockId) -> u64 {
+        self.clocks[clock.0].cycles
+    }
+
+    /// Scheduler statistics accumulated so far.
+    pub fn stats(&self) -> &KernelStats {
+        &self.stats
+    }
+
+    /// Shared access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Exclusive access to the world (e.g. to inspect or reconfigure
+    /// modules between runs).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consumes the kernel and returns the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// True once a process has called [`Api::stop`].
+    pub fn is_stopped(&self) -> bool {
+        self.stopped
+    }
+
+    /// Runs until simulated time would exceed `limit`, the schedule drains,
+    /// or a process stops the kernel. On return [`Kernel::time`] is exactly
+    /// `limit` unless stopped early.
+    pub fn run_until(&mut self, limit: impl Into<SimTime>) {
+        let limit = limit.into();
+        while !self.stopped {
+            match self.queue.peek() {
+                Some(Reverse(s)) if s.time <= limit => self.dispatch_next(),
+                _ => break,
+            }
+        }
+        if !self.stopped && self.time < limit {
+            self.time = limit;
+        }
+    }
+
+    /// Runs for `ticks` beyond the current time.
+    pub fn run_for(&mut self, ticks: u64) {
+        let limit = self.time.saturating_add(ticks);
+        self.run_until(limit);
+    }
+
+    /// Executes exactly one scheduled activity. Returns `false` when the
+    /// schedule is empty or the kernel is stopped.
+    pub fn step(&mut self) -> bool {
+        if self.stopped || self.queue.is_empty() {
+            return false;
+        }
+        self.dispatch_next();
+        true
+    }
+
+    fn schedule(&mut self, time: SimTime, what: Activity) {
+        debug_assert!(time >= self.time, "cannot schedule into the past");
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled {
+            time,
+            seq: self.seq,
+            what,
+        }));
+    }
+
+    fn dispatch_next(&mut self) {
+        let Some(Reverse(item)) = self.queue.pop() else {
+            return;
+        };
+        self.time = item.time;
+        match item.what {
+            Activity::ClockEdgeRising(c) => self.run_clock_edge(ClockId(c), Edge::Rising),
+            Activity::ClockEdgeFalling(c) => self.run_clock_edge(ClockId(c), Edge::Falling),
+            Activity::Event(e) => self.run_event(EventId(e)),
+        }
+    }
+
+    fn run_clock_edge(&mut self, clock: ClockId, edge: Edge) {
+        self.stats.edges += 1;
+        let (half, next_activity) = {
+            let st = &mut self.clocks[clock.0];
+            if edge == Edge::Rising {
+                st.cycles += 1;
+            }
+            let next = match edge {
+                Edge::Rising => Activity::ClockEdgeFalling(clock.0),
+                Edge::Falling => Activity::ClockEdgeRising(clock.0),
+            };
+            (st.spec.half_period(), next)
+        };
+        // Schedule the next edge before running processes so a process that
+        // stops the kernel still leaves a coherent schedule behind.
+        let next_time = self.time.saturating_add(half);
+        self.schedule(next_time, next_activity);
+
+        self.run_list.clear();
+        {
+            let lists = &self.clock_sensitivity[clock.0];
+            let list = match edge {
+                Edge::Rising => &lists.0,
+                Edge::Falling => &lists.1,
+            };
+            self.run_list.extend_from_slice(list);
+        }
+        let cycle = self.clocks[clock.0].cycles;
+        let cause = WakeCause::ClockEdge(clock, edge);
+        let list = std::mem::take(&mut self.run_list);
+        for &pid in &list {
+            if self.suspensions[pid.0].is_some() {
+                continue; // dynamically desensitised (next_trigger)
+            }
+            self.run_process(pid, cause, cycle);
+            if self.stopped {
+                break;
+            }
+        }
+        self.run_list = list;
+    }
+
+    fn run_event(&mut self, event: EventId) {
+        self.stats.events_fired += 1;
+        self.events[event.0].fire_count += 1;
+        self.run_list.clear();
+        self.run_list
+            .extend_from_slice(&self.events[event.0].waiters);
+        // Processes dynamically waiting on this event (next_trigger) run
+        // too, and their static sensitivity resumes.
+        for (i, susp) in self.suspensions.iter_mut().enumerate() {
+            if *susp == Some(event) {
+                *susp = None;
+                let pid = ProcessId(i);
+                if !self.run_list.contains(&pid) {
+                    self.run_list.push(pid);
+                }
+            }
+        }
+        let cause = WakeCause::Event(event);
+        let list = std::mem::take(&mut self.run_list);
+        for &pid in &list {
+            self.run_process(pid, cause, 0);
+            if self.stopped {
+                break;
+            }
+        }
+        self.run_list = list;
+    }
+
+    fn run_process(&mut self, pid: ProcessId, cause: WakeCause, cycle: u64) {
+        let mut api = Api {
+            time: self.time,
+            cause,
+            cycle,
+            notifications: Vec::new(),
+            cancellations: Vec::new(),
+            next_trigger: None,
+            stop: false,
+        };
+        // Take the handler out so it can borrow the kernel's world without
+        // aliasing the handler table.
+        let mut handler = self.handlers[pid.0]
+            .take()
+            .expect("process re-entered itself");
+        handler(&mut self.world, &mut api);
+        self.handlers[pid.0] = Some(handler);
+        self.meta[pid.0].activations += 1;
+        self.stats.activations += 1;
+
+        for ev in api.cancellations {
+            self.cancel_event(ev);
+        }
+        for (ev, delay) in api.notifications {
+            let at = self.time.saturating_add(delay);
+            self.schedule(at, Activity::Event(ev.0));
+        }
+        if let Some(ev) = api.next_trigger {
+            self.suspensions[pid.0] = Some(ev);
+        }
+        if api.stop {
+            self.stopped = true;
+        }
+    }
+
+    fn cancel_event(&mut self, event: EventId) {
+        let target = Activity::Event(event.0);
+        let drained: Vec<_> = std::mem::take(&mut self.queue)
+            .into_iter()
+            .filter(|Reverse(s)| s.what != target)
+            .collect();
+        self.queue = drained.into();
+    }
+
+    /// Number of activations of a single process (test/diagnostic aid).
+    pub fn activations(&self, pid: ProcessId) -> u64 {
+        self.meta[pid.0].activations
+    }
+
+    /// Number of times `event` has fired.
+    pub fn event_fires(&self, event: EventId) -> u64 {
+        self.events[event.0].fire_count
+    }
+
+    /// The name a process was registered with.
+    pub fn process_name(&self, pid: ProcessId) -> &str {
+        &self.meta[pid.0].name
+    }
+
+    /// The name an event was created with.
+    pub fn event_name(&self, event: EventId) -> &str {
+        &self.events[event.0].name
+    }
+}
+
+impl<W: std::fmt::Debug> std::fmt::Debug for Kernel<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("time", &self.time)
+            .field("world", &self.world)
+            .field("clocks", &self.clocks.len())
+            .field("processes", &self.handlers.len())
+            .field("events", &self.events.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Default)]
+    struct W {
+        log: Vec<(u64, &'static str)>,
+        count: u64,
+    }
+
+    #[test]
+    fn clock_edges_alternate_and_count_cycles() {
+        let mut k = Kernel::new(W::default());
+        let clk = k.add_clock(10);
+        k.register("r", |w: &mut W, api| w.log.push((api.time().ticks(), "R")))
+            .sensitive_to_clock(clk, Edge::Rising);
+        k.register("f", |w: &mut W, api| w.log.push((api.time().ticks(), "F")))
+            .sensitive_to_clock(clk, Edge::Falling);
+        k.run_until(20);
+        assert_eq!(
+            k.world().log,
+            vec![(0, "R"), (5, "F"), (10, "R"), (15, "F"), (20, "R")]
+        );
+        assert_eq!(k.cycles(clk), 3);
+        assert_eq!(k.time(), SimTime::from_ticks(20));
+    }
+
+    #[test]
+    fn processes_run_in_registration_order() {
+        let mut k = Kernel::new(W::default());
+        let clk = k.add_clock(2);
+        k.register("a", |w: &mut W, _| w.log.push((0, "a")))
+            .sensitive_to_clock(clk, Edge::Rising);
+        k.register("b", |w: &mut W, _| w.log.push((0, "b")))
+            .sensitive_to_clock(clk, Edge::Rising);
+        k.run_until(0);
+        assert_eq!(k.world().log, vec![(0, "a"), (0, "b")]);
+    }
+
+    #[test]
+    fn event_notification_wakes_waiter() {
+        let mut k = Kernel::new(W::default());
+        let ev = k.add_event("go");
+        k.register("w", |w: &mut W, api| {
+            w.log.push((api.time().ticks(), "woke"))
+        })
+        .sensitive_to_event(ev);
+        k.notify(ev, 7);
+        k.run_until(100);
+        assert_eq!(k.world().log, vec![(7, "woke")]);
+        assert_eq!(k.event_fires(ev), 1);
+    }
+
+    #[test]
+    fn delta_notification_runs_after_current_instant() {
+        let mut k = Kernel::new(W::default());
+        let clk = k.add_clock(10);
+        let ev = k.add_event("delta");
+        k.register("edge", move |w: &mut W, api| {
+            w.log.push((api.time().ticks(), "edge"));
+            if api.time() == SimTime::ZERO {
+                api.notify(ev, 0);
+            }
+        })
+        .sensitive_to_clock(clk, Edge::Rising);
+        k.register("delta", |w: &mut W, api| {
+            w.log.push((api.time().ticks(), "delta"))
+        })
+        .sensitive_to_event(ev);
+        k.run_until(0);
+        assert_eq!(k.world().log, vec![(0, "edge"), (0, "delta")]);
+    }
+
+    #[test]
+    fn stop_halts_simulation() {
+        let mut k = Kernel::new(W::default());
+        let clk = k.add_clock(2);
+        k.register("stopper", |w: &mut W, api| {
+            w.count += 1;
+            if w.count == 3 {
+                api.stop();
+            }
+        })
+        .sensitive_to_clock(clk, Edge::Rising);
+        k.run_until(1_000);
+        assert!(k.is_stopped());
+        assert_eq!(k.world().count, 3);
+        assert_eq!(k.time(), SimTime::from_ticks(4));
+    }
+
+    #[test]
+    fn cancel_removes_pending_notification() {
+        let mut k = Kernel::new(W::default());
+        let ev = k.add_event("maybe");
+        let clk = k.add_clock(10);
+        k.register("canceller", move |_w: &mut W, api| {
+            if api.time() == SimTime::ZERO {
+                api.notify(ev, 3);
+                api.cancel(ev); // cancels nothing yet (applied first)...
+            } else if api.time().ticks() == 10 {
+                api.cancel(ev); // ...but this one is too late, ev fired at 3
+            }
+        })
+        .sensitive_to_clock(clk, Edge::Rising);
+        k.register("w", |w: &mut W, api| {
+            w.log.push((api.time().ticks(), "fired"))
+        })
+        .sensitive_to_event(ev);
+        k.run_until(20);
+        assert_eq!(k.world().log, vec![(3, "fired")]);
+    }
+
+    #[test]
+    fn run_for_advances_relative() {
+        let mut k = Kernel::new(W::default());
+        let _ = k.add_clock(4);
+        k.run_for(10);
+        assert_eq!(k.time().ticks(), 10);
+        k.run_for(5);
+        assert_eq!(k.time().ticks(), 15);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut k = Kernel::new(W::default());
+        let clk = k.add_clock(2);
+        k.register("n", |w: &mut W, _| w.count += 1)
+            .sensitive_to_clock(clk, Edge::Rising);
+        k.run_until(10);
+        assert_eq!(k.stats().activations, 6);
+        assert_eq!(k.stats().edges, 11);
+    }
+
+    #[test]
+    fn two_clocks_interleave_deterministically() {
+        let mut k = Kernel::new(W::default());
+        let fast = k.add_clock(4);
+        let slow = k.add_clock(8);
+        k.register("fast", |w: &mut W, api| {
+            w.log.push((api.time().ticks(), "fast"))
+        })
+        .sensitive_to_clock(fast, Edge::Rising);
+        k.register("slow", |w: &mut W, api| {
+            w.log.push((api.time().ticks(), "slow"))
+        })
+        .sensitive_to_clock(slow, Edge::Rising);
+        k.run_until(8);
+        // Coincident edges dispatch in schedule order: at t=8 the slow
+        // clock's edge was enqueued (from its t=4 falling edge) before the
+        // fast clock's (from its t=6 falling edge), so slow runs first.
+        assert_eq!(
+            k.world().log,
+            vec![
+                (0, "fast"),
+                (0, "slow"),
+                (4, "fast"),
+                (8, "slow"),
+                (8, "fast")
+            ]
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! A compact discrete-event simulation kernel standing in for SystemC 2.0.
+//!
+//! The hierarchical bus models of the DATE 2004 paper are SystemC modules:
+//! `SC_METHOD` processes statically sensitive to clock edges, plus
+//! dynamically notified events used by the layer-2 model to avoid waking the
+//! bus process when no transaction is pending. This crate provides exactly
+//! that subset:
+//!
+//! * [`Kernel`] — the scheduler, generic over a user-owned *world* type `W`
+//!   that holds all module state. Processes are closures over `&mut W`,
+//!   which sidesteps the shared-ownership problems a literal SystemC port
+//!   would have in Rust while keeping module code readable.
+//! * [`ClockId`]/[`Edge`] — free-running clocks; processes register
+//!   sensitivity to rising or falling edges, mirroring the paper's split
+//!   (masters and slaves on the rising edge, the bus process on the falling
+//!   edge).
+//! * [`EventId`] — dynamically notified events with zero-delay ("delta")
+//!   or timed notification.
+//! * [`signal`] — [`signal::Wire`] and [`signal::Vector`]
+//!   two-phase signals whose `update()` step counts bit transitions; the
+//!   gate-level power estimator and the layer-1 energy model are built on
+//!   these counters.
+//!
+//! # Example
+//!
+//! ```
+//! use hierbus_sim::{Kernel, Edge};
+//!
+//! struct World { ticks: u64 }
+//! let mut kernel = Kernel::new(World { ticks: 0 });
+//! let clk = kernel.add_clock(10); // period of 10 time units
+//! kernel.register("counter", move |w: &mut World, _api| w.ticks += 1)
+//!     .sensitive_to_clock(clk, Edge::Rising);
+//! kernel.run_until(100);
+//! assert_eq!(kernel.world().ticks, 11); // rising edges at t = 0, 10, ..., 100
+//! ```
+
+pub mod clock;
+pub mod event;
+pub mod kernel;
+pub mod process;
+pub mod signal;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use clock::{ClockId, ClockSpec, Edge};
+pub use event::EventId;
+pub use kernel::{Api, Kernel, ProcessBuilder};
+pub use process::ProcessId;
+pub use signal::{Transition, Vector, Wire};
+pub use stats::KernelStats;
+pub use time::SimTime;

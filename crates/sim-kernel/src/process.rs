@@ -1,0 +1,43 @@
+//! Process identities and sensitivity bookkeeping.
+
+use crate::clock::{ClockId, Edge};
+use crate::event::EventId;
+use std::fmt;
+
+/// Identifies a process registered with [`Kernel::register`].
+///
+/// [`Kernel::register`]: crate::Kernel::register
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcessId(pub(crate) usize);
+
+impl ProcessId {
+    /// Returns the kernel-internal index of this process.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "proc{}", self.0)
+    }
+}
+
+/// What woke a process up, passed to handlers through [`Api::cause`].
+///
+/// [`Api::cause`]: crate::Api::cause
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeCause {
+    /// A clock edge the process is statically sensitive to.
+    ClockEdge(ClockId, Edge),
+    /// An event the process is statically sensitive to fired.
+    Event(EventId),
+}
+
+/// Per-process kernel bookkeeping (the closure itself is stored separately
+/// so this struct stays inspectable).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ProcessMeta {
+    pub name: String,
+    pub activations: u64,
+}

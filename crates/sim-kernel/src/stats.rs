@@ -1,0 +1,65 @@
+//! Scheduler statistics.
+
+/// Counters the kernel accumulates while running.
+///
+/// These are deterministic (no wall-clock content) so they can be asserted
+/// in tests; the benchmark harness measures wall time around
+/// [`Kernel::run_until`](crate::Kernel::run_until) itself.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Total process activations.
+    pub activations: u64,
+    /// Clock edges dispatched (both polarities, all clocks).
+    pub edges: u64,
+    /// Event notifications delivered.
+    pub events_fired: u64,
+}
+
+impl KernelStats {
+    /// Difference between two snapshots (`self` taken after `earlier`).
+    pub fn since(&self, earlier: &KernelStats) -> KernelStats {
+        KernelStats {
+            activations: self.activations - earlier.activations,
+            edges: self.edges - earlier.edges,
+            events_fired: self.events_fired - earlier.events_fired,
+        }
+    }
+}
+
+impl std::fmt::Display for KernelStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} activations, {} edges, {} events",
+            self.activations, self.edges, self.events_fired
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts_fieldwise() {
+        let a = KernelStats {
+            activations: 10,
+            edges: 20,
+            events_fired: 3,
+        };
+        let b = KernelStats {
+            activations: 4,
+            edges: 5,
+            events_fired: 1,
+        };
+        let d = a.since(&b);
+        assert_eq!(d.activations, 6);
+        assert_eq!(d.edges, 15);
+        assert_eq!(d.events_fired, 2);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!KernelStats::default().to_string().is_empty());
+    }
+}

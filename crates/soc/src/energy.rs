@@ -1,0 +1,182 @@
+//! Platform-level component energy reporting — the glue between the
+//! peripherals' activity counters and the component energy models of
+//! `hierbus-power` (the paper's announced extension).
+//!
+//! After a run, every counter-bearing peripheral is read back out of the
+//! bus (via [`HasSlaves`]) and mapped through its activity-based model;
+//! the result is a per-component energy breakdown to set beside the bus
+//! energy estimate.
+
+use crate::crypto::CryptoAccel;
+use crate::platform::PlatformMap;
+use crate::rng::TrueRng;
+use crate::timer::DualTimer;
+use crate::uart::Uart;
+use hierbus_core::HasSlaves;
+use hierbus_power::{ComponentEnergyModel, ComponentEstimate};
+use std::fmt;
+
+/// Per-component energy estimates for one run of the platform.
+#[derive(Debug, Clone)]
+pub struct PlatformEnergyReport {
+    /// Cycles the report covers.
+    pub cycles: u64,
+    /// One estimate per modeled component.
+    pub components: Vec<ComponentEstimate>,
+}
+
+impl PlatformEnergyReport {
+    /// Total component energy in pJ (excluding the bus itself).
+    pub fn total_pj(&self) -> f64 {
+        self.components.iter().map(|c| c.total_pj()).sum()
+    }
+
+    /// The estimate of one component by name.
+    pub fn component(&self, name: &str) -> Option<&ComponentEstimate> {
+        self.components.iter().find(|c| c.name == name)
+    }
+}
+
+impl fmt::Display for PlatformEnergyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "component energy over {} cycles ({:.1} pJ total):",
+            self.cycles,
+            self.total_pj()
+        )?;
+        for c in &self.components {
+            writeln!(f, "  {c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds the component energy report from a platform bus after a run of
+/// `cycles` cycles.
+///
+/// UART register-access counts are approximated as zero here (the bus
+/// energy models already charge the SFR transactions on the bus side);
+/// the component models charge the *internal* activity: bytes shifted,
+/// counter decrements, RNG words, cipher blocks.
+///
+/// # Panics
+///
+/// Panics if `bus` is not a [`Platform`](crate::platform::Platform)-built
+/// bus (the standard slave ids must resolve to the expected peripheral
+/// types).
+pub fn platform_component_energy<B: HasSlaves>(bus: &B, cycles: u64) -> PlatformEnergyReport {
+    let uart: &Uart = bus
+        .slave_as(PlatformMap::UART)
+        .expect("platform uart at its standard slave id");
+    let timer: &DualTimer = bus
+        .slave_as(PlatformMap::TIMER)
+        .expect("platform timer at its standard slave id");
+    let rng: &TrueRng = bus
+        .slave_as(PlatformMap::RNG)
+        .expect("platform rng at its standard slave id");
+    let crypto: &CryptoAccel = bus
+        .slave_as(PlatformMap::CRYPTO)
+        .expect("platform crypto at its standard slave id");
+
+    let components = vec![
+        ComponentEnergyModel::uart().estimate(cycles, &[uart.sent().len() as u64, 0]),
+        ComponentEnergyModel::timer().estimate(
+            cycles,
+            &[
+                timer.decrements(0) + timer.decrements(1),
+                timer.expiries(0) + timer.expiries(1),
+            ],
+        ),
+        ComponentEnergyModel::rng().estimate(cycles, &[rng.words_drawn()]),
+        ComponentEnergyModel::crypto().estimate(cycles, &[crypto.blocks_processed(), 0]),
+    ];
+    PlatformEnergyReport { cycles, components }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CpuSystem;
+    use crate::isa::Reg;
+    use crate::platform::Platform;
+    use crate::program::Program;
+
+    #[test]
+    fn report_reflects_peripheral_activity() {
+        // Start a timer, draw two RNG words, run one crypto block, send
+        // a UART byte.
+        let mut p = Program::new(PlatformMap::RESET_PC);
+        p.li(Reg::T0, PlatformMap::TIMER_BASE);
+        p.li(Reg::T1, 50);
+        p.sw(Reg::T1, Reg::T0, 0x4);
+        p.li(Reg::T1, 1);
+        p.sw(Reg::T1, Reg::T0, 0x0);
+        p.li(Reg::T0, PlatformMap::RNG_BASE);
+        p.lw(Reg::T2, Reg::T0, 0);
+        p.lw(Reg::T3, Reg::T0, 0);
+        p.li(Reg::T0, PlatformMap::CRYPTO_BASE);
+        p.li(Reg::T1, 1);
+        p.sw(Reg::T1, Reg::T0, 0x00); // start encrypt
+        p.label("poll");
+        p.lw(Reg::T2, Reg::T0, 0x04);
+        p.andi(Reg::T2, Reg::T2, 1);
+        p.bne(Reg::T2, Reg::ZERO, "poll");
+        p.li(Reg::T0, PlatformMap::UART_BASE);
+        p.li(Reg::T1, 2);
+        p.sw(Reg::T1, Reg::T0, 0x8);
+        p.li(Reg::T1, 0x5A);
+        p.sw(Reg::T1, Reg::T0, 0x0);
+        p.label("drain");
+        p.lw(Reg::T2, Reg::T0, 0x4);
+        p.andi(Reg::T2, Reg::T2, 1);
+        p.bne(Reg::T2, Reg::ZERO, "drain");
+        p.halt();
+        let words = p.assemble().unwrap();
+
+        let mut platform = Platform::new();
+        platform.load_boot_program(&words);
+        let mut sys = CpuSystem::new(platform.into_tlm1(), PlatformMap::RESET_PC);
+        let report = sys.run_until_halt(1_000_000, |_| {});
+        assert!(report.fault.is_none());
+
+        let energy = platform_component_energy(sys.bus(), report.cycles);
+        assert_eq!(energy.components.len(), 4);
+        // Every component has static energy; the active ones have
+        // dynamic energy on top.
+        for c in &energy.components {
+            assert!(c.static_pj > 0.0, "{}", c.name);
+        }
+        assert!(energy.component("uart").unwrap().dynamic_pj() > 0.0);
+        assert!(energy.component("timer").unwrap().dynamic_pj() > 0.0);
+        assert!(energy.component("rng").unwrap().dynamic_pj() > 0.0);
+        assert!(energy.component("crypto").unwrap().dynamic_pj() > 0.0);
+        // The crypto block dominates this mix.
+        assert!(
+            energy.component("crypto").unwrap().dynamic_pj()
+                > energy.component("rng").unwrap().dynamic_pj()
+        );
+        // The display names every component.
+        let text = energy.to_string();
+        for name in ["uart", "timer", "rng", "crypto"] {
+            assert!(text.contains(name), "{text}");
+        }
+    }
+
+    #[test]
+    fn idle_platform_burns_only_static_energy() {
+        let mut p = Program::new(PlatformMap::RESET_PC);
+        p.nop();
+        p.halt();
+        let words = p.assemble().unwrap();
+        let mut platform = Platform::new();
+        platform.load_boot_program(&words);
+        let mut sys = CpuSystem::new(platform.into_tlm1(), PlatformMap::RESET_PC);
+        let report = sys.run_until_halt(10_000, |_| {});
+        let energy = platform_component_energy(sys.bus(), report.cycles);
+        for c in &energy.components {
+            assert_eq!(c.dynamic_pj(), 0.0, "{} must be idle", c.name);
+        }
+        assert!(energy.total_pj() > 0.0);
+    }
+}

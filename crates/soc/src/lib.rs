@@ -1,0 +1,70 @@
+//! Smart-card platform substrate (the paper's Fig. 1 target
+//! architecture).
+//!
+//! The paper's evaluation drives the bus models with traffic from a MIPS
+//! 4Ksc-based smart-card controller: a 32-bit RISC core behind a bus
+//! interface unit, with ROM (256 kB program), EEPROM (32 kB data &
+//! program), FLASH (64 kB program), scratchpad RAM, two 16-bit timers, a
+//! UART, a true random number generator, and cryptographic coprocessing.
+//! None of that silicon is available, so this crate provides the working
+//! substitutes:
+//!
+//! * [`isa`] — a MIPS32 instruction subset with real encodings
+//!   (encode/decode round-trips are property-tested).
+//! * [`program`] — a label-resolving program builder (the "assembly
+//!   language test program" facility of §4.1).
+//! * [`cpu`] — a non-pipelined instruction-set simulator whose fetches,
+//!   loads and stores travel through any
+//!   [`CycleBus`](hierbus_core::CycleBus), generating the realistic bus
+//!   traffic the accuracy and performance experiments need.
+//! * [`mem`], [`uart`], [`timer`], [`rng`], [`crypto`] — the peripheral
+//!   set as wait-state-configured TLM slaves.
+//! * [`platform`] — the assembled address map.
+//!
+//! Simplifications versus real 4Ksc silicon, all documented where they
+//! live: no caches or MMU (every fetch goes to the bus — which is the
+//! interesting case for bus-power work), no branch delay slots, and the
+//! "true" RNG is a seeded xorshift so runs stay reproducible.
+
+//! # Example
+//!
+//! ```
+//! use hierbus_soc::{CpuSystem, Platform, PlatformMap, Program, Reg};
+//!
+//! let mut p = Program::new(PlatformMap::RESET_PC);
+//! p.li(Reg::T0, 6);
+//! p.li(Reg::T1, 7);
+//! p.mul(Reg::T2, Reg::T0, Reg::T1);
+//! p.halt();
+//!
+//! let mut platform = Platform::new();
+//! platform.load_boot_program(&p.assemble().expect("assembles"));
+//! let mut sys = CpuSystem::new(platform.into_tlm1(), PlatformMap::RESET_PC);
+//! let report = sys.run_until_halt(10_000, |_| {});
+//! assert!(report.fault.is_none());
+//! assert_eq!(sys.core().reg(Reg::T2), 42);
+//! ```
+
+pub mod cache;
+pub mod cpu;
+pub mod crypto;
+pub mod energy;
+pub mod isa;
+pub mod mem;
+pub mod platform;
+pub mod program;
+pub mod rng;
+pub mod timer;
+pub mod uart;
+
+pub use cache::ICache;
+pub use cpu::{CpuReport, CpuSystem, MipsCore};
+pub use crypto::CryptoAccel;
+pub use energy::{platform_component_energy, PlatformEnergyReport};
+pub use isa::{Instr, Reg};
+pub use mem::{Eeprom, Flash, Rom, ScratchpadRam};
+pub use platform::{Platform, PlatformMap};
+pub use program::Program;
+pub use rng::TrueRng;
+pub use timer::DualTimer;
+pub use uart::Uart;

@@ -1,0 +1,107 @@
+//! Power-analysis exposure, estimated before silicon — the smart-card
+//! motivation of the paper ("estimation of power consumption over time
+//! is important to reduce the probability of a successful power
+//! analysis attack").
+//!
+//! A toy "crypto" routine writes a secret-derived value to the bus once
+//! per round. The layer-1 model's cycle-accurate energy profile is then
+//! correlated with the Hamming weight of each round's secret byte — a
+//! first-order DPA test. A data bus without masking correlates strongly;
+//! the same traffic with a masked (re-randomised) representation does
+//! not.
+//!
+//! ```sh
+//! cargo run --example power_analysis
+//! ```
+
+use hierbus::core::{MemSlave, Tlm1Bus, TlmSystem};
+use hierbus::ec::sequences::MasterOp;
+use hierbus::ec::{AccessRights, Address, AddressRange, SlaveConfig, WaitProfile};
+use hierbus::power::{CharacterizationDb, Layer1EnergyModel, PowerTrace};
+
+/// One bus write per secret byte; `mask` re-randomises the data
+/// representation (Boolean masking with a fresh mask per round).
+fn rounds(secret: &[u8], masked: bool) -> Vec<MasterOp> {
+    let mut ops = Vec::new();
+    let mut mask_state = 0x5A5A_5A5Au32;
+    for (i, &byte) in secret.iter().enumerate() {
+        // The unmasked implementation expands the key byte onto the bus.
+        let value = u32::from_le_bytes([byte, byte ^ 0xFF, byte, byte]);
+        let value = if masked {
+            // xorshift the mask forward; the masked share is what travels.
+            mask_state ^= mask_state << 13;
+            mask_state ^= mask_state >> 17;
+            mask_state ^= mask_state << 5;
+            value ^ mask_state
+        } else {
+            value
+        };
+        ops.push(MasterOp::write(0x1000 + 4 * i as u64, value).after_idle(2));
+    }
+    ops
+}
+
+/// Runs the traffic and returns one energy sample per round.
+fn trace_per_round(ops: Vec<MasterOp>, n_rounds: usize) -> PowerTrace {
+    let mem = MemSlave::new(SlaveConfig::new(
+        AddressRange::new(Address::new(0), 0x1_0000),
+        WaitProfile::ZERO,
+        AccessRights::RWX,
+    ));
+    let mut bus = Tlm1Bus::new(vec![Box::new(mem)]);
+    bus.enable_frames();
+    let mut sys = TlmSystem::new(bus, ops);
+    let mut model = Layer1EnergyModel::new(CharacterizationDb::uniform());
+    model.enable_trace();
+    sys.run(1_000_000, |bus: &mut Tlm1Bus| {
+        model.on_frame(bus.last_frame())
+    });
+    let trace = PowerTrace::from_samples(model.trace().expect("trace enabled").to_vec());
+    // Each round occupies exactly 3 cycles (2 idle + 1 active write), so
+    // per-round energies are 3-cycle window sums; drop the trailing
+    // return-to-idle cycle's partial window.
+    let windowed = trace.windowed(3);
+    PowerTrace::from_samples(windowed.samples()[..n_rounds.min(windowed.len())].to_vec())
+}
+
+fn main() {
+    // A deterministic "secret key" with varied Hamming weights.
+    let secret: Vec<u8> = (0..64u32)
+        .map(|i| (i.wrapping_mul(97).wrapping_add(13) % 256) as u8)
+        .collect();
+    let weights: Vec<f64> = secret.iter().map(|b| b.count_ones() as f64).collect();
+
+    let plain = trace_per_round(rounds(&secret, false), secret.len());
+    let masked = trace_per_round(rounds(&secret, true), secret.len());
+
+    let r_plain = plain
+        .correlation(&weights[..plain.len().min(weights.len())])
+        .unwrap_or(0.0);
+    let r_masked = masked
+        .correlation(&weights[..masked.len().min(weights.len())])
+        .unwrap_or(0.0);
+
+    println!("first-order DPA test (Pearson r of round energy vs key-byte weight):");
+    println!("  unmasked implementation: r = {r_plain:+.3}");
+    println!("  masked implementation:   r = {r_masked:+.3}");
+    println!();
+    println!("profile statistics:");
+    println!("  unmasked: {plain}");
+    println!("  masked:   {masked}");
+    if let Some((idx, peak)) = plain.peak() {
+        println!(
+            "  unmasked peak: round {idx} at {peak:.1} pJ (weight {})",
+            weights[idx]
+        );
+    }
+
+    assert!(
+        r_plain.abs() > 2.0 * r_masked.abs().max(0.05),
+        "the unmasked design must leak visibly more than the masked one"
+    );
+    println!(
+        "\nThe unmasked data path leaks the key's Hamming weights into the\n\
+         energy profile; masking de-correlates it — and the hierarchical\n\
+         model shows this years before a power trace exists in silicon."
+    );
+}

@@ -1,0 +1,380 @@
+//! End-to-end experiment harness: characterize once at the gate level,
+//! then run any scenario through the reference and both TLM layers with
+//! energy estimation attached — the workflow behind every table and
+//! figure of the paper.
+
+use hierbus_core::{MemSlave, Tlm1Bus, Tlm2Bus, TlmSystem};
+use hierbus_ec::record::TxnRecord;
+use hierbus_ec::sequences::{self, MixParams, Scenario};
+use hierbus_ec::{AccessKind, AccessRights, Address, AddressRange, SignalClass, SlaveConfig};
+use hierbus_power::{
+    CharacterizationDb, Layer1EnergyModel, Layer2EnergyModel, PhaseCounts, PowerTrace,
+};
+use hierbus_rtl::{GlitchConfig, PowerConfig, RtlSystem, SimpleMem};
+
+/// Cycle ceiling for harness runs; hitting it is a deadlock bug.
+const MAX_CYCLES: u64 = 50_000_000;
+
+/// The slave window every harness scenario runs against.
+pub fn scenario_slave(scenario: &Scenario) -> SlaveConfig {
+    SlaveConfig::new(
+        AddressRange::new(Address::new(0), 0x2_0000),
+        scenario.waits,
+        AccessRights::RWX,
+    )
+}
+
+/// Result of a gate-level reference run.
+#[derive(Debug, Clone)]
+pub struct ReferenceRun {
+    /// Bus cycles used.
+    pub cycles: u64,
+    /// Gate-level energy in pJ.
+    pub energy_pj: f64,
+    /// Total wire transitions (including glitches).
+    pub transitions: u64,
+    /// Glitch transitions alone.
+    pub glitch_transitions: u64,
+    /// Transaction records.
+    pub records: Vec<TxnRecord>,
+    /// Per-cycle energy trace.
+    pub trace: PowerTrace,
+}
+
+/// Result of a TLM run with an attached energy model.
+#[derive(Debug, Clone)]
+pub struct TlmRun {
+    /// Bus cycles used.
+    pub cycles: u64,
+    /// Estimated energy in pJ.
+    pub energy_pj: f64,
+    /// Transaction records.
+    pub records: Vec<TxnRecord>,
+    /// Bus-process activations that actually ran.
+    pub bus_activations: u64,
+    /// Per-cycle energy trace (layer 1 only; empty for layer 2, which
+    /// cannot profile cycle-accurately).
+    pub trace: PowerTrace,
+}
+
+/// Runs a scenario on the cycle-true reference with the gate-level
+/// estimator (glitches on unless `ideal_netlist`).
+pub fn run_reference(scenario: &Scenario, ideal_netlist: bool) -> ReferenceRun {
+    let mem = SimpleMem::new(scenario_slave(scenario));
+    let mut sys = RtlSystem::new(
+        scenario.ops.clone(),
+        vec![Box::new(mem)],
+        PowerConfig::default(),
+        if ideal_netlist {
+            GlitchConfig::off()
+        } else {
+            GlitchConfig::default()
+        },
+    );
+    sys.enable_power_trace();
+    let report = sys.run(MAX_CYCLES);
+    let trace = PowerTrace::from_samples(sys.estimator().trace().unwrap_or(&[]).to_vec());
+    ReferenceRun {
+        cycles: report.cycles,
+        energy_pj: report.energy_pj,
+        transitions: report.transitions,
+        glitch_transitions: report.glitch_transitions,
+        records: report.records,
+        trace,
+    }
+}
+
+/// Runs a scenario on the layer-1 bus with the layer-1 energy model.
+pub fn run_layer1(scenario: &Scenario, db: &CharacterizationDb) -> TlmRun {
+    let mem = MemSlave::new(scenario_slave(scenario));
+    let mut bus = Tlm1Bus::new(vec![Box::new(mem)]);
+    bus.enable_frames();
+    let mut sys = TlmSystem::new(bus, scenario.ops.clone());
+    let mut model = Layer1EnergyModel::new(db.clone());
+    model.enable_trace();
+    let report = sys.run(MAX_CYCLES, |bus: &mut Tlm1Bus| {
+        model.on_frame(bus.last_frame());
+    });
+    TlmRun {
+        cycles: report.cycles,
+        energy_pj: model.total_energy(),
+        records: report.records,
+        bus_activations: report.bus_activations,
+        trace: PowerTrace::from_samples(model.trace().unwrap_or(&[]).to_vec()),
+    }
+}
+
+/// Runs a scenario on the layer-1 bus *without* energy estimation
+/// (the Table 3 "without estimation" configuration).
+pub fn run_layer1_timing_only(scenario: &Scenario) -> TlmRun {
+    let mem = MemSlave::new(scenario_slave(scenario));
+    let bus = Tlm1Bus::new(vec![Box::new(mem)]);
+    let mut sys = TlmSystem::new(bus, scenario.ops.clone());
+    let report = sys.run(MAX_CYCLES, |_| {});
+    TlmRun {
+        cycles: report.cycles,
+        energy_pj: 0.0,
+        records: report.records,
+        bus_activations: report.bus_activations,
+        trace: PowerTrace::new(),
+    }
+}
+
+/// Runs a scenario on the layer-2 bus with the layer-2 energy model.
+pub fn run_layer2(
+    scenario: &Scenario,
+    db: &CharacterizationDb,
+    correlation_correction: bool,
+) -> TlmRun {
+    let mem = MemSlave::new(scenario_slave(scenario));
+    let mut bus = Tlm2Bus::new(vec![Box::new(mem)]);
+    bus.enable_events();
+    let mut sys = TlmSystem::new(bus, scenario.ops.clone());
+    let mut model = Layer2EnergyModel::new(db.clone());
+    if correlation_correction {
+        model.enable_correlation_correction();
+    }
+    let report = sys.run(MAX_CYCLES, |bus: &mut Tlm2Bus| {
+        for ev in bus.drain_events() {
+            model.on_event(&ev);
+        }
+    });
+    TlmRun {
+        cycles: report.cycles,
+        energy_pj: model.total_energy(),
+        records: report.records,
+        bus_activations: report.bus_activations,
+        trace: PowerTrace::new(),
+    }
+}
+
+/// Runs a scenario on the layer-2 bus without energy estimation.
+pub fn run_layer2_timing_only(scenario: &Scenario) -> TlmRun {
+    let mem = MemSlave::new(scenario_slave(scenario));
+    let bus = Tlm2Bus::new(vec![Box::new(mem)]);
+    let mut sys = TlmSystem::new(bus, scenario.ops.clone());
+    let report = sys.run(MAX_CYCLES, |_| {});
+    TlmRun {
+        cycles: report.cycles,
+        energy_pj: 0.0,
+        records: report.records,
+        bus_activations: report.bus_activations,
+        trace: PowerTrace::new(),
+    }
+}
+
+/// Throughput-mode runners: no per-transaction records, returning the
+/// number of transactions completed. These isolate the *bus model* cost
+/// that Table 3 measures from the replay harness's bookkeeping.
+pub mod perf {
+    use super::*;
+
+    /// Layer 1 with the layer-1 energy model attached.
+    pub fn layer1(scenario: &Scenario, db: &CharacterizationDb) -> u64 {
+        let mem = MemSlave::new(scenario_slave(scenario));
+        let mut bus = Tlm1Bus::new(vec![Box::new(mem)]);
+        bus.enable_frames();
+        let mut sys = TlmSystem::new(bus, scenario.ops.clone());
+        sys.disable_records();
+        let mut model = Layer1EnergyModel::new(db.clone());
+        sys.run(MAX_CYCLES, |bus: &mut Tlm1Bus| {
+            model.on_frame(bus.last_frame());
+        });
+        sys.completed()
+    }
+
+    /// Layer 1 timing only.
+    pub fn layer1_timing(scenario: &Scenario) -> u64 {
+        let mem = MemSlave::new(scenario_slave(scenario));
+        let bus = Tlm1Bus::new(vec![Box::new(mem)]);
+        let mut sys = TlmSystem::new(bus, scenario.ops.clone());
+        sys.disable_records();
+        sys.run(MAX_CYCLES, |_| {});
+        sys.completed()
+    }
+
+    /// Layer 2 with the layer-2 energy model attached.
+    pub fn layer2(scenario: &Scenario, db: &CharacterizationDb) -> u64 {
+        let mem = MemSlave::new(scenario_slave(scenario));
+        let mut bus = Tlm2Bus::new(vec![Box::new(mem)]);
+        bus.enable_events();
+        let mut sys = TlmSystem::new(bus, scenario.ops.clone());
+        sys.disable_records();
+        let mut model = Layer2EnergyModel::new(db.clone());
+        sys.run(MAX_CYCLES, |bus: &mut Tlm2Bus| {
+            for ev in bus.drain_events() {
+                model.on_event(&ev);
+            }
+        });
+        sys.completed()
+    }
+
+    /// Layer 2 timing only.
+    pub fn layer2_timing(scenario: &Scenario) -> u64 {
+        let mem = MemSlave::new(scenario_slave(scenario));
+        let bus = Tlm2Bus::new(vec![Box::new(mem)]);
+        let mut sys = TlmSystem::new(bus, scenario.ops.clone());
+        sys.disable_records();
+        sys.run(MAX_CYCLES, |_| {});
+        sys.completed()
+    }
+
+    /// Layer 3 (untimed message layer) through the cycle bridge.
+    pub fn layer3(scenario: &Scenario) -> u64 {
+        use hierbus_core::Tlm3Bus;
+        let mem = MemSlave::new(scenario_slave(scenario));
+        let bus = Tlm3Bus::new(vec![Box::new(mem)]);
+        let mut sys = TlmSystem::new(bus, scenario.ops.clone());
+        sys.disable_records();
+        sys.run(MAX_CYCLES, |_| {});
+        sys.completed()
+    }
+}
+
+/// Counts phases/beats from a record set (characterization input).
+pub fn phase_counts(records: &[TxnRecord]) -> PhaseCounts {
+    let mut counts = PhaseCounts::default();
+    for r in records {
+        counts.addr_phases += 1;
+        if r.error.is_some() {
+            continue;
+        }
+        match r.kind {
+            AccessKind::DataWrite => counts.write_beats += r.burst.beats() as u64,
+            _ => counts.read_beats += r.burst.beats() as u64,
+        }
+    }
+    counts
+}
+
+/// Characterizes the TLM energy models against the gate-level estimator
+/// on the given training scenarios: one accumulated per-class
+/// energy/transition table plus phase counts.
+pub fn characterize(training: &[Scenario]) -> CharacterizationDb {
+    let mut energy = [0.0f64; 6];
+    let mut transitions = [0u64; 6];
+    let mut counts = PhaseCounts::default();
+    for scenario in training {
+        let mem = SimpleMem::new(scenario_slave(scenario));
+        let mut sys = RtlSystem::new(
+            scenario.ops.clone(),
+            vec![Box::new(mem)],
+            PowerConfig::default(),
+            GlitchConfig::default(),
+        );
+        let report = sys.run(MAX_CYCLES);
+        for (class, e, t) in sys.estimator().class_stats() {
+            energy[class.index()] += e;
+            transitions[class.index()] += t;
+        }
+        let c = phase_counts(&report.records);
+        counts.addr_phases += c.addr_phases;
+        counts.read_beats += c.read_beats;
+        counts.write_beats += c.write_beats;
+    }
+    let stats: Vec<(SignalClass, f64, u64)> = SignalClass::ALL
+        .iter()
+        .map(|&c| (c, energy[c.index()], transitions[c.index()]))
+        .collect();
+    CharacterizationDb::from_class_stats(&stats, counts)
+}
+
+/// The standard training set: the spec's training scenarios plus a
+/// low-locality random mix, so every signal class is exercised and the
+/// averages reflect mixed (weakly correlated) traffic.
+pub fn standard_training() -> Vec<Scenario> {
+    let mut set = sequences::training_scenarios();
+    set.push(sequences::random_mix(
+        0xC0FFEE,
+        MixParams {
+            count: 2_000,
+            sequential_pct: 30,
+            ..MixParams::default()
+        },
+    ));
+    set
+}
+
+/// Characterization over [`standard_training`] — the database the
+/// experiments use.
+pub fn standard_db() -> CharacterizationDb {
+    characterize(&standard_training())
+}
+
+/// Accuracy comparison of both TLM layers against the reference over a
+/// scenario set (the Tables 1 & 2 computation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AccuracySummary {
+    /// Reference cycles, summed.
+    pub ref_cycles: u64,
+    /// Layer-1 cycles, summed.
+    pub l1_cycles: u64,
+    /// Layer-2 cycles, summed.
+    pub l2_cycles: u64,
+    /// Gate-level energy, summed (pJ).
+    pub ref_energy: f64,
+    /// Layer-1 estimated energy, summed (pJ).
+    pub l1_energy: f64,
+    /// Layer-2 estimated energy, summed (pJ).
+    pub l2_energy: f64,
+}
+
+impl AccuracySummary {
+    /// Relative layer-1 timing error (0 expected).
+    pub fn l1_cycle_error(&self) -> f64 {
+        (self.l1_cycles as f64 - self.ref_cycles as f64) / self.ref_cycles as f64
+    }
+
+    /// Relative layer-2 timing error (small positive expected).
+    pub fn l2_cycle_error(&self) -> f64 {
+        (self.l2_cycles as f64 - self.ref_cycles as f64) / self.ref_cycles as f64
+    }
+
+    /// Relative layer-1 energy error (negative expected).
+    pub fn l1_energy_error(&self) -> f64 {
+        (self.l1_energy - self.ref_energy) / self.ref_energy
+    }
+
+    /// Relative layer-2 energy error (positive expected).
+    pub fn l2_energy_error(&self) -> f64 {
+        (self.l2_energy - self.ref_energy) / self.ref_energy
+    }
+}
+
+/// Runs all three models over `scenarios` and accumulates the accuracy
+/// summary.
+pub fn accuracy_summary(scenarios: &[Scenario], db: &CharacterizationDb) -> AccuracySummary {
+    let mut s = AccuracySummary::default();
+    for scenario in scenarios {
+        let r = run_reference(scenario, false);
+        let l1 = run_layer1(scenario, db);
+        let l2 = run_layer2(scenario, db, false);
+        s.ref_cycles += r.cycles;
+        s.l1_cycles += l1.cycles;
+        s.l2_cycles += l2.cycles;
+        s.ref_energy += r.energy_pj;
+        s.l1_energy += l1.energy_pj;
+        s.l2_energy += l2.energy_pj;
+    }
+    s
+}
+
+/// The evaluation set for the accuracy tables: the full verification
+/// suite plus an address-sequential, small-value-data mix — the traffic
+/// shape a fetching, stack-juggling smart-card core produces, as opposed
+/// to the uniform-random characterization stimulus.
+pub fn evaluation_scenarios() -> Vec<Scenario> {
+    use hierbus_ec::sequences::DataProfile;
+    let mut set = sequences::all_scenarios();
+    set.push(sequences::random_mix(
+        0xE7A1,
+        MixParams {
+            count: 2_000,
+            read_pct: 55,
+            sequential_pct: 85,
+            data_profile: DataProfile::SmallValues,
+            ..MixParams::default()
+        },
+    ));
+    set
+}

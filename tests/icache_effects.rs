@@ -1,0 +1,88 @@
+//! The instruction cache's effect on bus traffic, cycles and energy —
+//! the cache/bus interaction axis the paper's related work explores.
+
+use hierbus::core::Tlm1Bus;
+use hierbus::power::{CharacterizationDb, Layer1EnergyModel};
+use hierbus::soc::{CpuSystem, Platform, PlatformMap, Program, Reg};
+
+/// A 200-iteration ALU loop: tiny working set, maximal fetch locality.
+fn loop_program() -> Vec<u32> {
+    let mut p = Program::new(PlatformMap::RESET_PC);
+    p.li(Reg::T0, 200);
+    p.li(Reg::T1, 0);
+    p.label("loop");
+    p.addu(Reg::T1, Reg::T1, Reg::T0);
+    p.addiu(Reg::T0, Reg::T0, -1);
+    p.bne(Reg::T0, Reg::ZERO, "loop");
+    p.halt();
+    p.assemble().unwrap()
+}
+
+fn run(cache_lines: Option<usize>) -> (hierbus::soc::CpuReport, u32, f64, u64) {
+    let mut platform = Platform::new();
+    platform.load_boot_program(&loop_program());
+    let mut bus = platform.into_tlm1();
+    bus.enable_frames();
+    let mut sys = match cache_lines {
+        Some(n) => CpuSystem::with_icache(bus, PlatformMap::RESET_PC, n),
+        None => CpuSystem::new(bus, PlatformMap::RESET_PC),
+    };
+    let mut model = Layer1EnergyModel::new(CharacterizationDb::uniform());
+    let mut bus_cycles_active = 0u64;
+    let report = sys.run_until_halt(1_000_000, |bus: &mut Tlm1Bus| {
+        model.on_frame(bus.last_frame());
+        if bus.last_frame().a_valid || bus.last_frame().r_valid || bus.last_frame().w_valid {
+            bus_cycles_active += 1;
+        }
+    });
+    assert!(report.fault.is_none());
+    let result = sys.core().reg(Reg::T1);
+    (report, result, model.total_energy(), bus_cycles_active)
+}
+
+#[test]
+fn cache_preserves_results_and_cuts_cycles_and_energy() {
+    let (uncached, r_unc, e_unc, active_unc) = run(None);
+    let (cached, r_c, e_c, active_c) = run(Some(16));
+
+    // Architecture is untouched by the cache.
+    assert_eq!(r_unc, 200 * 201 / 2);
+    assert_eq!(r_c, r_unc);
+    assert_eq!(cached.instructions, uncached.instructions);
+
+    // The loop fits in the cache: cycles, bus activity and bus energy
+    // all drop.
+    assert!(
+        (cached.cycles as f64) < 0.65 * uncached.cycles as f64,
+        "cached {} vs uncached {}",
+        cached.cycles,
+        uncached.cycles
+    );
+    assert!(e_c < 0.65 * e_unc, "energy {e_c} vs {e_unc}");
+    assert!(active_c < active_unc / 2);
+
+    // CPI approaches 1 with hits, ~3 without (2-cycle ROM fetches).
+    assert!(cached.cpi() < 1.4, "cached CPI {}", cached.cpi());
+    assert!(uncached.cpi() > 2.0, "uncached CPI {}", uncached.cpi());
+}
+
+#[test]
+fn cache_hit_rate_is_high_on_a_tight_loop() {
+    let mut platform = Platform::new();
+    platform.load_boot_program(&loop_program());
+    let mut sys = CpuSystem::with_icache(platform.into_tlm1(), PlatformMap::RESET_PC, 16);
+    sys.run_until_halt(1_000_000, |_| {});
+    let cache = sys.core().icache().expect("cache configured");
+    assert!(cache.hit_rate() > 0.98, "hit rate {}", cache.hit_rate());
+    assert!(cache.misses() < 8);
+}
+
+#[test]
+fn thrashing_code_still_works_with_a_tiny_cache() {
+    // A one-line cache on a loop spanning several lines: constant
+    // conflict misses, but identical results.
+    let (small, r_small, _, _) = run(Some(1));
+    let (big, r_big, _, _) = run(Some(64));
+    assert_eq!(r_small, r_big);
+    assert!(small.cycles >= big.cycles);
+}

@@ -1,0 +1,145 @@
+//! Communication-refinement correctness (§4.3): the interpreter must be
+//! oblivious to whether its operand stack is the functional software
+//! model or the hardware stack behind the TLM bus, for every interface
+//! configuration.
+
+use hierbus::core::Tlm1Bus;
+use hierbus::ec::{Address, AddressRange, DataWidth};
+use hierbus::jcvm::workloads::standard_workloads;
+use hierbus::jcvm::{
+    BusStack, HwStackSlave, IfaceConfig, Interpreter, JcvmError, OperandStack, SoftStack,
+};
+
+const BASE: u64 = 0x8000;
+
+fn bus_stack(config: IfaceConfig) -> BusStack<Tlm1Bus> {
+    let slave = HwStackSlave::new(
+        AddressRange::new(Address::new(BASE), 0x100),
+        config.width,
+        config.capacity,
+        config.waits(),
+    );
+    BusStack::new(Tlm1Bus::new(vec![Box::new(slave)]), config)
+}
+
+#[test]
+fn every_workload_matches_on_every_interface() {
+    for config in IfaceConfig::all_variants(BASE) {
+        for workload in standard_workloads() {
+            // Functional reference.
+            let mut vm = Interpreter::new();
+            let (entry, args) = (workload.build)(&mut vm);
+            let mut soft = SoftStack::new(config.capacity);
+            let reference = vm
+                .run(entry, &args, &mut soft, 50_000_000)
+                .unwrap_or_else(|e| panic!("{} soft: {e}", workload.name));
+
+            // Refined model.
+            let mut vm = Interpreter::new();
+            let (entry, args) = (workload.build)(&mut vm);
+            let mut hw = bus_stack(config);
+            let refined = vm
+                .run(entry, &args, &mut hw, 50_000_000)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", workload.name, config.label()));
+
+            assert_eq!(
+                reference,
+                refined,
+                "{} differs on {}",
+                workload.name,
+                config.label()
+            );
+            assert_eq!(refined, Some(workload.expected));
+        }
+    }
+}
+
+#[test]
+fn stack_depth_mirrors_between_models() {
+    let config = IfaceConfig::baseline(BASE);
+    let mut soft = SoftStack::new(64);
+    let mut hw = bus_stack(config);
+    let script: [i32; 7] = [5, -3, 1000, 0, i32::MAX, i32::MIN, 42];
+    for &v in &script {
+        soft.push(v).unwrap();
+        hw.push(v).unwrap();
+    }
+    for _ in 0..script.len() {
+        assert_eq!(soft.pop().unwrap(), hw.pop().unwrap());
+    }
+    assert_eq!(soft.pop(), Err(JcvmError::StackUnderflow));
+    assert_eq!(hw.pop(), Err(JcvmError::StackUnderflow));
+}
+
+#[test]
+fn deep_recursion_overflows_identically() {
+    use hierbus::jcvm::{Bytecode, Method, MethodId};
+    // A method that pushes and recurses forever: both stacks must report
+    // overflow (soft at capacity, hardware via bus error or polling).
+    let build = |vm: &mut Interpreter| -> MethodId {
+        let me = MethodId(0);
+        let id = vm.add_method(Method::new(
+            vec![Bytecode::Const(7), Bytecode::Invokestatic(me)],
+            0,
+            0,
+        ));
+        assert_eq!(id, me);
+        id
+    };
+
+    let mut vm = Interpreter::new();
+    let entry = build(&mut vm);
+    let mut soft = SoftStack::new(16);
+    assert_eq!(
+        vm.run(entry, &[], &mut soft, 100_000),
+        Err(JcvmError::StackOverflow)
+    );
+
+    let mut vm = Interpreter::new();
+    let entry = build(&mut vm);
+    let mut hw = bus_stack(IfaceConfig {
+        capacity: 16,
+        ..IfaceConfig::baseline(BASE)
+    });
+    assert_eq!(
+        vm.run(entry, &[], &mut hw, 100_000),
+        Err(JcvmError::StackOverflow)
+    );
+}
+
+#[test]
+fn sub_word_interfaces_preserve_extreme_values() {
+    for width in DataWidth::ALL {
+        let config = IfaceConfig {
+            width,
+            ..IfaceConfig::baseline(BASE)
+        };
+        let mut hw = bus_stack(config);
+        for v in [0, -1, i32::MIN, i32::MAX, 0x00FF_FF00, 0x7F00_00FE] {
+            hw.push(v).unwrap();
+            assert_eq!(hw.pop().unwrap(), v, "width {width}");
+        }
+    }
+}
+
+#[test]
+fn narrower_widths_scale_transactions_linearly() {
+    let count_txns = |width: DataWidth| {
+        let mut hw = bus_stack(IfaceConfig {
+            width,
+            ..IfaceConfig::baseline(BASE)
+        });
+        for i in 0..10 {
+            hw.push(i).unwrap();
+        }
+        for _ in 0..10 {
+            hw.pop().unwrap();
+        }
+        hw.transactions()
+    };
+    let w32 = count_txns(DataWidth::W32);
+    let w16 = count_txns(DataWidth::W16);
+    let w8 = count_txns(DataWidth::W8);
+    assert_eq!(w16, 2 * w32);
+    assert_eq!(w8, 4 * w32);
+}
