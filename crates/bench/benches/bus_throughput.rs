@@ -1,19 +1,25 @@
-//! Criterion micro-benchmarks behind Table 3: bus-model throughput in
+//! Micro-benchmarks behind Table 3: bus-model throughput in
 //! transactions per second, with and without energy estimation, plus the
 //! RTL reference for the §4.2 acceleration context.
+//!
+//! Plain `std::time` timers (best-of-N) instead of criterion so the
+//! workspace builds with no registry access. Run with
+//! `cargo bench -p hierbus-bench --bench bus_throughput`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hierbus::harness;
+use hierbus_bench::{grouped, throughput, time_best, TextTable};
 use hierbus_ec::sequences::{random_mix, MixParams};
-use hierbus_power::CharacterizationDb;
+use hierbus_ec::SignalFrame;
+use hierbus_power::{CharacterizationDb, Layer1EnergyModel};
 
 const TXNS: usize = 4_000;
+const REPS: usize = 5;
 
-fn mix() -> hierbus_ec::Scenario {
+fn mix(count: usize) -> hierbus_ec::Scenario {
     random_mix(
         0xBE9C,
         MixParams {
-            count: TXNS,
+            count,
             read_pct: 50,
             burst_pct: 40,
             fetch_pct: 30,
@@ -23,72 +29,52 @@ fn mix() -> hierbus_ec::Scenario {
     )
 }
 
-fn bench_tlm(c: &mut Criterion) {
-    let scenario = mix();
+fn main() {
+    let scenario = mix(TXNS);
     let db = harness::standard_db();
-    let mut group = c.benchmark_group("bus_throughput");
-    group.throughput(Throughput::Elements(TXNS as u64));
-    group.sample_size(10);
+    let mut table = TextTable::new(["benchmark", "best time", "txns/s"]);
+    let mut bench = |name: &str, txns: u64, f: &mut dyn FnMut() -> usize| {
+        let dt = time_best(REPS, &mut *f);
+        table.row([
+            name.to_owned(),
+            format!("{dt:.2?}"),
+            grouped(throughput(txns, dt) as u64),
+        ]);
+    };
 
-    group.bench_function(BenchmarkId::new("tlm1", "with_estimation"), |b| {
-        b.iter(|| harness::run_layer1(&scenario, &db).records.len())
+    bench("tlm1/with_estimation", TXNS as u64, &mut || {
+        harness::run_layer1(&scenario, &db).records.len()
     });
-    group.bench_function(BenchmarkId::new("tlm1", "without_estimation"), |b| {
-        b.iter(|| harness::run_layer1_timing_only(&scenario).records.len())
+    bench("tlm1/without_estimation", TXNS as u64, &mut || {
+        harness::run_layer1_timing_only(&scenario).records.len()
     });
-    group.bench_function(BenchmarkId::new("tlm2", "with_estimation"), |b| {
-        b.iter(|| harness::run_layer2(&scenario, &db, false).records.len())
+    bench("tlm2/with_estimation", TXNS as u64, &mut || {
+        harness::run_layer2(&scenario, &db, false).records.len()
     });
-    group.bench_function(BenchmarkId::new("tlm2", "without_estimation"), |b| {
-        b.iter(|| harness::run_layer2_timing_only(&scenario).records.len())
+    bench("tlm2/without_estimation", TXNS as u64, &mut || {
+        harness::run_layer2_timing_only(&scenario).records.len()
     });
-    group.finish();
-}
 
-fn bench_rtl(c: &mut Criterion) {
-    let scenario = random_mix(
-        0xBE9C,
-        MixParams {
-            count: 1_000,
-            read_pct: 50,
-            burst_pct: 40,
-            fetch_pct: 30,
-            max_idle: 0,
-            ..MixParams::default()
-        },
-    );
-    let mut group = c.benchmark_group("rtl_reference");
-    group.throughput(Throughput::Elements(1_000));
-    group.sample_size(10);
-    group.bench_function("glitches_on", |b| {
-        b.iter(|| harness::run_reference(&scenario, false).records.len())
+    let rtl_scenario = mix(1_000);
+    bench("rtl/glitches_on", 1_000, &mut || {
+        harness::run_reference(&rtl_scenario, false).records.len()
     });
-    group.bench_function("ideal_netlist", |b| {
-        b.iter(|| harness::run_reference(&scenario, true).records.len())
+    bench("rtl/ideal_netlist", 1_000, &mut || {
+        harness::run_reference(&rtl_scenario, true).records.len()
     });
-    group.finish();
-}
 
-fn bench_energy_models(c: &mut Criterion) {
-    use hierbus_ec::SignalFrame;
-    use hierbus_power::Layer1EnergyModel;
-    let mut group = c.benchmark_group("energy_model");
-    group.throughput(Throughput::Elements(10_000));
-    group.sample_size(20);
-    group.bench_function("layer1_frame_diff", |b| {
+    let frames: u64 = 10_000;
+    bench("energy_model/layer1_frame_diff", frames, &mut || {
         let mut model = Layer1EnergyModel::new(CharacterizationDb::uniform());
         let mut frame = SignalFrame::default();
-        b.iter(|| {
-            for i in 0..10_000u64 {
-                frame.a_addr = i.wrapping_mul(0x9E37_79B9);
-                frame.r_data = (i as u32).rotate_left(7);
-                model.on_frame(&frame);
-            }
-            model.total_energy()
-        })
+        for i in 0..frames {
+            frame.a_addr = i.wrapping_mul(0x9E37_79B9);
+            frame.r_data = (i as u32).rotate_left(7);
+            model.on_frame(&frame);
+        }
+        model.total_energy() as usize
     });
-    group.finish();
-}
 
-criterion_group!(benches, bench_tlm, bench_rtl, bench_energy_models);
-criterion_main!(benches);
+    println!("bus_throughput micro-benchmarks (best of {REPS}):\n");
+    println!("{}", table.render());
+}

@@ -1,54 +1,63 @@
-//! Criterion micro-benchmarks for the Java Card VM case study: the cost
-//! of the functional (soft-stack) model versus the refined bus-attached
+//! Micro-benchmarks for the Java Card VM case study: the cost of the
+//! functional (soft-stack) model versus the refined bus-attached
 //! hardware stack, per workload.
+//!
+//! Plain `std::time` timers (best-of-N) instead of criterion so the
+//! workspace builds with no registry access. Run with
+//! `cargo bench -p hierbus-bench --bench jcvm_interpreter`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hierbus_bench::{time_best, TextTable};
 use hierbus_core::Tlm1Bus;
 use hierbus_ec::{Address, AddressRange};
 use hierbus_jcvm::workloads::standard_workloads;
 use hierbus_jcvm::{BusStack, HwStackSlave, IfaceConfig, Interpreter, SoftStack};
 
 const STACK_BASE: u64 = 0x8000;
+const REPS: usize = 5;
 
-fn bench_soft_vs_hw(c: &mut Criterion) {
-    let mut group = c.benchmark_group("jcvm");
-    group.sample_size(10);
+fn main() {
+    let mut table = TextTable::new(["workload", "model", "best time"]);
     for workload in standard_workloads() {
-        group.bench_function(BenchmarkId::new("soft_stack", workload.name), |b| {
-            b.iter(|| {
-                let mut vm = Interpreter::new();
-                let (entry, args) = (workload.build)(&mut vm);
-                let mut stack = SoftStack::new(512);
-                vm.run(entry, &args, &mut stack, 50_000_000)
-                    .expect("workload runs")
-            })
+        let soft = time_best(REPS, || {
+            let mut vm = Interpreter::new();
+            let (entry, args) = (workload.build)(&mut vm);
+            let mut stack = SoftStack::new(512);
+            vm.run(entry, &args, &mut stack, 50_000_000)
+                .expect("workload runs")
         });
-        group.bench_function(BenchmarkId::new("hw_stack_tlm1", workload.name), |b| {
-            b.iter(|| {
-                let config = IfaceConfig::baseline(STACK_BASE);
-                let slave = HwStackSlave::new(
-                    AddressRange::new(Address::new(STACK_BASE), 0x100),
-                    config.width,
-                    512,
-                    config.waits(),
-                );
-                let bus = Tlm1Bus::new(vec![Box::new(slave)]);
-                let mut stack = BusStack::new(
-                    bus,
-                    IfaceConfig {
-                        capacity: 512,
-                        ..config
-                    },
-                );
-                let mut vm = Interpreter::new();
-                let (entry, args) = (workload.build)(&mut vm);
-                vm.run(entry, &args, &mut stack, 50_000_000)
-                    .expect("workload runs")
-            })
-        });
-    }
-    group.finish();
-}
+        table.row([
+            workload.name.to_owned(),
+            "soft_stack".to_owned(),
+            format!("{soft:.2?}"),
+        ]);
 
-criterion_group!(benches, bench_soft_vs_hw);
-criterion_main!(benches);
+        let hw = time_best(REPS, || {
+            let config = IfaceConfig::baseline(STACK_BASE);
+            let slave = HwStackSlave::new(
+                AddressRange::new(Address::new(STACK_BASE), 0x100),
+                config.width,
+                512,
+                config.waits(),
+            );
+            let bus = Tlm1Bus::new(vec![Box::new(slave)]);
+            let mut stack = BusStack::new(
+                bus,
+                IfaceConfig {
+                    capacity: 512,
+                    ..config
+                },
+            );
+            let mut vm = Interpreter::new();
+            let (entry, args) = (workload.build)(&mut vm);
+            vm.run(entry, &args, &mut stack, 50_000_000)
+                .expect("workload runs")
+        });
+        table.row([
+            workload.name.to_owned(),
+            "hw_stack_tlm1".to_owned(),
+            format!("{hw:.2?}"),
+        ]);
+    }
+    println!("jcvm interpreter micro-benchmarks (best of {REPS}):\n");
+    println!("{}", table.render());
+}

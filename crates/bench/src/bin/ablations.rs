@@ -79,8 +79,8 @@ fn main() {
         pct((corrected - gate) / gate)
     );
     println!(
-        "  -> {} percentage points of the overestimate are correlation blindness\n",
-        format!("{:.1}", (plain - corrected) / gate * 100.0)
+        "  -> {:.1} percentage points of the overestimate are correlation blindness\n",
+        (plain - corrected) / gate * 100.0
     );
 
     // ---- 3. glitch modeling ----------------------------------------------

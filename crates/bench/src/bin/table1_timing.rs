@@ -49,4 +49,21 @@ fn main() {
     ]);
     println!("Table 1 — timing error (paper: 100% / 100%+0% / 100.5%+0.5%):\n");
     println!("{}", table1.render());
+
+    // Export one observed run so the per-phase timing behind the table
+    // can be inspected span-by-span across layers in Perfetto. A uniform
+    // characterization keeps this bin training-free; the energy counter
+    // tracks are indicative only (see table2_energy for calibrated ones).
+    let db = hierbus::power::CharacterizationDb::uniform();
+    let scenario = hierbus::ec::sequences::burst_reads();
+    let mut run = hierbus::observe::run_observed(&scenario, &db);
+    run.name = "table1_timing".to_owned();
+    match hierbus::observe::export(&run, &hierbus::observe::default_dir()) {
+        Ok((trace, csv)) => println!(
+            "Observability artifacts:\n  {}\n  {}",
+            trace.display(),
+            csv.display()
+        ),
+        Err(e) => eprintln!("warning: could not write results/obs artifacts: {e}"),
+    }
 }

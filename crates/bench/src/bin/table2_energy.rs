@@ -55,4 +55,19 @@ fn main() {
     ]);
     println!("Table 2 — energy estimation error (paper: 100 / 92.1 −7.8% / 114.7 +14.7%):\n");
     println!("{}", table2.render());
+
+    // Export one observed run with the calibrated characterization so
+    // the cumulative `energy_pj` counter tracks of all three estimators
+    // can be compared side by side in Perfetto.
+    let scenario = hierbus::ec::sequences::write_after_read();
+    let mut run = hierbus::observe::run_observed(&scenario, &db);
+    run.name = "table2_energy".to_owned();
+    match hierbus::observe::export(&run, &hierbus::observe::default_dir()) {
+        Ok((trace, csv)) => println!(
+            "Observability artifacts:\n  {}\n  {}",
+            trace.display(),
+            csv.display()
+        ),
+        Err(e) => eprintln!("warning: could not write results/obs artifacts: {e}"),
+    }
 }

@@ -89,6 +89,49 @@ fn main() {
     println!("Table 3 — simulation performance (paper factors: 1 / 1.1 / 1.52 / 1.7):\n");
     println!("{}", table3.render());
 
+    // Observability overhead: the span/counter probes are compiled into
+    // every bus model and branch on a `enabled` flag. With obs off the
+    // instrumented path *is* the shipping path, so re-measuring it
+    // against the baseline above quantifies the branch-off cost plus
+    // measurement noise; the enabled run shows the full collection cost.
+    let l1_obs_off = measure(|| harness::perf::layer1(&scenario, &db));
+    let l1_obs_on = measure(|| harness::perf::layer1_observed(&scenario, &db));
+    let off_regression = 100.0 * (l1_with - l1_obs_off) / l1_with;
+    println!("Observability overhead (TL layer 1, with estimation):");
+    println!("  obs off (baseline):  {l1_with:.1} kT/s");
+    println!(
+        "  obs off (re-run):    {l1_obs_off:.1} kT/s  ({off_regression:+.1}% vs baseline, budget <=5.0%: {})",
+        if off_regression <= 5.0 { "OK" } else { "EXCEEDED" }
+    );
+    println!(
+        "  obs on (spans):      {l1_obs_on:.1} kT/s  ({:+.1}% vs baseline)\n",
+        100.0 * (l1_obs_on - l1_with) / l1_with
+    );
+
+    // Export an observed run of a small slice of the mix so the span
+    // layout behind these numbers can be inspected in Perfetto.
+    let obs_mix = random_mix(
+        0xBE9C,
+        MixParams {
+            count: 60,
+            read_pct: 50,
+            burst_pct: 40,
+            fetch_pct: 30,
+            max_idle: 0,
+            ..MixParams::default()
+        },
+    );
+    let mut run = hierbus::observe::run_observed(&obs_mix, &db);
+    run.name = "table3_simperf".to_owned();
+    match hierbus::observe::export(&run, &hierbus::observe::default_dir()) {
+        Ok((trace, csv)) => println!(
+            "Observability artifacts:\n  {}\n  {}\n",
+            trace.display(),
+            csv.display()
+        ),
+        Err(e) => eprintln!("warning: could not write results/obs artifacts: {e}"),
+    }
+
     // §4.2 context: the RTL reference's throughput on a smaller run.
     let small = random_mix(
         0xBE9C,

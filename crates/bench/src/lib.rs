@@ -106,6 +106,28 @@ impl TextTable {
     }
 }
 
+/// Times `f` over `reps` repetitions and returns the best (minimum)
+/// wall-clock duration — the plain-`std` replacement for the old
+/// criterion harness, suitable for the coarse throughput comparisons
+/// the tables need.
+pub fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> std::time::Duration {
+    assert!(reps > 0);
+    let mut best = std::time::Duration::MAX;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        let r = f();
+        let dt = t0.elapsed();
+        std::hint::black_box(r);
+        best = best.min(dt);
+    }
+    best
+}
+
+/// Elements-per-second throughput for a measured duration.
+pub fn throughput(elements: u64, dt: std::time::Duration) -> f64 {
+    elements as f64 / dt.as_secs_f64()
+}
+
 /// Formats a ratio as a percentage with sign, e.g. `+14.7%`.
 pub fn pct(x: f64) -> String {
     format!("{:+.1}%", x * 100.0)

@@ -44,6 +44,7 @@
 //! ```
 
 pub mod master;
+pub(crate) mod obs_util;
 pub mod sc;
 pub mod slave;
 pub mod tlm1;

@@ -24,8 +24,10 @@
 //! adapter" on which the layer-1 energy model operates.
 
 use crate::master::{Completed, CycleBus, PollStatus};
+use crate::obs_util::access_class;
 use crate::slave::{SlaveReply, TlmSlave};
 use hierbus_ec::{AddressMap, BusError, BusStatus, SignalFrame, SlaveId, Transaction, TxnId};
+use hierbus_obs::{Phase, TraceCollector};
 use std::collections::{HashMap, VecDeque};
 
 #[derive(Debug)]
@@ -72,6 +74,7 @@ pub struct Tlm1Bus {
     emit_frames: bool,
     frame: SignalFrame,
     irq_mask: u64,
+    obs: TraceCollector,
 }
 
 impl Tlm1Bus {
@@ -102,7 +105,25 @@ impl Tlm1Bus {
             emit_frames: false,
             frame: SignalFrame::default(),
             irq_mask: 0,
+            obs: TraceCollector::disabled("tlm1"),
         }
+    }
+
+    /// Enables transaction-span collection (request/address/data phase
+    /// events per transaction; read back via [`Tlm1Bus::obs`]).
+    pub fn enable_obs(&mut self) {
+        self.obs.enable();
+    }
+
+    /// The span collector (meaningful after [`Tlm1Bus::enable_obs`]).
+    pub fn obs(&self) -> &TraceCollector {
+        &self.obs
+    }
+
+    /// Exclusive access to the span collector (e.g. to add counter
+    /// tracks or clear between runs).
+    pub fn obs_mut(&mut self) -> &mut TraceCollector {
+        &mut self.obs
     }
 
     /// Enables per-cycle signal-frame reconstruction (required by the
@@ -137,6 +158,12 @@ impl Tlm1Bus {
     fn address_phase(&mut self, cycle: u64, frame: &mut SignalFrame) {
         if matches!(self.addr_fsm, AddrFsm::Idle) {
             if let Some(idx) = self.request_q.pop_front() {
+                {
+                    let t = &self.active[idx].txn;
+                    let (id, addr, class) = (t.id.0, t.addr.raw(), access_class(t.kind));
+                    self.obs.end(id, Phase::Request, cycle, false);
+                    self.obs.begin(id, Phase::Address, cycle, addr, class);
+                }
                 let a = &mut self.active[idx];
                 match self.map.decode(a.txn.addr, a.txn.kind) {
                     Ok(slave) => {
@@ -188,6 +215,12 @@ impl Tlm1Bus {
             );
         }
         self.addr_fsm = AddrFsm::Idle;
+        self.obs.end(
+            self.active[idx].txn.id.0,
+            Phase::Address,
+            cycle,
+            error.is_some(),
+        );
         match error {
             Some(e) => {
                 let a = &mut self.active[idx];
@@ -212,6 +245,14 @@ impl Tlm1Bus {
             if let Some(idx) = self.read_q.pop_front() {
                 let slave = self.active[idx].slave.expect("decoded");
                 let waits = self.map.config(slave).waits.read;
+                let t = &self.active[idx].txn;
+                self.obs.begin(
+                    t.id.0,
+                    Phase::ReadData,
+                    cycle,
+                    t.addr.raw(),
+                    access_class(t.kind),
+                );
                 self.read_beat = Some(Beat {
                     idx,
                     beat: 0,
@@ -248,6 +289,8 @@ impl Tlm1Bus {
                 a.done = Some(cycle);
                 a.error = Some(BusError::SlaveError(addr));
                 self.finish_q.insert(a.txn.id, idx);
+                self.obs
+                    .end(self.active[idx].txn.id.0, Phase::ReadData, cycle, true);
             }
             SlaveReply::Ok(word) => {
                 if self.emit_frames {
@@ -259,8 +302,10 @@ impl Tlm1Bus {
                 let last = beat_no + 1 == a.txn.beats();
                 if last {
                     a.done = Some(cycle);
-                    self.finish_q.insert(a.txn.id, idx);
+                    let id = a.txn.id;
+                    self.finish_q.insert(id, idx);
                     self.read_beat = None;
+                    self.obs.end(id.0, Phase::ReadData, cycle, false);
                 } else {
                     let waits = self.map.config(slave).waits.read;
                     self.read_beat = Some(Beat {
@@ -279,6 +324,14 @@ impl Tlm1Bus {
             if let Some(idx) = self.write_q.pop_front() {
                 let slave = self.active[idx].slave.expect("decoded");
                 let waits = self.map.config(slave).waits.write;
+                let t = &self.active[idx].txn;
+                self.obs.begin(
+                    t.id.0,
+                    Phase::WriteData,
+                    cycle,
+                    t.addr.raw(),
+                    access_class(t.kind),
+                );
                 self.write_beat = Some(Beat {
                     idx,
                     beat: 0,
@@ -320,6 +373,8 @@ impl Tlm1Bus {
                 a.done = Some(cycle);
                 a.error = Some(BusError::SlaveError(addr));
                 self.finish_q.insert(a.txn.id, idx);
+                self.obs
+                    .end(self.active[idx].txn.id.0, Phase::WriteData, cycle, true);
             }
             SlaveReply::Ok(()) => {
                 if self.emit_frames {
@@ -329,8 +384,10 @@ impl Tlm1Bus {
                 let last = beat_no + 1 == a.txn.beats();
                 if last {
                     a.done = Some(cycle);
-                    self.finish_q.insert(a.txn.id, idx);
+                    let id = a.txn.id;
+                    self.finish_q.insert(id, idx);
                     self.write_beat = None;
+                    self.obs.end(id.0, Phase::WriteData, cycle, false);
                 } else {
                     let waits = self.map.config(slave).waits.write;
                     self.write_beat = Some(Beat {
@@ -345,9 +402,16 @@ impl Tlm1Bus {
 }
 
 impl CycleBus for Tlm1Bus {
-    fn issue(&mut self, txn: Transaction, _cycle: u64) -> BusStatus {
+    fn issue(&mut self, txn: Transaction, cycle: u64) -> BusStatus {
         let idx = self.active.len();
         self.by_id.insert(txn.id, idx);
+        self.obs.begin(
+            txn.id.0,
+            Phase::Request,
+            cycle,
+            txn.addr.raw(),
+            access_class(txn.kind),
+        );
         self.active.push(Active {
             txn,
             slave: None,

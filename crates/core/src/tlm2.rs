@@ -36,11 +36,13 @@
 //! correlation blindness the paper names as this layer's inaccuracy.
 
 use crate::master::{Completed, CycleBus, PollStatus};
+use crate::obs_util::access_class;
 use crate::slave::{SlaveReply, TlmSlave};
 use hierbus_ec::{
     AccessKind, Address, AddressMap, BusError, BusStatus, DataWidth, SlaveId, Transaction, TxnId,
     WaitProfile,
 };
+use hierbus_obs::{Phase, TraceCollector};
 use std::collections::{HashMap, VecDeque};
 
 /// Which protocol phase a [`PhaseEvent`] reports.
@@ -130,6 +132,7 @@ pub struct Tlm2Bus {
     events: Vec<PhaseEvent>,
     emit_events: bool,
     irq_mask: u64,
+    obs: TraceCollector,
 }
 
 impl Tlm2Bus {
@@ -157,12 +160,29 @@ impl Tlm2Bus {
             events: Vec::new(),
             emit_events: false,
             irq_mask: 0,
+            obs: TraceCollector::disabled("tlm2"),
         }
     }
 
     /// Enables [`PhaseEvent`] emission for the layer-2 energy model.
     pub fn enable_events(&mut self) {
         self.emit_events = true;
+    }
+
+    /// Enables transaction-span collection (request/address/data phase
+    /// events per transaction; read back via [`Tlm2Bus::obs`]).
+    pub fn enable_obs(&mut self) {
+        self.obs.enable();
+    }
+
+    /// The span collector (meaningful after [`Tlm2Bus::enable_obs`]).
+    pub fn obs(&self) -> &TraceCollector {
+        &self.obs
+    }
+
+    /// Exclusive access to the span collector.
+    pub fn obs_mut(&mut self) -> &mut TraceCollector {
+        &mut self.obs
     }
 
     /// Drains the phase events accumulated since the last call.
@@ -241,7 +261,18 @@ impl Tlm2Bus {
         if kind.is_read() && error.is_none() {
             a.read_data = words.clone();
         }
-        self.finish_q.insert(a.txn.id, idx);
+        let id = a.txn.id;
+        self.finish_q.insert(id, idx);
+        self.obs.end(
+            id.0,
+            if kind.is_read() {
+                Phase::ReadData
+            } else {
+                Phase::WriteData
+            },
+            cycle,
+            error.is_some(),
+        );
         if self.emit_events {
             self.events.push(PhaseEvent {
                 kind: if kind.is_read() {
@@ -297,6 +328,23 @@ impl Tlm2Bus {
         if side.current.is_none() {
             if let Some(idx) = side.queue.pop_front() {
                 let total = Self::data_duration(&self.active[idx]);
+                let t = &self.active[idx].txn;
+                self.obs.begin(
+                    t.id.0,
+                    if is_read {
+                        Phase::ReadData
+                    } else {
+                        Phase::WriteData
+                    },
+                    cycle,
+                    t.addr.raw(),
+                    access_class(t.kind),
+                );
+                let side = if is_read {
+                    &mut self.read
+                } else {
+                    &mut self.write
+                };
                 side.current = Some(DataState {
                     idx,
                     left: total,
@@ -324,12 +372,19 @@ impl Tlm2Bus {
 }
 
 impl CycleBus for Tlm2Bus {
-    fn issue(&mut self, txn: Transaction, _cycle: u64) -> BusStatus {
+    fn issue(&mut self, txn: Transaction, cycle: u64) -> BusStatus {
         // Read the slave state once, at transaction creation.
         let (slave, waits) = match self.map.decode(txn.addr, txn.kind) {
             Ok(id) => (Some(id), self.map.config(id).waits),
             Err(_) => (None, WaitProfile::ZERO),
         };
+        self.obs.begin(
+            txn.id.0,
+            Phase::Request,
+            cycle,
+            txn.addr.raw(),
+            access_class(txn.kind),
+        );
         let idx = self.active.len();
         self.active.push(Active {
             txn,
@@ -378,6 +433,12 @@ impl CycleBus for Tlm2Bus {
         // Address phase countdown.
         if matches!(self.addr_state, AddrState::Idle) {
             if let Some(idx) = self.addr_q.pop_front() {
+                {
+                    let t = &self.active[idx].txn;
+                    let (id, addr, class) = (t.id.0, t.addr.raw(), access_class(t.kind));
+                    self.obs.end(id, Phase::Request, cycle, false);
+                    self.obs.begin(id, Phase::Address, cycle, addr, class);
+                }
                 let a = &self.active[idx];
                 let error = match a.slave {
                     Some(_) => None,
@@ -401,6 +462,12 @@ impl CycleBus for Tlm2Bus {
                 let idx = *idx;
                 let error = *error;
                 self.addr_state = AddrState::Idle;
+                self.obs.end(
+                    self.active[idx].txn.id.0,
+                    Phase::Address,
+                    cycle,
+                    error.is_some(),
+                );
                 let (addr, kind, width, burst_beats, addr_waits) = {
                     let a = &self.active[idx];
                     (
@@ -446,10 +513,27 @@ impl CycleBus for Tlm2Bus {
                         {
                             // Fusion: a single data item may complete in
                             // the cycle its address phase completes.
+                            let data_phase = if is_read {
+                                Phase::ReadData
+                            } else {
+                                Phase::WriteData
+                            };
+                            self.obs.begin(
+                                self.active[idx].txn.id.0,
+                                data_phase,
+                                cycle,
+                                addr.raw(),
+                                access_class(kind),
+                            );
                             let wait = self.active[idx].waits.data_wait(kind);
                             if wait == 0 {
                                 self.complete_data(idx, cycle, 1);
                             } else {
+                                let side = if is_read {
+                                    &mut self.read
+                                } else {
+                                    &mut self.write
+                                };
                                 side.current = Some(DataState {
                                     idx,
                                     left: wait,

@@ -14,8 +14,7 @@ use crate::addr::Address;
 use crate::merge::DataWidth;
 use crate::slave::WaitProfile;
 use crate::txn::{AccessKind, BurstLen};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hierbus_sim::SplitMix64;
 use std::fmt;
 
 /// One master-side stimulus: wait `idle_before` cycles after the previous
@@ -358,15 +357,15 @@ impl Default for MixParams {
 /// Deterministic random mixed traffic: all combinations of single/burst
 /// reads/writes and fetches, with tunable locality.
 pub fn random_mix(seed: u64, params: MixParams) -> Scenario {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut ops = Vec::with_capacity(params.count);
     let mut next_seq_addr = params.base;
     let window_words = (params.window / 4).max(16);
     for _ in 0..params.count {
-        let is_read = rng.gen_range(0..100) < params.read_pct;
-        let is_burst = rng.gen_range(0..100) < params.burst_pct;
+        let is_read = rng.chance(params.read_pct);
+        let is_burst = rng.chance(params.burst_pct);
         let burst = if is_burst {
-            match rng.gen_range(0..3) {
+            match rng.range_u32(0, 3) {
                 0 => BurstLen::B2,
                 1 => BurstLen::B4,
                 _ => BurstLen::B8,
@@ -374,11 +373,11 @@ pub fn random_mix(seed: u64, params: MixParams) -> Scenario {
         } else {
             BurstLen::Single
         };
-        let sequential = rng.gen_range(0..100) < params.sequential_pct;
+        let sequential = rng.chance(params.sequential_pct);
         let addr = if sequential {
             next_seq_addr
         } else {
-            params.base + 4 * rng.gen_range(0..window_words - 8)
+            params.base + 4 * rng.range_u64(0, window_words - 8)
         };
         // Keep the whole burst inside the window.
         let span = 4 * burst.beats() as u64;
@@ -390,7 +389,7 @@ pub fn random_mix(seed: u64, params: MixParams) -> Scenario {
         };
 
         let kind = if is_read {
-            if rng.gen_range(0..100) < params.fetch_pct {
+            if rng.chance(params.fetch_pct) {
                 AccessKind::InstrFetch
             } else {
                 AccessKind::DataRead
@@ -401,11 +400,11 @@ pub fn random_mix(seed: u64, params: MixParams) -> Scenario {
         let data = if kind == AccessKind::DataWrite {
             (0..burst.beats())
                 .map(|_| match params.data_profile {
-                    DataProfile::Random => rng.gen::<u32>(),
-                    DataProfile::SmallValues => match rng.gen_range(0..10) {
-                        0 => rng.gen::<u32>(),
-                        1..=4 => rng.gen_range(0..0x100),
-                        5..=7 => rng.gen_range(0..0x1_0000),
+                    DataProfile::Random => rng.next_u32(),
+                    DataProfile::SmallValues => match rng.range_u32(0, 10) {
+                        0 => rng.next_u32(),
+                        1..=4 => rng.range_u32(0, 0x100),
+                        5..=7 => rng.range_u32(0, 0x1_0000),
                         _ => 0,
                     },
                 })
@@ -414,7 +413,7 @@ pub fn random_mix(seed: u64, params: MixParams) -> Scenario {
             Vec::new()
         };
         ops.push(MasterOp {
-            idle_before: rng.gen_range(0..=params.max_idle),
+            idle_before: rng.range_u32(0, params.max_idle + 1),
             kind,
             addr: Address::new(addr),
             width: DataWidth::W32,

@@ -1,66 +1,76 @@
-//! Property-based tests of the protocol layer's algebra: merge patterns,
+//! Randomized tests of the protocol layer's algebra: merge patterns,
 //! address arithmetic, frame diffs, and outstanding-limit accounting.
+//!
+//! Formerly `proptest` properties; now deterministic seeded loops over
+//! the same value spaces so the suite runs with no registry access and
+//! every failure reproduces from its printed case index.
 
 use hierbus_ec::record::TxnRecord;
 use hierbus_ec::*;
-use proptest::prelude::*;
+use hierbus_sim::SplitMix64;
 
-fn arb_width() -> impl Strategy<Value = DataWidth> {
-    prop_oneof![
-        Just(DataWidth::W8),
-        Just(DataWidth::W16),
-        Just(DataWidth::W32),
-    ]
-}
+const CASES: u64 = 256;
 
-proptest! {
-    #[test]
-    fn merge_extract_insert_roundtrip(
-        word in any::<u32>(),
-        value in any::<u32>(),
-        offset in 0u64..4,
-        width in arb_width(),
-    ) {
+const WIDTHS: [DataWidth; 3] = [DataWidth::W8, DataWidth::W16, DataWidth::W32];
+
+#[test]
+fn merge_extract_insert_roundtrip() {
+    let mut rng = SplitMix64::new(0xA110);
+    for case in 0..CASES {
+        let word = rng.next_u32();
+        let value = rng.next_u32();
+        let width = WIDTHS[rng.range_u32(0, 3) as usize];
         // Align the offset to the width.
-        let offset = offset & !(width.bytes() - 1);
+        let offset = rng.range_u64(0, 4) & !(width.bytes() - 1);
         let addr = Address::new(0x1000 + offset);
         let merged = width.insert(addr, word, value);
         // Extracting what was inserted returns the masked value.
-        prop_assert_eq!(width.extract(addr, merged), value & width.value_mask());
+        assert_eq!(
+            width.extract(addr, merged),
+            value & width.value_mask(),
+            "case {case}"
+        );
         // Lanes outside the byte enables are untouched.
         let ben = width.byte_enables(addr);
         for lane in 0..4u32 {
             if ben & (1 << lane) == 0 {
                 let mask = 0xFFu32 << (8 * lane);
-                prop_assert_eq!(merged & mask, word & mask);
+                assert_eq!(merged & mask, word & mask, "case {case} lane {lane}");
             }
         }
     }
+}
 
-    #[test]
-    fn byte_enables_cover_exactly_the_width(
-        offset in 0u64..4,
-        width in arb_width(),
-    ) {
-        let offset = offset & !(width.bytes() - 1);
-        let ben = width.byte_enables(Address::new(offset));
-        prop_assert_eq!(u64::from(ben.count_ones()), width.bytes());
+#[test]
+fn byte_enables_cover_exactly_the_width() {
+    // Small enough to check exhaustively.
+    for width in WIDTHS {
+        for offset in 0..4u64 {
+            let offset = offset & !(width.bytes() - 1);
+            let ben = width.byte_enables(Address::new(offset));
+            assert_eq!(u64::from(ben.count_ones()), width.bytes());
+        }
     }
+}
 
-    #[test]
-    fn address_masking_is_idempotent(raw in any::<u64>()) {
-        let a = Address::new(raw);
-        prop_assert_eq!(Address::new(a.raw()), a);
-        prop_assert!(a.raw() < (1u64 << 36));
+#[test]
+fn address_masking_is_idempotent() {
+    let mut rng = SplitMix64::new(0xADD7);
+    for _ in 0..CASES {
+        let a = Address::new(rng.next_u64());
+        assert_eq!(Address::new(a.raw()), a);
+        assert!(a.raw() < (1u64 << 36));
     }
+}
 
-    #[test]
-    fn frame_diff_is_symmetric_and_zero_on_self(
-        addr in 0u64..(1 << 36),
-        rdata in any::<u32>(),
-        wdata in any::<u32>(),
-        flags in any::<u8>(),
-    ) {
+#[test]
+fn frame_diff_is_symmetric_and_zero_on_self() {
+    let mut rng = SplitMix64::new(0xF8A3);
+    for case in 0..CASES {
+        let addr = rng.range_u64(0, 1 << 36);
+        let rdata = rng.next_u32();
+        let wdata = rng.next_u32();
+        let flags = rng.next_u32() as u8;
         let a = SignalFrame {
             a_addr: addr,
             r_data: rdata,
@@ -71,8 +81,8 @@ proptest! {
             ..SignalFrame::default()
         };
         let b = SignalFrame::default();
-        prop_assert_eq!(a.diff(&a).total(), 0);
-        prop_assert_eq!(a.diff(&b).total(), b.diff(&a).total());
+        assert_eq!(a.diff(&a).total(), 0, "case {case}");
+        assert_eq!(a.diff(&b).total(), b.diff(&a).total(), "case {case}");
         // The diff equals the Hamming distance of the packed fields.
         let expected = addr.count_ones()
             + rdata.count_ones()
@@ -80,50 +90,58 @@ proptest! {
             + u32::from(a.a_valid)
             + u32::from(a.r_valid)
             + u32::from(a.w_valid);
-        prop_assert_eq!(a.diff(&b).total(), expected);
+        assert_eq!(a.diff(&b).total(), expected, "case {case}");
     }
+}
 
-    #[test]
-    fn outstanding_tracker_never_exceeds_limits(
-        script in proptest::collection::vec((0u8..3, any::<bool>()), 1..200),
-    ) {
+#[test]
+fn outstanding_tracker_never_exceeds_limits() {
+    let mut rng = SplitMix64::new(0x0575);
+    for case in 0..64 {
         let mut t = OutstandingTracker::new(OutstandingLimits::CORE_DEFAULT);
-        for (cat_sel, issue) in script {
-            let cat = TxnCategory::ALL[cat_sel as usize];
-            if issue {
+        let steps = rng.range_u64(1, 200);
+        for _ in 0..steps {
+            let cat = TxnCategory::ALL[rng.range_u32(0, 3) as usize];
+            if rng.bool(0.5) {
                 let _ = t.try_issue(cat);
             } else if t.in_flight(cat) > 0 {
                 t.complete(cat);
             }
             for c in TxnCategory::ALL {
-                prop_assert!(t.in_flight(c) <= OutstandingLimits::CORE_DEFAULT.limit(c));
+                assert!(
+                    t.in_flight(c) <= OutstandingLimits::CORE_DEFAULT.limit(c),
+                    "case {case}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn burst_beat_addresses_stay_in_order_and_aligned(
-        word in 0u64..(1 << 30),
-        burst_sel in 0u8..4,
-    ) {
-        let burst = BurstLen::ALL[burst_sel as usize];
+#[test]
+fn burst_beat_addresses_stay_in_order_and_aligned() {
+    let mut rng = SplitMix64::new(0xB425);
+    for case in 0..CASES {
+        let word = rng.range_u64(0, 1 << 30);
+        let burst = BurstLen::ALL[rng.range_u32(0, 4) as usize];
         let txn = Transaction::fetch(TxnId(0), Address::new(word * 4), burst);
         let mut prev = None;
         for i in 0..txn.beats() {
             let a = txn.beat_addr(i);
-            prop_assert!(a.is_aligned(4));
+            assert!(a.is_aligned(4), "case {case}");
             if let Some(p) = prev {
-                prop_assert_eq!(a.raw(), p + 4);
+                assert_eq!(a.raw(), p + 4, "case {case}");
             }
             prev = Some(a.raw());
         }
     }
+}
 
-    #[test]
-    fn record_latency_is_positive_and_consistent(
-        issue in 0u64..1_000_000,
-        duration in 0u64..10_000,
-    ) {
+#[test]
+fn record_latency_is_positive_and_consistent() {
+    let mut rng = SplitMix64::new(0x1A7C);
+    for case in 0..CASES {
+        let issue = rng.range_u64(0, 1_000_000);
+        let duration = rng.range_u64(0, 10_000);
         let r = TxnRecord {
             id: TxnId(0),
             kind: AccessKind::DataRead,
@@ -136,6 +154,6 @@ proptest! {
             error: None,
             data: Vec::new(),
         };
-        prop_assert_eq!(r.latency(), Some(duration + 1));
+        assert_eq!(r.latency(), Some(duration + 1), "case {case}");
     }
 }

@@ -1,0 +1,410 @@
+//! Named counters, gauges and fixed-bucket histograms.
+//!
+//! The registry is deliberately shaped like [`KernelStats`]: everything
+//! is sim-time based (no wall clock), snapshots are plain values, and
+//! two snapshots can be diffed with [`MetricsSnapshot::since`] to
+//! measure one phase of a run. A disabled registry records nothing —
+//! every mutation is a branch on the `enabled` flag, and no allocation
+//! happens after registration — so instrumented code can leave its
+//! probes in place permanently.
+//!
+//! [`KernelStats`]: https://docs.rs/hierbus-sim
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// A fixed-bucket histogram over `u64` samples (cycles, picojoule
+/// integers, queue depths, ...).
+///
+/// `bounds` are inclusive upper bucket edges in ascending order; a
+/// sample `v` lands in the first bucket with `v <= bound`, and samples
+/// above the last bound land in an implicit overflow bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    pub name: String,
+    pub bounds: Vec<u64>,
+    /// Per-bucket sample counts, `bounds.len() + 1` long (last =
+    /// overflow).
+    pub counts: Vec<u64>,
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+}
+
+impl Histogram {
+    fn new(name: &str, bounds: &[u64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram {name:?}: bounds must be strictly ascending"
+        );
+        Histogram {
+            name: name.to_owned(),
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn observe(&mut self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Index of the bucket a value falls in (`bounds.len()` =
+    /// overflow).
+    pub fn bucket_of(&self, v: u64) -> usize {
+        self.bounds.partition_point(|&b| b < v)
+    }
+
+    fn diff(&self, earlier: &Histogram) -> Histogram {
+        Histogram {
+            name: self.name.clone(),
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .zip(&earlier.counts)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            min: self.min,
+            max: self.max,
+        }
+    }
+}
+
+/// Point-in-time copy of every metric, diffable with
+/// [`MetricsSnapshot::since`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value, high-water mark)`.
+    pub gauges: Vec<(String, i64, i64)>,
+    pub histograms: Vec<Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Fieldwise difference against an earlier snapshot of the same
+    /// registry (gauge values and min/max keep their current reading).
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(n, v)| {
+                    let e = earlier
+                        .counters
+                        .iter()
+                        .find(|(en, _)| en == n)
+                        .map_or(0, |(_, ev)| *ev);
+                    (n.clone(), v.saturating_sub(e))
+                })
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|h| {
+                    earlier
+                        .histograms
+                        .iter()
+                        .find(|eh| eh.name == h.name)
+                        .map_or_else(|| h.clone(), |eh| h.diff(eh))
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders every metric as `kind,name,field,value` CSV rows.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,name,field,value\n");
+        for (name, v) in &self.counters {
+            out.push_str(&format!("counter,{name},count,{v}\n"));
+        }
+        for (name, v, hwm) in &self.gauges {
+            out.push_str(&format!("gauge,{name},value,{v}\n"));
+            out.push_str(&format!("gauge,{name},hwm,{hwm}\n"));
+        }
+        for h in &self.histograms {
+            let name = &h.name;
+            out.push_str(&format!("hist,{name},count,{}\n", h.count));
+            out.push_str(&format!("hist,{name},sum,{}\n", h.sum));
+            if h.count > 0 {
+                out.push_str(&format!("hist,{name},min,{}\n", h.min));
+                out.push_str(&format!("hist,{name},max,{}\n", h.max));
+            }
+            for (i, c) in h.counts.iter().enumerate() {
+                match h.bounds.get(i) {
+                    Some(b) => out.push_str(&format!("hist,{name},le_{b},{c}\n")),
+                    None => out.push_str(&format!("hist,{name},le_inf,{c}\n")),
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The metrics registry: register once, mutate through cheap typed ids.
+///
+/// ```
+/// use hierbus_obs::MetricsRegistry;
+/// let mut m = MetricsRegistry::new();
+/// let txns = m.counter("bus.txns");
+/// let lat = m.histogram("bus.latency_cycles", &[2, 4, 8, 16]);
+/// m.inc(txns);
+/// m.observe(lat, 5);
+/// let snap = m.snapshot();
+/// assert_eq!(snap.counters[0], ("bus.txns".to_owned(), 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, i64, i64)>,
+    histograms: Vec<Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An enabled registry.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            enabled: true,
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+        }
+    }
+
+    /// A registry that accepts registrations but records nothing.
+    pub fn disabled() -> Self {
+        MetricsRegistry {
+            enabled: false,
+            ..MetricsRegistry::new()
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Registers (or looks up) a counter by name.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        if let Some(i) = self.counters.iter().position(|(n, _)| n == name) {
+            return CounterId(i);
+        }
+        self.counters.push((name.to_owned(), 0));
+        CounterId(self.counters.len() - 1)
+    }
+
+    pub fn inc(&mut self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        if self.enabled {
+            self.counters[id.0].1 += n;
+        }
+    }
+
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].1
+    }
+
+    /// Registers (or looks up) a gauge by name.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        if let Some(i) = self.gauges.iter().position(|(n, _, _)| n == name) {
+            return GaugeId(i);
+        }
+        self.gauges.push((name.to_owned(), 0, 0));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Sets a gauge; the high-water mark tracks the maximum value ever
+    /// set.
+    pub fn set_gauge(&mut self, id: GaugeId, v: i64) {
+        if self.enabled {
+            let g = &mut self.gauges[id.0];
+            g.1 = v;
+            g.2 = g.2.max(v);
+        }
+    }
+
+    pub fn gauge_value(&self, id: GaugeId) -> i64 {
+        self.gauges[id.0].1
+    }
+
+    pub fn gauge_hwm(&self, id: GaugeId) -> i64 {
+        self.gauges[id.0].2
+    }
+
+    /// Registers (or looks up) a histogram with inclusive ascending
+    /// upper bucket bounds.
+    pub fn histogram(&mut self, name: &str, bounds: &[u64]) -> HistogramId {
+        if let Some(i) = self.histograms.iter().position(|h| h.name == name) {
+            return HistogramId(i);
+        }
+        self.histograms.push(Histogram::new(name, bounds));
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    pub fn observe(&mut self, id: HistogramId, v: u64) {
+        if self.enabled {
+            self.histograms[id.0].observe(v);
+        }
+    }
+
+    pub fn histogram_data(&self, id: HistogramId) -> &Histogram {
+        &self.histograms[id.0]
+    }
+
+    /// Copies every metric out for reporting or diffing.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self.histograms.clone(),
+        }
+    }
+
+    /// Shorthand for `snapshot().to_csv()`.
+    pub fn to_csv(&self) -> String {
+        self.snapshot().to_csv()
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let mut m = MetricsRegistry::new();
+        let c = m.counter("a");
+        let g = m.gauge("g");
+        m.inc(c);
+        m.add(c, 4);
+        m.set_gauge(g, 7);
+        m.set_gauge(g, 3);
+        assert_eq!(m.counter_value(c), 5);
+        assert_eq!(m.gauge_value(g), 3);
+        assert_eq!(m.gauge_hwm(g), 7);
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let mut m = MetricsRegistry::new();
+        let a = m.counter("x");
+        let b = m.counter("x");
+        assert_eq!(a, b);
+        m.inc(a);
+        m.inc(b);
+        assert_eq!(m.counter_value(a), 2);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let mut m = MetricsRegistry::disabled();
+        let c = m.counter("a");
+        let g = m.gauge("g");
+        let h = m.histogram("h", &[1, 2]);
+        m.inc(c);
+        m.set_gauge(g, 9);
+        m.observe(h, 1);
+        assert_eq!(m.counter_value(c), 0);
+        assert_eq!(m.gauge_hwm(g), 0);
+        assert_eq!(m.histogram_data(h).count, 0);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper() {
+        let mut m = MetricsRegistry::new();
+        let h = m.histogram("lat", &[2, 4, 8]);
+        // A value equal to a bound lands in that bound's bucket; one
+        // past it lands in the next.
+        for v in [0, 1, 2] {
+            assert_eq!(m.histogram_data(h).bucket_of(v), 0, "v={v}");
+        }
+        for v in [3, 4] {
+            assert_eq!(m.histogram_data(h).bucket_of(v), 1, "v={v}");
+        }
+        for v in [5, 8] {
+            assert_eq!(m.histogram_data(h).bucket_of(v), 2, "v={v}");
+        }
+        for v in [9, 1000] {
+            assert_eq!(m.histogram_data(h).bucket_of(v), 3, "v={v}");
+        }
+        for v in [0, 2, 3, 4, 8, 9] {
+            m.observe(h, v);
+        }
+        let d = m.histogram_data(h);
+        assert_eq!(d.counts, vec![2, 2, 1, 1]);
+        assert_eq!((d.count, d.min, d.max), (6, 0, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_bounds_rejected() {
+        MetricsRegistry::new().histogram("bad", &[4, 2]);
+    }
+
+    #[test]
+    fn snapshot_since_diffs_counters_and_histograms() {
+        let mut m = MetricsRegistry::new();
+        let c = m.counter("c");
+        let h = m.histogram("h", &[10]);
+        m.add(c, 3);
+        m.observe(h, 5);
+        let early = m.snapshot();
+        m.add(c, 2);
+        m.observe(h, 50);
+        let delta = m.snapshot().since(&early);
+        assert_eq!(delta.counters[0].1, 2);
+        assert_eq!(delta.histograms[0].counts, vec![0, 1]);
+        assert_eq!(delta.histograms[0].count, 1);
+    }
+
+    #[test]
+    fn csv_has_header_and_all_kinds() {
+        let mut m = MetricsRegistry::new();
+        let c = m.counter("bus.txns");
+        let g = m.gauge("q.depth");
+        let h = m.histogram("lat", &[4]);
+        m.inc(c);
+        m.set_gauge(g, 2);
+        m.observe(h, 3);
+        let csv = m.to_csv();
+        assert!(csv.starts_with("kind,name,field,value\n"));
+        assert!(csv.contains("counter,bus.txns,count,1\n"));
+        assert!(csv.contains("gauge,q.depth,hwm,2\n"));
+        assert!(csv.contains("hist,lat,le_4,1\n"));
+        assert!(csv.contains("hist,lat,le_inf,0\n"));
+    }
+}

@@ -1,0 +1,173 @@
+//! Chrome trace-event / Perfetto JSON exporter.
+//!
+//! Emits the legacy JSON trace format that both `chrome://tracing` and
+//! [ui.perfetto.dev](https://ui.perfetto.dev) open directly. Each model
+//! layer becomes one *process*, each protocol phase one *thread* track,
+//! spans become `ph:"X"` complete events, and energy traces become
+//! `ph:"C"` counter tracks. Timestamps are in microseconds; we map one
+//! bus cycle to one microsecond so cycle numbers read off the viewer
+//! axis unchanged.
+//!
+//! Output is fully deterministic (no wall clock, stable ordering) so it
+//! can be golden-file tested.
+
+use crate::span::{Phase, TraceCollector};
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn phase_tid(phase: Phase) -> u32 {
+    match phase {
+        Phase::Request => 1,
+        Phase::Address => 2,
+        Phase::ReadData => 3,
+        Phase::WriteData => 4,
+    }
+}
+
+/// Renders one or more per-layer collectors as a single trace-event
+/// JSON document. Accepts owned or borrowed collector slices.
+pub fn export<C: std::borrow::Borrow<TraceCollector>>(collectors: &[C]) -> String {
+    let mut events: Vec<String> = Vec::new();
+    for (i, c) in collectors.iter().enumerate() {
+        let c = c.borrow();
+        let pid = i + 1;
+        events.push(format!(
+            r#"{{"ph":"M","pid":{pid},"name":"process_name","args":{{"name":"{}"}}}}"#,
+            escape(c.layer())
+        ));
+        for phase in Phase::ALL {
+            events.push(format!(
+                r#"{{"ph":"M","pid":{pid},"tid":{},"name":"thread_name","args":{{"name":"{}"}}}}"#,
+                phase_tid(phase),
+                phase.name()
+            ));
+        }
+        for s in c.spans() {
+            events.push(format!(
+                concat!(
+                    r#"{{"ph":"X","pid":{pid},"tid":{tid},"name":"{name}","cat":"bus","#,
+                    r#""ts":{ts},"dur":{dur},"#,
+                    r#""args":{{"trace_id":{id},"addr":"0x{addr:x}","error":{err}}}}}"#
+                ),
+                pid = pid,
+                tid = phase_tid(s.phase),
+                name = format_args!("{} {} #{}", s.class.name(), s.phase.name(), s.trace_id),
+                ts = s.begin,
+                dur = s.duration(),
+                id = s.trace_id,
+                addr = s.addr,
+                err = s.error,
+            ));
+        }
+        for t in c.counters() {
+            let name = escape(&t.name);
+            for &(cycle, value) in &t.samples {
+                events.push(format!(
+                    r#"{{"ph":"C","pid":{pid},"name":"{name}","ts":{cycle},"args":{{"{name}":{value}}}}}"#,
+                ));
+            }
+        }
+    }
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (i, e) in events.iter().enumerate() {
+        out.push_str(e);
+        if i + 1 < events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Writes [`export`]ed JSON to `path`, creating parent directories.
+pub fn save<C: std::borrow::Borrow<TraceCollector>>(
+    path: impl AsRef<std::path::Path>,
+    collectors: &[C],
+) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, export(collectors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::AccessClass;
+
+    fn sample_collector() -> TraceCollector {
+        let mut c = TraceCollector::for_layer("tlm1");
+        c.begin(1, Phase::Request, 0, 0x100, AccessClass::Read);
+        c.end(1, Phase::Request, 1, false);
+        c.begin(1, Phase::Address, 2, 0x100, AccessClass::Read);
+        c.end(1, Phase::Address, 3, false);
+        c.counter_sample("energy_pj", 0, 2.25);
+        c
+    }
+
+    #[test]
+    fn export_is_valid_trace_json_shape() {
+        let c = sample_collector();
+        let json = export(&[&c]);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.trim_end().ends_with("}"));
+        assert!(json.contains(r#""ph":"M","pid":1,"name":"process_name","args":{"name":"tlm1"}"#));
+        assert!(json.contains(r#""ph":"X""#));
+        assert!(json.contains(r#""name":"read address #1""#));
+        assert!(json.contains(r#""ts":2,"dur":2"#));
+        assert!(json
+            .contains(r#""ph":"C","pid":1,"name":"energy_pj","ts":0,"args":{"energy_pj":2.25}"#));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let c = sample_collector();
+        assert_eq!(export(&[&c]), export(&[&c]));
+    }
+
+    #[test]
+    fn multiple_collectors_get_distinct_pids() {
+        let a = sample_collector();
+        let mut b = TraceCollector::for_layer("rtl");
+        b.begin(1, Phase::Request, 0, 0x100, AccessClass::Read);
+        b.end(1, Phase::Request, 1, false);
+        let json = export(&[&a, &b]);
+        assert!(json.contains(r#""pid":1,"name":"process_name","args":{"name":"tlm1"}"#));
+        assert!(json.contains(r#""pid":2,"name":"process_name","args":{"name":"rtl"}"#));
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_controls() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn every_line_of_events_is_json_balanced() {
+        // Cheap structural check: each event line has balanced braces.
+        let c = sample_collector();
+        let json = export(&[&c]);
+        for line in json.lines().skip(1) {
+            if line.starts_with('{') {
+                let line = line.trim_end_matches(',');
+                let opens = line.matches('{').count();
+                let closes = line.matches('}').count();
+                assert_eq!(opens, closes, "unbalanced: {line}");
+            }
+        }
+    }
+}

@@ -84,7 +84,7 @@ impl Layer2EnergyModel {
             }
             PhaseKind::ReadData => {
                 let (avg_data, avg_ctl) = self.db.avg_read_beat_toggles();
-                
+
                 Self::data_phase_toggles(
                     &ev.data,
                     avg_data,
@@ -95,7 +95,7 @@ impl Layer2EnergyModel {
             }
             PhaseKind::WriteData => {
                 let (avg_data, avg_ctl) = self.db.avg_write_beat_toggles();
-                
+
                 Self::data_phase_toggles(
                     &ev.data,
                     avg_data,

@@ -18,8 +18,7 @@
 
 use hierbus_ec::SignalClass;
 use hierbus_sim::signal::VectorUpdate;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hierbus_sim::SplitMix64;
 
 /// Whether a wire-group update happened at the final settle of a cycle or
 /// during combinational hazard activity.
@@ -80,7 +79,7 @@ impl WireDb {
     /// buses 0.35–0.75, control 0.10–0.30 — long top-level bus routes
     /// versus short control nets.
     pub fn synthesize(seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         let mut caps: [Vec<f64>; 6] = Default::default();
         for class in SignalClass::ALL {
             let (lo, hi) = match class {
@@ -88,7 +87,7 @@ impl WireDb {
                 SignalClass::ReadData | SignalClass::WriteData => (0.35, 0.75),
                 SignalClass::AddrCtl | SignalClass::ReadCtl | SignalClass::WriteCtl => (0.10, 0.30),
             };
-            caps[class.index()] = (0..class.wires()).map(|_| rng.gen_range(lo..hi)).collect();
+            caps[class.index()] = (0..class.wires()).map(|_| rng.range_f64(lo, hi)).collect();
         }
         WireDb { caps }
     }

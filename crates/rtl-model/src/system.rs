@@ -7,9 +7,20 @@ use crate::power::{GateLevelPowerEstimator, PowerConfig, TransitionPhase};
 use crate::slave::RtlSlaveModel;
 use crate::wires::InterfaceWires;
 use hierbus_ec::{
-    AddressMap, BusError, OutstandingLimits, Scenario, SignalClass, SignalFrame, SlaveId,
-    Transaction,
+    AccessKind, AddressMap, BusError, OutstandingLimits, Scenario, SignalClass, SignalFrame,
+    SlaveId, Transaction,
 };
+use hierbus_obs::{AccessClass, Phase, TraceCollector};
+
+/// `hierbus-obs` is dependency-free, so the access-kind translation
+/// lives with each instrumented model.
+fn access_class(kind: AccessKind) -> AccessClass {
+    match kind {
+        AccessKind::InstrFetch => AccessClass::Fetch,
+        AccessKind::DataRead => AccessClass::Read,
+        AccessKind::DataWrite => AccessClass::Write,
+    }
+}
 
 /// One transaction currently (or formerly) active on the bus.
 #[derive(Debug)]
@@ -17,6 +28,9 @@ struct ActiveTxn {
     rec: usize,
     txn: Transaction,
     slave: Option<SlaveId>,
+    /// Span bookkeeping: the address/data phase has begun on the wires.
+    addr_started: bool,
+    data_started: bool,
 }
 
 /// Summary of a completed run.
@@ -62,6 +76,7 @@ pub struct RtlSystem {
     frame_log: Option<Vec<SignalFrame>>,
     /// Optional VCD waveform recording of the wire bundle.
     waveform: Option<(hierbus_sim::trace::TraceRecorder, WaveChannels)>,
+    obs: TraceCollector,
 }
 
 /// Channel handles of the waveform recording.
@@ -108,7 +123,53 @@ impl RtlSystem {
             last_done: 0,
             frame_log: None,
             waveform: None,
+            obs: TraceCollector::disabled("rtl"),
         }
+    }
+
+    /// Enables transaction-span collection (request/address/data phase
+    /// events per transaction; read back via [`RtlSystem::obs`]).
+    pub fn enable_obs(&mut self) {
+        self.obs.enable();
+    }
+
+    /// The span collector (meaningful after [`RtlSystem::enable_obs`]).
+    pub fn obs(&self) -> &TraceCollector {
+        &self.obs
+    }
+
+    /// Exclusive access to the span collector.
+    pub fn obs_mut(&mut self) -> &mut TraceCollector {
+        &mut self.obs
+    }
+
+    /// Marks the address phase of `idx` as started on the wires: the
+    /// request span ends and the address span begins.
+    fn obs_addr_start(&mut self, idx: usize, cycle: u64) {
+        let a = &mut self.active[idx];
+        if a.addr_started {
+            return;
+        }
+        a.addr_started = true;
+        let (id, addr, class) = (a.txn.id.0, a.txn.addr.raw(), access_class(a.txn.kind));
+        self.obs.end(id, Phase::Request, cycle, false);
+        self.obs.begin(id, Phase::Address, cycle, addr, class);
+    }
+
+    /// Marks the data phase of `idx` as started on its channel.
+    fn obs_data_start(&mut self, idx: usize, cycle: u64) {
+        let a = &mut self.active[idx];
+        if a.data_started {
+            return;
+        }
+        a.data_started = true;
+        let phase = if a.txn.kind.is_read() {
+            Phase::ReadData
+        } else {
+            Phase::WriteData
+        };
+        let (id, addr, class) = (a.txn.id.0, a.txn.addr.raw(), access_class(a.txn.kind));
+        self.obs.begin(id, phase, cycle, addr, class);
     }
 
     /// Convenience constructor: one memory slave sized/configured for a
@@ -202,7 +263,20 @@ impl RtlSystem {
                 Err(e) => (None, 0, Some(e)),
             };
             let idx = self.active.len();
-            self.active.push(ActiveTxn { rec, txn, slave });
+            self.obs.begin(
+                txn.id.0,
+                Phase::Request,
+                cycle,
+                txn.addr.raw(),
+                access_class(txn.kind),
+            );
+            self.active.push(ActiveTxn {
+                rec,
+                txn,
+                slave,
+                addr_started: false,
+                data_started: false,
+            });
             self.addr_ch.push(idx, addr_waits, error);
         }
 
@@ -213,10 +287,14 @@ impl RtlSystem {
         match self.addr_ch.step() {
             AddrCycle::Idle => {}
             AddrCycle::Busy(idx) => {
+                self.obs_addr_start(idx, cycle);
                 let t = &self.active[idx].txn;
                 frame.drive_address(t.addr.raw(), t.kind, t.width, t.burst, false, false);
             }
             AddrCycle::Done(idx) => {
+                self.obs_addr_start(idx, cycle);
+                self.obs
+                    .end(self.active[idx].txn.id.0, Phase::Address, cycle, false);
                 let (kind, beats, wait, rec) = {
                     let a = &self.active[idx];
                     let waits = self.map.config(a.slave.expect("decoded")).waits;
@@ -237,6 +315,9 @@ impl RtlSystem {
                 }
             }
             AddrCycle::Failed(idx, err) => {
+                self.obs_addr_start(idx, cycle);
+                self.obs
+                    .end(self.active[idx].txn.id.0, Phase::Address, cycle, true);
                 let t = &self.active[idx].txn;
                 frame.drive_address(t.addr.raw(), t.kind, t.width, t.burst, true, true);
                 let rec = self.active[idx].rec;
@@ -246,8 +327,10 @@ impl RtlSystem {
         }
 
         match self.read_ch.step() {
-            DataCycle::Idle | DataCycle::Busy(_) => {}
+            DataCycle::Idle => {}
+            DataCycle::Busy(idx) => self.obs_data_start(idx, cycle),
             DataCycle::Beat { idx, beat, last } => {
+                self.obs_data_start(idx, cycle);
                 let (word, tag, rec, err) = {
                     let a = &self.active[idx];
                     let addr = a.txn.beat_addr(beat);
@@ -260,6 +343,12 @@ impl RtlSystem {
                 let value = a.txn.width.extract(a.txn.beat_addr(beat), word);
                 self.master.read_beat(rec, beat, value);
                 if last {
+                    self.obs.end(
+                        self.active[idx].txn.id.0,
+                        Phase::ReadData,
+                        cycle,
+                        err.is_some(),
+                    );
                     self.master.complete(rec, cycle, err);
                     self.last_done = cycle;
                 }
@@ -267,8 +356,10 @@ impl RtlSystem {
         }
 
         match self.write_ch.step() {
-            DataCycle::Idle | DataCycle::Busy(_) => {}
+            DataCycle::Idle => {}
+            DataCycle::Busy(idx) => self.obs_data_start(idx, cycle),
             DataCycle::Beat { idx, beat, last } => {
+                self.obs_data_start(idx, cycle);
                 let (bus_word, ben, tag, rec) = {
                     let a = &self.active[idx];
                     let addr = a.txn.beat_addr(beat);
@@ -288,6 +379,8 @@ impl RtlSystem {
                     self.slaves[slave.0].write_word(addr, bus_word, ben);
                 }
                 if last {
+                    self.obs
+                        .end(self.active[idx].txn.id.0, Phase::WriteData, cycle, false);
                     self.master.complete(rec, cycle, None);
                     self.last_done = cycle;
                 }

@@ -73,7 +73,10 @@ impl ClockSpec {
     /// edge at exactly half a period).
     pub fn new(period: u64, start: SimTime) -> Self {
         assert!(period > 0, "clock period must be non-zero");
-        assert!(period.is_multiple_of(2), "clock period must be even, got {period}");
+        assert!(
+            period.is_multiple_of(2),
+            "clock period must be even, got {period}"
+        );
         ClockSpec { period, start }
     }
 

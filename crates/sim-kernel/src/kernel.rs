@@ -2,7 +2,7 @@
 
 use crate::clock::{ClockId, ClockSpec, ClockState, Edge};
 use crate::event::{EventId, EventState};
-use crate::process::{ProcessId, ProcessMeta, WakeCause};
+use crate::process::{ProcessId, ProcessMeta, ProcessProfile, WakeCause};
 use crate::stats::KernelStats;
 use crate::time::SimTime;
 use std::cmp::Reverse;
@@ -204,7 +204,7 @@ impl<W> Kernel<W> {
         self.suspensions.push(None);
         self.meta.push(ProcessMeta {
             name: name.to_owned(),
-            activations: 0,
+            ..ProcessMeta::default()
         });
         ProcessBuilder { kernel: self, id }
     }
@@ -212,6 +212,9 @@ impl<W> Kernel<W> {
     /// Notifies `event` to fire `delay` ticks from the current time
     /// (from outside any process; inside a process use [`Api::notify`]).
     pub fn notify(&mut self, event: EventId, delay: u64) {
+        if delay == 0 {
+            self.stats.delta_events += 1;
+        }
         let at = self.time.saturating_add(delay);
         self.schedule(at, Activity::Event(event.0));
     }
@@ -292,6 +295,7 @@ impl<W> Kernel<W> {
             seq: self.seq,
             what,
         }));
+        self.stats.queue_hwm = self.stats.queue_hwm.max(self.queue.len() as u64);
     }
 
     fn dispatch_next(&mut self) {
@@ -393,13 +397,21 @@ impl<W> Kernel<W> {
             .expect("process re-entered itself");
         handler(&mut self.world, &mut api);
         self.handlers[pid.0] = Some(handler);
-        self.meta[pid.0].activations += 1;
+        let meta = &mut self.meta[pid.0];
+        meta.activations += 1;
+        if meta.last_instant != Some(self.time) {
+            meta.last_instant = Some(self.time);
+            meta.occupied_instants += 1;
+        }
         self.stats.activations += 1;
 
         for ev in api.cancellations {
             self.cancel_event(ev);
         }
         for (ev, delay) in api.notifications {
+            if delay == 0 {
+                self.stats.delta_events += 1;
+            }
             let at = self.time.saturating_add(delay);
             self.schedule(at, Activity::Event(ev.0));
         }
@@ -423,6 +435,26 @@ impl<W> Kernel<W> {
     /// Number of activations of a single process (test/diagnostic aid).
     pub fn activations(&self, pid: ProcessId) -> u64 {
         self.meta[pid.0].activations
+    }
+
+    /// Distinct simulation instants at which `pid` ran (its sim-time
+    /// occupancy).
+    pub fn occupied_instants(&self, pid: ProcessId) -> u64 {
+        self.meta[pid.0].occupied_instants
+    }
+
+    /// Per-process profiling rows (name, activation count, sim-time
+    /// occupancy), in registration order — the kernel-level feed for the
+    /// observability layer's metrics export.
+    pub fn process_profile(&self) -> Vec<ProcessProfile> {
+        self.meta
+            .iter()
+            .map(|m| ProcessProfile {
+                name: m.name.clone(),
+                activations: m.activations,
+                occupied_instants: m.occupied_instants,
+            })
+            .collect()
     }
 
     /// Number of times `event` has fired.
@@ -525,6 +557,10 @@ mod tests {
         .sensitive_to_event(ev);
         k.run_until(0);
         assert_eq!(k.world().log, vec![(0, "edge"), (0, "delta")]);
+        // The zero-delay notification is counted as a delta event, and
+        // it briefly coexists in the queue with the pending falling edge.
+        assert_eq!(k.stats().delta_events, 1);
+        assert_eq!(k.stats().queue_hwm, 2);
     }
 
     #[test]
@@ -585,6 +621,16 @@ mod tests {
         k.run_until(10);
         assert_eq!(k.stats().activations, 6);
         assert_eq!(k.stats().edges, 11);
+        // A lone free-running clock keeps exactly one pending edge and
+        // never requests a delta notification.
+        assert_eq!(k.stats().queue_hwm, 1);
+        assert_eq!(k.stats().delta_events, 0);
+        // Each activation happened at a distinct instant.
+        let profile = k.process_profile();
+        assert_eq!(profile.len(), 1);
+        assert_eq!(profile[0].name, "n");
+        assert_eq!(profile[0].activations, 6);
+        assert_eq!(profile[0].occupied_instants, 6);
     }
 
     #[test]

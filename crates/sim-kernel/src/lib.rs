@@ -38,6 +38,7 @@
 pub mod clock;
 pub mod event;
 pub mod kernel;
+pub mod prng;
 pub mod process;
 pub mod signal;
 pub mod stats;
@@ -47,7 +48,8 @@ pub mod trace;
 pub use clock::{ClockId, ClockSpec, Edge};
 pub use event::EventId;
 pub use kernel::{Api, Kernel, ProcessBuilder};
-pub use process::ProcessId;
+pub use prng::SplitMix64;
+pub use process::{ProcessId, ProcessProfile};
 pub use signal::{Transition, Vector, Wire};
 pub use stats::KernelStats;
 pub use time::SimTime;

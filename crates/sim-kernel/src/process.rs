@@ -40,4 +40,20 @@ pub enum WakeCause {
 pub(crate) struct ProcessMeta {
     pub name: String,
     pub activations: u64,
+    /// Distinct simulation instants at which the process ran — its
+    /// sim-time occupancy (several same-instant activations count once).
+    pub occupied_instants: u64,
+    pub last_instant: Option<crate::time::SimTime>,
+}
+
+/// A profiling row for one process, as reported by
+/// [`Kernel::process_profile`](crate::Kernel::process_profile).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessProfile {
+    /// The name the process was registered with.
+    pub name: String,
+    /// Total activations.
+    pub activations: u64,
+    /// Distinct simulation instants at which the process ran.
+    pub occupied_instants: u64,
 }

@@ -13,15 +13,23 @@ pub struct KernelStats {
     pub edges: u64,
     /// Event notifications delivered.
     pub events_fired: u64,
+    /// Zero-delay (delta) notifications requested.
+    pub delta_events: u64,
+    /// High-water mark of the scheduler queue depth.
+    pub queue_hwm: u64,
 }
 
 impl KernelStats {
     /// Difference between two snapshots (`self` taken after `earlier`).
+    /// `queue_hwm` is a watermark, not a counter, so the later reading
+    /// is kept as-is.
     pub fn since(&self, earlier: &KernelStats) -> KernelStats {
         KernelStats {
             activations: self.activations - earlier.activations,
             edges: self.edges - earlier.edges,
             events_fired: self.events_fired - earlier.events_fired,
+            delta_events: self.delta_events - earlier.delta_events,
+            queue_hwm: self.queue_hwm,
         }
     }
 }
@@ -30,8 +38,8 @@ impl std::fmt::Display for KernelStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} activations, {} edges, {} events",
-            self.activations, self.edges, self.events_fired
+            "{} activations, {} edges, {} events ({} delta), queue hwm {}",
+            self.activations, self.edges, self.events_fired, self.delta_events, self.queue_hwm
         )
     }
 }
@@ -46,16 +54,23 @@ mod tests {
             activations: 10,
             edges: 20,
             events_fired: 3,
+            delta_events: 2,
+            queue_hwm: 9,
         };
         let b = KernelStats {
             activations: 4,
             edges: 5,
             events_fired: 1,
+            delta_events: 1,
+            queue_hwm: 7,
         };
         let d = a.since(&b);
         assert_eq!(d.activations, 6);
         assert_eq!(d.edges, 15);
         assert_eq!(d.events_fired, 2);
+        assert_eq!(d.delta_events, 1);
+        // Watermarks don't subtract.
+        assert_eq!(d.queue_hwm, 9);
     }
 
     #[test]

@@ -95,6 +95,21 @@ impl TraceRecorder {
         let _ = writeln!(out, "$upscope $end");
         let _ = writeln!(out, "$enddefinitions $end");
 
+        // Initial-value dump: every channel starts unknown until its
+        // first sample. Some viewers reject files whose first `#time`
+        // section references an identifier never dumped before, so the
+        // block must cover all channels.
+        let _ = writeln!(out, "$dumpvars");
+        for (i, ch) in self.channels.iter().enumerate() {
+            let code = Self::id_code(i);
+            if ch.width == 1 {
+                let _ = writeln!(out, "x{code}");
+            } else {
+                let _ = writeln!(out, "bx {code}");
+            }
+        }
+        let _ = writeln!(out, "$end");
+
         // Merge-sort all change points by time (stable by channel order).
         let mut points: Vec<(SimTime, usize, u64)> = Vec::new();
         for (i, ch) in self.channels.iter().enumerate() {
@@ -174,6 +189,24 @@ mod tests {
         assert!(vcd.contains("#0"));
         assert!(vcd.contains("#5"));
         assert!(vcd.contains("b10100101 \""));
+    }
+
+    #[test]
+    fn vcd_emits_initial_dumpvars_block_for_every_channel() {
+        let mut rec = TraceRecorder::new("1ns");
+        let _clk = rec.add_channel("clk", 1);
+        let _bus = rec.add_channel("addr", 36);
+        // A channel with no sample before the first time stamp must
+        // still appear in the initial dump.
+        rec.sample(SimTime::from_ticks(7), _clk, 1);
+        let vcd = rec.to_vcd();
+        let dump_start = vcd.find("$dumpvars").expect("has $dumpvars");
+        let defs_end = vcd.find("$enddefinitions $end").unwrap();
+        let first_stamp = vcd.find("#7").unwrap();
+        assert!(defs_end < dump_start && dump_start < first_stamp);
+        let block = &vcd[dump_start..vcd[dump_start..].find("$end").unwrap() + dump_start];
+        assert!(block.contains("x!"), "scalar unknown: {block}");
+        assert!(block.contains("bx \""), "vector unknown: {block}");
     }
 
     #[test]

@@ -89,6 +89,8 @@ pub struct CryptoAccel {
     last_cycle: u64,
     /// Operation latched at start (true = decrypt).
     pending_decrypt: bool,
+    /// Wait replies issued because a block was in flight (bus stalls).
+    stall_waits: u64,
 }
 
 impl CryptoAccel {
@@ -109,7 +111,14 @@ impl CryptoAccel {
             blocks_processed: 0,
             last_cycle: 0,
             pending_decrypt: false,
+            stall_waits: 0,
         }
+    }
+
+    /// Wait replies issued so far while a block was in flight — bus
+    /// cycles the master spent stalled on this peripheral.
+    pub fn stall_waits(&self) -> u64 {
+        self.stall_waits
     }
 
     /// Overrides the per-block latency (cycles).
@@ -199,6 +208,7 @@ impl TlmSlave for CryptoAccel {
         match self.reg_offset(addr) {
             Some(0x00) => {
                 if self.is_busy() {
+                    self.stall_waits += 1;
                     return SlaveReply::Wait;
                 }
                 if data & (ctrl::START_ENC | ctrl::START_DEC) != 0 {

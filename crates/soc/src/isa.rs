@@ -407,7 +407,7 @@ impl Instr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use hierbus_sim::SplitMix64;
 
     #[test]
     fn nop_is_all_zero() {
@@ -487,15 +487,16 @@ mod tests {
         assert!(!Instr::NOP.is_memory_op());
     }
 
-    fn arb_reg() -> impl Strategy<Value = Reg> {
-        (0u8..32).prop_map(Reg)
+    fn arb_reg(rng: &mut SplitMix64) -> Reg {
+        Reg(rng.range_u32(0, 32) as u8)
     }
 
-    proptest! {
-        #[test]
-        fn encode_decode_roundtrip_rtype(
-            rd in arb_reg(), rs in arb_reg(), rt in arb_reg(), sh in 0u8..32
-        ) {
+    #[test]
+    fn encode_decode_roundtrip_rtype() {
+        let mut rng = SplitMix64::new(0x47E5);
+        for case in 0..256 {
+            let (rd, rs, rt) = (arb_reg(&mut rng), arb_reg(&mut rng), arb_reg(&mut rng));
+            let sh = rng.range_u32(0, 32) as u8;
             for i in [
                 Instr::Sll { rd, rt, sh },
                 Instr::Srl { rd, rt, sh },
@@ -505,30 +506,46 @@ mod tests {
                 Instr::Slt { rd, rs, rt },
                 Instr::Mul { rd, rs, rt },
             ] {
-                prop_assert_eq!(Instr::decode(i.encode()), Some(i));
+                assert_eq!(Instr::decode(i.encode()), Some(i), "case {case}");
             }
         }
+    }
 
-        #[test]
-        fn encode_decode_roundtrip_itype(
-            rs in arb_reg(), rt in arb_reg(), imm in any::<i16>(), uimm in any::<u16>()
-        ) {
+    #[test]
+    fn encode_decode_roundtrip_itype() {
+        let mut rng = SplitMix64::new(0x17E5);
+        for case in 0..256 {
+            let (rs, rt) = (arb_reg(&mut rng), arb_reg(&mut rng));
+            let imm = rng.next_u32() as u16 as i16;
+            let uimm = rng.next_u32() as u16;
             for i in [
                 Instr::Addiu { rt, rs, imm },
                 Instr::Ori { rt, rs, imm: uimm },
                 Instr::Lui { rt, imm: uimm },
                 Instr::Beq { rs, rt, off: imm },
-                Instr::Lw { rt, base: rs, off: imm },
-                Instr::Sb { rt, base: rs, off: imm },
+                Instr::Lw {
+                    rt,
+                    base: rs,
+                    off: imm,
+                },
+                Instr::Sb {
+                    rt,
+                    base: rs,
+                    off: imm,
+                },
             ] {
-                prop_assert_eq!(Instr::decode(i.encode()), Some(i));
+                assert_eq!(Instr::decode(i.encode()), Some(i), "case {case}");
             }
         }
+    }
 
-        #[test]
-        fn encode_decode_roundtrip_jtype(target in 0u32..(1 << 26)) {
+    #[test]
+    fn encode_decode_roundtrip_jtype() {
+        let mut rng = SplitMix64::new(0x77E5);
+        for case in 0..256 {
+            let target = rng.range_u32(0, 1 << 26);
             for i in [Instr::J { target }, Instr::Jal { target }] {
-                prop_assert_eq!(Instr::decode(i.encode()), Some(i));
+                assert_eq!(Instr::decode(i.encode()), Some(i), "case {case}");
             }
         }
     }

@@ -51,6 +51,7 @@ pub mod crypto;
 pub mod energy;
 pub mod isa;
 pub mod mem;
+pub mod obs;
 pub mod platform;
 pub mod program;
 pub mod rng;
@@ -63,6 +64,7 @@ pub use crypto::CryptoAccel;
 pub use energy::{platform_component_energy, PlatformEnergyReport};
 pub use isa::{Instr, Reg};
 pub use mem::{Eeprom, Flash, Rom, ScratchpadRam};
+pub use obs::export_platform_metrics;
 pub use platform::{Platform, PlatformMap};
 pub use program::Program;
 pub use rng::TrueRng;

@@ -73,7 +73,10 @@ impl Program {
     ///
     /// Panics if `base` is not word aligned.
     pub fn new(base: u32) -> Self {
-        assert!(base.is_multiple_of(4), "program base {base:#x} must be word aligned");
+        assert!(
+            base.is_multiple_of(4),
+            "program base {base:#x} must be word aligned"
+        );
         Program {
             base,
             ..Program::default()

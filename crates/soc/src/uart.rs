@@ -39,6 +39,10 @@ pub struct Uart {
     rx_fifo: VecDeque<u8>,
     sent: Vec<u8>,
     last_cycle: u64,
+    /// Wait replies issued because the TX FIFO was full (bus stalls).
+    stall_waits: u64,
+    /// High-water mark of TX FIFO occupancy.
+    tx_fifo_hwm: usize,
 }
 
 impl Uart {
@@ -57,7 +61,20 @@ impl Uart {
             rx_fifo: VecDeque::new(),
             sent: Vec::new(),
             last_cycle: 0,
+            stall_waits: 0,
+            tx_fifo_hwm: 0,
         }
+    }
+
+    /// Wait replies issued so far because the TX FIFO was full — each
+    /// one is a bus cycle the master spent stalled on this peripheral.
+    pub fn stall_waits(&self) -> u64 {
+        self.stall_waits
+    }
+
+    /// High-water mark of TX FIFO occupancy.
+    pub fn tx_fifo_hwm(&self) -> usize {
+        self.tx_fifo_hwm
     }
 
     /// Injects a received byte (the card reader's side of the link).
@@ -147,9 +164,11 @@ impl TlmSlave for Uart {
             0x0 => {
                 if self.tx_fifo.len() >= TX_FIFO_DEPTH {
                     // Back-pressure: the layer-1 bus retries next cycle.
+                    self.stall_waits += 1;
                     SlaveReply::Wait
                 } else {
                     self.tx_fifo.push_back(data as u8);
+                    self.tx_fifo_hwm = self.tx_fifo_hwm.max(self.tx_fifo.len());
                     SlaveReply::Ok(())
                 }
             }

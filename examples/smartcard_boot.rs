@@ -84,6 +84,7 @@ fn main() {
     platform.rom.load(Address::new(TABLE_ROM as u64), &TABLE);
     let mut bus = platform.into_tlm1();
     bus.enable_frames();
+    bus.enable_obs();
 
     let mut sys = CpuSystem::new(bus, PlatformMap::RESET_PC);
     let mut model = Layer1EnergyModel::new(CharacterizationDb::uniform());
@@ -143,4 +144,31 @@ fn main() {
     // transmitted bytes and the running timer show up as dynamic energy.
     let components = hierbus::soc::platform_component_energy(sys.bus(), report.cycles);
     println!("\n{components}");
+
+    // Observability artifacts: every bus transaction of the boot as
+    // Perfetto spans with a cumulative energy counter track, plus a
+    // metrics CSV covering the run and the peripherals.
+    let mut obs = sys.bus().obs().clone();
+    let mut total = 0.0;
+    for (cycle, e) in trace.iter().enumerate() {
+        total += e;
+        obs.counter_sample("energy_pj", cycle as u64, total);
+    }
+    let mut reg = hierbus::obs::MetricsRegistry::new();
+    let instructions = reg.counter("boot.instructions");
+    reg.add(instructions, report.instructions);
+    let cycles = reg.counter("boot.cycles");
+    reg.add(cycles, report.cycles);
+    hierbus::soc::export_platform_metrics(sys.bus(), &mut reg);
+
+    let dir = hierbus::observe::default_dir();
+    std::fs::create_dir_all(&dir).expect("create results/obs");
+    let trace_path = dir.join("smartcard_boot.trace.json");
+    hierbus::obs::perfetto::save(&trace_path, std::slice::from_ref(&obs))
+        .expect("write boot trace");
+    let csv_path = dir.join("smartcard_boot.metrics.csv");
+    hierbus::obs::save_csv(&csv_path, &reg.snapshot()).expect("write boot metrics");
+    println!("\nObservability artifacts:");
+    println!("  {} ({} spans)", trace_path.display(), obs.span_count());
+    println!("  {}", csv_path.display());
 }

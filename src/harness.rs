@@ -13,7 +13,7 @@ use hierbus_power::{
 use hierbus_rtl::{GlitchConfig, PowerConfig, RtlSystem, SimpleMem};
 
 /// Cycle ceiling for harness runs; hitting it is a deadlock bug.
-const MAX_CYCLES: u64 = 50_000_000;
+pub const MAX_CYCLES: u64 = 50_000_000;
 
 /// The slave window every harness scenario runs against.
 pub fn scenario_slave(scenario: &Scenario) -> SlaveConfig {
@@ -174,6 +174,22 @@ pub mod perf {
         let mem = MemSlave::new(scenario_slave(scenario));
         let mut bus = Tlm1Bus::new(vec![Box::new(mem)]);
         bus.enable_frames();
+        let mut sys = TlmSystem::new(bus, scenario.ops.clone());
+        sys.disable_records();
+        let mut model = Layer1EnergyModel::new(db.clone());
+        sys.run(MAX_CYCLES, |bus: &mut Tlm1Bus| {
+            model.on_frame(bus.last_frame());
+        });
+        sys.completed()
+    }
+
+    /// Layer 1 with the energy model *and* span observability enabled —
+    /// the worst case for instrumentation overhead.
+    pub fn layer1_observed(scenario: &Scenario, db: &CharacterizationDb) -> u64 {
+        let mem = MemSlave::new(scenario_slave(scenario));
+        let mut bus = Tlm1Bus::new(vec![Box::new(mem)]);
+        bus.enable_frames();
+        bus.enable_obs();
         let mut sys = TlmSystem::new(bus, scenario.ops.clone());
         sys.disable_records();
         let mut model = Layer1EnergyModel::new(db.clone());

@@ -1,0 +1,247 @@
+//! Observed experiment runs: every model layer with span collection,
+//! cumulative-energy counter tracks, and a metrics registry, exported
+//! as a Perfetto/Chrome trace plus a metrics CSV under `results/obs/`.
+//!
+//! The exported trace lays the same scenario's transactions side by
+//! side: one process per layer (`rtl`, `tlm1`, `tlm2`), one thread per
+//! protocol phase, and an `energy_pj` counter track per layer fed from
+//! the gate-level estimator (RTL), the layer-1 energy model, and the
+//! layer-2 phase-event model respectively.
+//!
+//! Metric names written to the CSV (per layer `L` in `rtl`, `tlm1`,
+//! `tlm2`):
+//!
+//! | name | kind | meaning |
+//! |------|------|---------|
+//! | `L.txns` | counter | transactions completed |
+//! | `L.errors` | counter | transactions completed with a bus error |
+//! | `L.cycles` | counter | bus cycles used |
+//! | `L.energy_pj` | counter | estimated energy, rounded to whole pJ |
+//! | `L.txn_latency_cycles` | histogram | issue→done latency per transaction |
+
+use crate::harness::{scenario_slave, MAX_CYCLES};
+use hierbus_core::{MemSlave, Tlm1Bus, Tlm2Bus, TlmSystem};
+use hierbus_ec::record::TxnRecord;
+use hierbus_ec::sequences::Scenario;
+use hierbus_obs::{MetricsRegistry, TraceCollector};
+use hierbus_power::{CharacterizationDb, Layer1EnergyModel, Layer2EnergyModel};
+use hierbus_rtl::{GlitchConfig, PowerConfig, RtlSystem, SimpleMem};
+use std::path::{Path, PathBuf};
+
+/// Latency histogram bucket bounds (cycles, inclusive upper edges).
+const LATENCY_BOUNDS: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// Name of the per-layer cumulative energy counter track.
+const ENERGY_TRACK: &str = "energy_pj";
+
+/// One scenario observed across all three model layers.
+#[derive(Debug, Clone)]
+pub struct ObservedRun {
+    /// Scenario name (used for output file names).
+    pub name: String,
+    /// Span collectors in layer order: `rtl`, `tlm1`, `tlm2`.
+    pub collectors: Vec<TraceCollector>,
+    /// Cross-layer metrics (see the module docs for the name table).
+    pub metrics: MetricsRegistry,
+}
+
+fn record_layer_metrics(
+    reg: &mut MetricsRegistry,
+    layer: &str,
+    records: &[TxnRecord],
+    cycles: u64,
+    energy_pj: f64,
+) {
+    let txns = reg.counter(&format!("{layer}.txns"));
+    reg.add(txns, records.len() as u64);
+    let errors = reg.counter(&format!("{layer}.errors"));
+    reg.add(
+        errors,
+        records.iter().filter(|r| r.error.is_some()).count() as u64,
+    );
+    let cyc = reg.counter(&format!("{layer}.cycles"));
+    reg.add(cyc, cycles);
+    let energy = reg.counter(&format!("{layer}.energy_pj"));
+    reg.add(energy, energy_pj.round().max(0.0) as u64);
+    let lat = reg.histogram(&format!("{layer}.txn_latency_cycles"), &LATENCY_BOUNDS);
+    for r in records {
+        if let Some(done) = r.done_cycle {
+            reg.observe(lat, done - r.issue_cycle + 1);
+        }
+    }
+}
+
+/// Folds a per-cycle energy trace into a cumulative counter track.
+fn cumulative_track(obs: &mut TraceCollector, per_cycle_pj: &[f64]) {
+    let mut total = 0.0;
+    for (cycle, e) in per_cycle_pj.iter().enumerate() {
+        total += e;
+        obs.counter_sample(ENERGY_TRACK, cycle as u64, total);
+    }
+}
+
+/// Runs `scenario` on the RTL reference and both TLM layers with
+/// observability on: spans from every layer, energy counter tracks, and
+/// the metrics table.
+pub fn run_observed(scenario: &Scenario, db: &CharacterizationDb) -> ObservedRun {
+    let mut metrics = MetricsRegistry::new();
+
+    // Cycle-true reference with the gate-level estimator.
+    let mem = SimpleMem::new(scenario_slave(scenario));
+    let mut rtl = RtlSystem::new(
+        scenario.ops.clone(),
+        vec![Box::new(mem)],
+        PowerConfig::default(),
+        GlitchConfig::default(),
+    );
+    rtl.enable_obs();
+    rtl.enable_power_trace();
+    let report = rtl.run(MAX_CYCLES);
+    let mut rtl_obs = rtl.obs().clone();
+    cumulative_track(&mut rtl_obs, rtl.estimator().trace().unwrap_or(&[]));
+    record_layer_metrics(
+        &mut metrics,
+        "rtl",
+        &report.records,
+        report.cycles,
+        report.energy_pj,
+    );
+
+    // Layer 1 with the frame-diff energy model.
+    let mem = MemSlave::new(scenario_slave(scenario));
+    let mut bus = Tlm1Bus::new(vec![Box::new(mem)]);
+    bus.enable_obs();
+    bus.enable_frames();
+    let mut sys = TlmSystem::new(bus, scenario.ops.clone());
+    let mut model = Layer1EnergyModel::new(db.clone());
+    model.enable_trace();
+    let report = sys.run(MAX_CYCLES, |bus: &mut Tlm1Bus| {
+        model.on_frame(bus.last_frame());
+    });
+    let mut l1_obs = sys.bus().obs().clone();
+    cumulative_track(&mut l1_obs, model.trace().unwrap_or(&[]));
+    record_layer_metrics(
+        &mut metrics,
+        "tlm1",
+        &report.records,
+        report.cycles,
+        model.total_energy(),
+    );
+
+    // Layer 2 with the phase-event energy model; energy is sampled at
+    // each phase completion (layer 2 has no per-cycle trace).
+    let mem = MemSlave::new(scenario_slave(scenario));
+    let mut bus = Tlm2Bus::new(vec![Box::new(mem)]);
+    bus.enable_obs();
+    bus.enable_events();
+    let mut sys = TlmSystem::new(bus, scenario.ops.clone());
+    let mut model = Layer2EnergyModel::new(db.clone());
+    let mut samples: Vec<(u64, f64)> = Vec::new();
+    let report = sys.run(MAX_CYCLES, |bus: &mut Tlm2Bus| {
+        for ev in bus.drain_events() {
+            model.on_event(&ev);
+            samples.push((ev.at_cycle, model.total_energy()));
+        }
+    });
+    let mut l2_obs = sys.bus().obs().clone();
+    for (cycle, total) in samples {
+        l2_obs.counter_sample(ENERGY_TRACK, cycle, total);
+    }
+    record_layer_metrics(
+        &mut metrics,
+        "tlm2",
+        &report.records,
+        report.cycles,
+        model.total_energy(),
+    );
+
+    ObservedRun {
+        name: scenario.name.to_string(),
+        collectors: vec![rtl_obs, l1_obs, l2_obs],
+        metrics,
+    }
+}
+
+/// File-system-safe version of a scenario name.
+fn slug(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Writes `<dir>/<name>.trace.json` (Perfetto/Chrome trace-event JSON)
+/// and `<dir>/<name>.metrics.csv`, creating `dir` as needed. Returns
+/// the two paths.
+///
+/// # Errors
+///
+/// Any I/O error from creating the directory or writing the files.
+pub fn export(run: &ObservedRun, dir: &Path) -> std::io::Result<(PathBuf, PathBuf)> {
+    std::fs::create_dir_all(dir)?;
+    let base = slug(&run.name);
+    let trace_path = dir.join(format!("{base}.trace.json"));
+    hierbus_obs::perfetto::save(&trace_path, &run.collectors)?;
+    let csv_path = dir.join(format!("{base}.metrics.csv"));
+    hierbus_obs::save_csv(&csv_path, &run.metrics.snapshot())?;
+    Ok((trace_path, csv_path))
+}
+
+/// The conventional output directory for observability artifacts.
+pub fn default_dir() -> PathBuf {
+    PathBuf::from("results/obs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness;
+    use hierbus_ec::sequences;
+
+    #[test]
+    fn observed_run_collects_all_layers() {
+        let db = harness::standard_db();
+        let run = run_observed(&sequences::single_read(false), &db);
+        assert_eq!(run.collectors.len(), 3);
+        for obs in &run.collectors {
+            assert!(obs.span_count() > 0, "layer {} has spans", obs.layer());
+            assert_eq!(obs.open_count(), 0, "layer {} leaks spans", obs.layer());
+        }
+        // One successful transaction = request + address + data on every
+        // layer.
+        assert_eq!(run.collectors[0].span_count(), 3);
+        assert_eq!(run.collectors[1].span_count(), 3);
+        assert_eq!(run.collectors[2].span_count(), 3);
+        // Energy tracks exist for every layer.
+        for obs in &run.collectors {
+            assert!(
+                obs.counters().iter().any(|t| t.name == ENERGY_TRACK),
+                "layer {} has an energy track",
+                obs.layer()
+            );
+        }
+        let snap = run.metrics.snapshot();
+        assert!(snap
+            .counters
+            .iter()
+            .any(|(n, v)| n == "rtl.txns" && *v == 1));
+        assert!(snap
+            .histograms
+            .iter()
+            .any(|h| h.name == "tlm1.txn_latency_cycles" && h.count == 1));
+    }
+
+    #[test]
+    fn export_writes_trace_and_csv() {
+        let db = harness::standard_db();
+        let run = run_observed(&sequences::back_to_back_reads(), &db);
+        let dir = std::env::temp_dir().join("hierbus_obs_test");
+        let (trace, csv) = export(&run, &dir).expect("export writes");
+        let json = std::fs::read_to_string(&trace).unwrap();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"C\""));
+        let metrics = std::fs::read_to_string(&csv).unwrap();
+        assert!(metrics.starts_with("kind,name,field,value\n"));
+        assert!(metrics.contains("counter,rtl.txns,count,4\n"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

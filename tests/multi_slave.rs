@@ -9,8 +9,7 @@ use hierbus::ec::{
     AccessKind, AccessRights, Address, AddressRange, BurstLen, DataWidth, SlaveConfig, WaitProfile,
 };
 use hierbus::rtl::{GlitchConfig, PowerConfig, RtlSystem, SimpleMem};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use hierbus::sim::SplitMix64;
 
 /// Four windows with very different personalities.
 fn slave_configs() -> Vec<SlaveConfig> {
@@ -45,30 +44,30 @@ fn slave_configs() -> Vec<SlaveConfig> {
 /// Mixed traffic across all four windows, avoiding rights violations
 /// (and adding a couple of deliberate ones at the end).
 fn traffic(seed: u64, count: usize) -> Vec<MasterOp> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut ops = Vec::new();
     for _ in 0..count {
-        let window = rng.gen_range(0..4u64);
+        let window = rng.range_u64(0, 4);
         let base = window * 0x4000;
-        let addr = base + 4 * rng.gen_range(0..0x400u64);
+        let addr = base + 4 * rng.range_u64(0, 0x400);
         let op = match window {
             2 => {
                 // ROM: reads and fetches only.
-                if rng.gen_bool(0.5) {
+                if rng.bool(0.5) {
                     MasterOp::fetch(addr, BurstLen::B4)
                 } else {
                     MasterOp::read(addr)
                 }
             }
             _ => {
-                if rng.gen_bool(0.5) {
+                if rng.bool(0.5) {
                     MasterOp::read(addr)
                 } else {
-                    MasterOp::write(addr, rng.gen())
+                    MasterOp::write(addr, rng.next_u32())
                 }
             }
         };
-        ops.push(op.after_idle(rng.gen_range(0..3)));
+        ops.push(op.after_idle(rng.range_u32(0, 3)));
     }
     // Deliberate violations: write to ROM, fetch from the peripheral.
     ops.push(MasterOp::write(0x8000, 0xBAD).after_idle(30));
