@@ -16,4 +16,7 @@ cargo test -q --workspace
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> campaign smoke (2 workers, tiny matrix)"
+cargo run --release -p hierbus-bench --bin explore_jcvm -- --smoke --workers 2
+
 echo "CI OK"

@@ -1,13 +1,16 @@
 //! Micro-benchmarks behind Table 3: bus-model throughput in
 //! transactions per second, with and without energy estimation, plus the
-//! RTL reference for the §4.2 acceleration context.
+//! RTL reference for the §4.2 acceleration context — and the
+//! campaign-engine scaling of a bus-level scenario sweep (1/2/4/N
+//! workers), appended to `BENCH_throughput.json`.
 //!
 //! Plain `std::time` timers (best-of-N) instead of criterion so the
 //! workspace builds with no registry access. Run with
 //! `cargo bench -p hierbus-bench --bench bus_throughput`.
 
 use hierbus::harness;
-use hierbus_bench::{grouped, throughput, time_best, TextTable};
+use hierbus_bench::{grouped, throughput, time_best, TextTable, THROUGHPUT_JSON};
+use hierbus_campaign::{CampaignPayload, Json, Matrix};
 use hierbus_ec::sequences::{random_mix, MixParams};
 use hierbus_ec::SignalFrame;
 use hierbus_power::{CharacterizationDb, Layer1EnergyModel};
@@ -27,6 +30,29 @@ fn mix(count: usize) -> hierbus_ec::Scenario {
             ..MixParams::default()
         },
     )
+}
+
+/// One cell of the bus-level campaign: a seeded random mix through the
+/// estimating layer-1 model.
+struct MixCell {
+    cycles: u64,
+    energy_pj: f64,
+}
+
+impl CampaignPayload for MixCell {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("cycles".to_owned(), Json::Num(self.cycles as f64)),
+            ("energy_pj".to_owned(), Json::Num(self.energy_pj)),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Option<Self> {
+        Some(MixCell {
+            cycles: json.get("cycles")?.as_u64()?,
+            energy_pj: json.get("energy_pj")?.as_f64()?,
+        })
+    }
 }
 
 fn main() {
@@ -77,4 +103,87 @@ fn main() {
 
     println!("bus_throughput micro-benchmarks (best of {REPS}):\n");
     println!("{}", table.render());
+
+    // Campaign scaling at the bus level: 16 independently seeded mixes
+    // through the estimating layer-1 model, fanned out on the campaign
+    // worker pool. Unlike the single-simulation rows above, this is the
+    // batch shape a characterization or regression sweep has.
+    let seeds: Vec<u64> = (0..16).map(|i| 0xBE9C + 0x101 * i).collect();
+    let matrix = Matrix::new().axis("seed", seeds.iter().map(|s| format!("{s:#06x}")));
+    let scenarios: Vec<_> = seeds
+        .iter()
+        .map(|&s| {
+            random_mix(
+                s,
+                MixParams {
+                    count: 1_000,
+                    read_pct: 50,
+                    burst_pct: 40,
+                    fetch_pct: 30,
+                    max_idle: 0,
+                    ..MixParams::default()
+                },
+            )
+        })
+        .collect();
+    let mut worker_counts = vec![1, 2, 4];
+    if let Ok(n) = std::thread::available_parallelism() {
+        worker_counts.push(n.get());
+    }
+    worker_counts.sort_unstable();
+    worker_counts.dedup();
+    let scaling = hierbus_campaign::measure_scaling::<MixCell, _>(
+        &matrix,
+        "bus_throughput_campaign",
+        &worker_counts,
+        |point| {
+            let run = harness::run_layer1(&scenarios[point.coords[0]], &db);
+            MixCell {
+                cycles: run.cycles,
+                energy_pj: run.energy_pj,
+            }
+        },
+    );
+    let base = scaling[0].scenarios_per_sec;
+    let mut scale_table = TextTable::new(["workers", "wall", "scenarios/s", "speedup"]);
+    for p in &scaling {
+        scale_table.row([
+            p.workers.to_string(),
+            format!("{:.2?}", p.wall),
+            format!("{:.1}", p.scenarios_per_sec),
+            format!("{:.2}x", p.scenarios_per_sec / base),
+        ]);
+    }
+    println!(
+        "campaign scaling ({} bus scenarios per run):\n",
+        seeds.len()
+    );
+    println!("{}", scale_table.render());
+
+    let fields = vec![
+        ("scenarios".to_owned(), Json::Num(seeds.len() as f64)),
+        (
+            "workers".to_owned(),
+            Json::Arr(
+                scaling
+                    .iter()
+                    .map(|p| {
+                        Json::Obj(vec![
+                            ("workers".to_owned(), Json::Num(p.workers as f64)),
+                            ("scenarios_per_s".to_owned(), Json::Num(p.scenarios_per_sec)),
+                            ("speedup".to_owned(), Json::Num(p.scenarios_per_sec / base)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ];
+    match hierbus_bench::write_throughput_section(
+        hierbus_bench::throughput_json_path(),
+        "campaign_bus",
+        fields,
+    ) {
+        Ok(()) => println!("campaign scaling appended to {THROUGHPUT_JSON}"),
+        Err(e) => eprintln!("warning: could not write {THROUGHPUT_JSON}: {e}"),
+    }
 }

@@ -6,53 +6,123 @@
 //! 3. glitch modeling on vs off in the gate-level reference,
 //! 4. outstanding-transaction depth vs throughput.
 //!
-//! Run with `cargo run --release -p hierbus-bench --bin ablations`.
+//! Ablations 1–3 need one energy number per `scenario × model` cell, so
+//! the cells run as a campaign on the `hierbus-campaign` engine (every
+//! cell is an independent simulation; `CAMPAIGN_WORKERS=N` parallelises
+//! them) and the aggregate statistics are folded from the merged cells
+//! in matrix order — the printed numbers are identical for any worker
+//! count. Run with `cargo run --release -p hierbus-bench --bin ablations`.
 
 use hierbus::harness;
 use hierbus_bench::{pct, TextTable};
+use hierbus_campaign::{CampaignOptions, CampaignPayload, Json, Matrix};
 use hierbus_core::{MemSlave, Tlm1Bus, TlmMaster, TlmSystem};
 use hierbus_ec::sequences::{random_mix, MixParams};
 use hierbus_ec::OutstandingLimits;
 use hierbus_power::{CharacterizationDb, Layer1EnergyModel};
 
+/// The model axis of the ablation campaign.
+const MODELS: [&str; 6] = [
+    "gate",
+    "ideal_netlist",
+    "layer1",
+    "layer1_uniform",
+    "layer2_plain",
+    "layer2_corrected",
+];
+
+/// One campaign cell: the energy one model estimates for one scenario.
+struct EnergyCell {
+    energy_pj: f64,
+}
+
+impl CampaignPayload for EnergyCell {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![("energy_pj".to_owned(), Json::Num(self.energy_pj))])
+    }
+
+    fn from_json(json: &Json) -> Option<Self> {
+        Some(EnergyCell {
+            energy_pj: json.get("energy_pj")?.as_f64()?,
+        })
+    }
+}
+
+/// Layer-1 run with the scale-free uniform database (1 pJ/toggle).
+fn run_layer1_uniform(s: &hierbus_ec::Scenario) -> f64 {
+    let mem = MemSlave::new(harness::scenario_slave(s));
+    let mut bus = Tlm1Bus::new(vec![Box::new(mem)]);
+    bus.enable_frames();
+    let mut sys = TlmSystem::new(bus, s.ops.clone());
+    let mut model = Layer1EnergyModel::new(CharacterizationDb::uniform());
+    sys.run(50_000_000, |b: &mut Tlm1Bus| model.on_frame(b.last_frame()));
+    model.total_energy()
+}
+
 fn main() {
-    let db = harness::standard_db();
+    let db = harness::shared_db();
     let scenarios = harness::evaluation_scenarios();
+
+    // ---- the scenario × model energy matrix (ablations 1–3) -------------
+    let matrix = Matrix::new()
+        .axis("scenario", scenarios.iter().map(|s| s.name))
+        .axis("model", MODELS);
+    let workers = hierbus_campaign::worker_count(None);
+    let runner_db = std::sync::Arc::clone(&db);
+    let report = hierbus_campaign::run(
+        &matrix,
+        &CampaignOptions::with_workers("ablations", workers),
+        move |point| {
+            let s = &scenarios[point.coords[0]];
+            let energy_pj = match MODELS[point.coords[1]] {
+                "gate" => harness::run_reference(s, false).energy_pj,
+                "ideal_netlist" => harness::run_reference(s, true).energy_pj,
+                "layer1" => harness::run_layer1(s, &runner_db).energy_pj,
+                "layer1_uniform" => run_layer1_uniform(s),
+                "layer2_plain" => harness::run_layer2(s, &runner_db, false).energy_pj,
+                "layer2_corrected" => harness::run_layer2(s, &runner_db, true).energy_pj,
+                other => unreachable!("unknown model {other}"),
+            };
+            EnergyCell { energy_pj }
+        },
+    )
+    .expect("manifest-less campaign cannot fail on I/O");
+    eprintln!(
+        "campaign: {} cells in {:.2?} ({} workers)",
+        report.stats.total, report.stats.wall, report.stats.workers
+    );
+    // cells[scenario][model], merged in matrix order.
+    let cell = |scenario: usize, model: &str| -> f64 {
+        let m = MODELS.iter().position(|&x| x == model).expect("model");
+        report.results[scenario * MODELS.len() + m]
+            .as_ref()
+            .expect("complete campaign")
+            .energy_pj
+    };
+    let n_scen = report.stats.total / MODELS.len();
 
     // ---- 1. characterization value --------------------------------------
     let mut gate = 0.0;
     let mut l1_unif = 0.0;
-    for s in &scenarios {
-        gate += harness::run_reference(s, false).energy_pj;
+    for s in 0..n_scen {
+        gate += cell(s, "gate");
         // Uniform db: 1 pJ/toggle everywhere — scale-free, so compare the
         // per-scenario *distribution* by normalising totals to gate.
-        let mem = MemSlave::new(harness::scenario_slave(s));
-        let mut bus = Tlm1Bus::new(vec![Box::new(mem)]);
-        bus.enable_frames();
-        let mut sys = TlmSystem::new(bus, s.ops.clone());
-        let mut model = Layer1EnergyModel::new(CharacterizationDb::uniform());
-        sys.run(50_000_000, |b: &mut Tlm1Bus| model.on_frame(b.last_frame()));
-        l1_unif += model.total_energy();
+        l1_unif += cell(s, "layer1_uniform");
     }
     // Scale the uniform model to match total gate energy, then compare
     // per-scenario errors — characterization should win on distribution.
     let unif_scale = gate / l1_unif;
     let mut char_sq = 0.0;
     let mut unif_sq = 0.0;
-    for s in &scenarios {
-        let g = harness::run_reference(s, false).energy_pj;
-        let c = harness::run_layer1(s, &db).energy_pj;
-        let mem = MemSlave::new(harness::scenario_slave(s));
-        let mut bus = Tlm1Bus::new(vec![Box::new(mem)]);
-        bus.enable_frames();
-        let mut sys = TlmSystem::new(bus, s.ops.clone());
-        let mut model = Layer1EnergyModel::new(CharacterizationDb::uniform());
-        sys.run(50_000_000, |b: &mut Tlm1Bus| model.on_frame(b.last_frame()));
-        let u = model.total_energy() * unif_scale;
+    for s in 0..n_scen {
+        let g = cell(s, "gate");
+        let c = cell(s, "layer1");
+        let u = cell(s, "layer1_uniform") * unif_scale;
         char_sq += ((c - g) / g).powi(2);
         unif_sq += ((u - g) / g).powi(2);
     }
-    let n = scenarios.len() as f64;
+    let n = n_scen as f64;
     println!("Ablation 1 — value of per-class characterization (layer 1):");
     println!(
         "  rms per-scenario error: characterized {:.1}% vs oracle-rescaled uniform {:.1}%",
@@ -68,9 +138,9 @@ fn main() {
     // ---- 2. layer-2 correlation correction ------------------------------
     let mut plain = 0.0;
     let mut corrected = 0.0;
-    for s in &scenarios {
-        plain += harness::run_layer2(s, &db, false).energy_pj;
-        corrected += harness::run_layer2(s, &db, true).energy_pj;
+    for s in 0..n_scen {
+        plain += cell(s, "layer2_plain");
+        corrected += cell(s, "layer2_corrected");
     }
     println!("Ablation 2 — layer-2 inter-transaction correlation:");
     println!(
@@ -86,9 +156,9 @@ fn main() {
     // ---- 3. glitch modeling ----------------------------------------------
     let mut ideal = 0.0;
     let mut l1 = 0.0;
-    for s in &scenarios {
-        ideal += harness::run_reference(s, true).energy_pj;
-        l1 += harness::run_layer1(s, &db).energy_pj;
+    for s in 0..n_scen {
+        ideal += cell(s, "ideal_netlist");
+        l1 += cell(s, "layer1");
     }
     println!("Ablation 3 — glitch modeling in the reference:");
     println!(
@@ -173,7 +243,7 @@ fn main() {
             Some(n) => CpuSystem::with_icache(bus, PlatformMap::RESET_PC, n),
             None => CpuSystem::new(bus, PlatformMap::RESET_PC),
         };
-        let mut model = L1Model::new(db.clone());
+        let mut model = L1Model::new((*db).clone());
         let report = sys.run_until_halt(10_000_000, |bus: &mut Tlm1Bus| {
             model.on_frame(bus.last_frame());
         });

@@ -4,19 +4,66 @@
 //! aware layer-1 TLM bus → slave adapter → hardware stack) runs every
 //! workload on every interface configuration; the resulting table ranks
 //! the design points by cycles and energy — the evaluation the paper
-//! built its models for. Run with
-//! `cargo run --release -p hierbus-bench --bin explore_jcvm`.
+//! built its models for.
+//!
+//! The sweep executes as a campaign on the `hierbus-campaign` engine:
+//!
+//! ```text
+//! cargo run --release -p hierbus-bench --bin explore_jcvm            # sequential
+//! cargo run --release -p hierbus-bench --bin explore_jcvm -- --workers 4
+//! cargo run --release -p hierbus-bench --bin explore_jcvm -- \
+//!     --workers 4 --manifest results/explore_jcvm.manifest.json      # resumable
+//! cargo run --release -p hierbus-bench --bin explore_jcvm -- --smoke # tiny matrix (CI)
+//! ```
+//!
+//! `CAMPAIGN_WORKERS=N` is honoured when `--workers` is absent. The
+//! merged table is byte-identical for every worker count.
 
 use hierbus::harness;
 use hierbus_bench::TextTable;
+use hierbus_campaign::CampaignOptions;
 use hierbus_jcvm::workloads::standard_workloads;
-use hierbus_jcvm::{explore, IfaceConfig};
+use hierbus_jcvm::{explore_campaign, IfaceConfig};
+use std::path::PathBuf;
 
 const STACK_BASE: u64 = 0x8000;
 
+struct Args {
+    workers: Option<usize>,
+    manifest: Option<PathBuf>,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workers: None,
+        manifest: None,
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workers" => {
+                args.workers = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--workers takes a positive integer"),
+                );
+            }
+            "--manifest" => {
+                args.manifest = Some(PathBuf::from(it.next().expect("--manifest takes a path")));
+            }
+            "--smoke" => args.smoke = true,
+            other => panic!("unknown argument {other:?} (see the module docs)"),
+        }
+    }
+    args
+}
+
 fn main() {
+    let args = parse_args();
     println!("Characterizing the energy models (gate-level training run)...\n");
-    let db = harness::standard_db();
+    let db = harness::shared_db();
 
     let mut configs = IfaceConfig::all_variants(STACK_BASE);
     // Plus the burst-transfer variants ("used bus transactions" axis):
@@ -27,13 +74,34 @@ fn main() {
         slow_window: true,
         ..IfaceConfig::with_bursts(STACK_BASE)
     });
-    let workloads = standard_workloads();
+    let mut workloads = standard_workloads();
+    if args.smoke {
+        configs.truncate(2);
+        workloads.truncate(2);
+    }
+    let workers = hierbus_campaign::worker_count(args.workers);
     println!(
         "Exploring {} interface configurations x {} workloads...\n",
         configs.len(),
         workloads.len()
     );
-    let rows = explore(&configs, &workloads, &db);
+    let opts = CampaignOptions {
+        manifest_path: args.manifest.clone(),
+        ..CampaignOptions::with_workers("explore_jcvm", workers)
+    };
+    let (rows, stats) =
+        explore_campaign(&configs, &workloads, &db, &opts).expect("campaign manifest I/O");
+    // Worker count and wall-clock go to stderr so stdout (captured into
+    // results/) is byte-identical for every worker count.
+    eprintln!(
+        "campaign: {} scenarios on {} worker(s) in {:.2?} ({:.1} scenarios/s, {} executed, {} resumed)",
+        stats.total,
+        stats.workers,
+        stats.wall,
+        stats.scenarios_per_sec(),
+        stats.executed,
+        stats.resumed
+    );
 
     // Full table.
     let mut table = TextTable::new([
@@ -47,7 +115,7 @@ fn main() {
     for row in &rows {
         table.row([
             row.config.clone(),
-            row.workload.to_owned(),
+            row.workload.clone(),
             row.cycles.to_string(),
             row.transactions.to_string(),
             format!("{:.0}", row.energy_pj),
@@ -87,6 +155,10 @@ fn main() {
     println!("Per-workload extremes:\n");
     println!("{}", summary.render());
 
+    if args.smoke {
+        println!("Smoke matrix only — run without --smoke for the full sweep.");
+        return;
+    }
     println!(
         "Expected shape: 32-bit access on the fast window without polling\n\
          wins everywhere; 8-bit access, status polling and the slow window\n\

@@ -4,12 +4,21 @@
 //! Paper values: layer 1 85.3 kT/s (with) / 94.6 kT/s (without, ×1.1);
 //! layer 2 129.6 kT/s (×1.52) / 145.8 kT/s (×1.7). Plus the §4.2 text:
 //! RTL→TLM acceleration around two orders of magnitude. Absolute numbers
-//! depend on the host; the factors are the reproducible shape. Run with
+//! depend on the host; the factors are the reproducible shape.
+//!
+//! Beyond the paper, the binary measures *campaign* throughput — the
+//! §4.3 exploration matrix on the `hierbus-campaign` worker pool at
+//! 1/2/4/N workers — and writes the whole perf trajectory to
+//! `BENCH_throughput.json` at the repo root so future revisions can be
+//! diffed for regressions. Run with
 //! `cargo run --release -p hierbus-bench --bin table3_simperf`.
 
 use hierbus::harness;
-use hierbus_bench::{grouped, TextTable};
+use hierbus_bench::{grouped, TextTable, THROUGHPUT_JSON};
+use hierbus_campaign::Json;
 use hierbus_ec::sequences::{random_mix, MixParams};
+use hierbus_jcvm::workloads::standard_workloads;
+use hierbus_jcvm::{explore_matrix, IfaceConfig};
 use std::time::Instant;
 
 /// Transactions in the measured mix ("all combinations between single
@@ -43,13 +52,25 @@ fn measure(f: impl Fn() -> u64) -> f64 {
     best
 }
 
+/// Worker counts for the campaign scaling measurement: 1, 2, 4 and the
+/// host's available parallelism (deduplicated, ascending).
+fn scaling_worker_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2, 4];
+    if let Ok(n) = std::thread::available_parallelism() {
+        counts.push(n.get());
+    }
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
 fn main() {
     println!(
         "Measuring {} transactions per run, {REPS} repetitions each...\n",
         grouped(TXNS as u64)
     );
     let scenario = mix();
-    let db = harness::standard_db();
+    let db = harness::shared_db();
 
     let l1_with = measure(|| harness::perf::layer1(&scenario, &db));
     let l1_without = measure(|| harness::perf::layer1_timing(&scenario));
@@ -130,6 +151,86 @@ fn main() {
             csv.display()
         ),
         Err(e) => eprintln!("warning: could not write results/obs artifacts: {e}"),
+    }
+
+    // Campaign throughput scaling: the §4.3 exploration matrix on the
+    // worker pool. The matrix is a slice of the full sweep (8 interface
+    // configurations × every workload) so the measurement stays quick;
+    // scenarios/s is what a designer's exploration loop actually feels.
+    let mut configs = IfaceConfig::all_variants(0x8000);
+    configs.truncate(8);
+    let workloads = standard_workloads();
+    let matrix = explore_matrix(&configs, &workloads);
+    let worker_counts = scaling_worker_counts();
+    let scaling = hierbus_campaign::measure_scaling::<hierbus_jcvm::ExplorationRow, _>(
+        &matrix,
+        "table3_campaign",
+        &worker_counts,
+        |point| {
+            hierbus_jcvm::run_config(configs[point.coords[0]], &workloads[point.coords[1]], &db)
+                .expect("exploration scenario runs")
+        },
+    );
+    let base_sps = scaling[0].scenarios_per_sec;
+    let mut scale_table = TextTable::new(["workers", "wall", "scenarios/s", "speedup"]);
+    for p in &scaling {
+        scale_table.row([
+            p.workers.to_string(),
+            format!("{:.2?}", p.wall),
+            format!("{:.1}", p.scenarios_per_sec),
+            format!("{:.2}x", p.scenarios_per_sec / base_sps),
+        ]);
+    }
+    println!(
+        "Campaign scaling ({} exploration scenarios per run):\n",
+        matrix.len()
+    );
+    println!("{}", scale_table.render());
+
+    // Machine-readable perf trajectory for regression tracking.
+    let layer_fields = vec![
+        ("tlm1_with_kts".to_owned(), Json::Num(l1_with)),
+        ("tlm1_without_kts".to_owned(), Json::Num(l1_without)),
+        ("tlm1_observed_kts".to_owned(), Json::Num(l1_obs_on)),
+        ("tlm2_with_kts".to_owned(), Json::Num(l2_with)),
+        ("tlm2_without_kts".to_owned(), Json::Num(l2_without)),
+        ("tlm3_kts".to_owned(), Json::Num(l3)),
+    ];
+    let campaign_fields = vec![
+        ("scenarios".to_owned(), Json::Num(matrix.len() as f64)),
+        (
+            "workers".to_owned(),
+            Json::Arr(
+                scaling
+                    .iter()
+                    .map(|p| {
+                        Json::Obj(vec![
+                            ("workers".to_owned(), Json::Num(p.workers as f64)),
+                            ("scenarios_per_s".to_owned(), Json::Num(p.scenarios_per_sec)),
+                            (
+                                "speedup".to_owned(),
+                                Json::Num(p.scenarios_per_sec / base_sps),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ];
+    match hierbus_bench::write_throughput_section(
+        hierbus_bench::throughput_json_path(),
+        "layers",
+        layer_fields,
+    )
+    .and_then(|()| {
+        hierbus_bench::write_throughput_section(
+            hierbus_bench::throughput_json_path(),
+            "campaign_explore",
+            campaign_fields,
+        )
+    }) {
+        Ok(()) => println!("Perf trajectory written to {THROUGHPUT_JSON}\n"),
+        Err(e) => eprintln!("warning: could not write {THROUGHPUT_JSON}: {e}"),
     }
 
     // §4.2 context: the RTL reference's throughput on a smaller run.

@@ -5,7 +5,9 @@
 //! table formatter and the workload definitions they share, so the
 //! binaries stay small and the numbers stay consistent across tables.
 
+use hierbus_campaign::Json;
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 
 /// A simple aligned text table.
 #[derive(Debug, Default, Clone)]
@@ -128,6 +130,65 @@ pub fn throughput(elements: u64, dt: std::time::Duration) -> f64 {
     elements as f64 / dt.as_secs_f64()
 }
 
+/// Returns the results directory (optionally a subdirectory of it),
+/// created if missing — the one place every table binary goes through
+/// for its output files.
+///
+/// # Errors
+///
+/// Any I/O error from creating the directory.
+pub fn results_dir(sub: Option<&str>) -> std::io::Result<PathBuf> {
+    let mut dir = PathBuf::from("results");
+    if let Some(sub) = sub {
+        dir.push(sub);
+    }
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+/// The machine-readable perf trajectory file, written at the repo root
+/// so future PRs can diff throughput across revisions.
+pub const THROUGHPUT_JSON: &str = "BENCH_throughput.json";
+
+/// Absolute location of [`THROUGHPUT_JSON`]: the nearest ancestor
+/// directory holding a `Cargo.lock` (the workspace root, whether the
+/// writer runs as a bin from the repo root or as a bench with the
+/// package directory as cwd), falling back to the current directory.
+pub fn throughput_json_path() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir.join(THROUGHPUT_JSON);
+        }
+        if !dir.pop() {
+            return PathBuf::from(THROUGHPUT_JSON);
+        }
+    }
+}
+
+/// Merges `section` into the top-level object of `path` (read-modify-
+/// write; other sections are preserved, an unreadable or malformed
+/// file is replaced). Keys inside the section come from the caller in
+/// a deterministic order.
+///
+/// # Errors
+///
+/// Any I/O error from writing the file.
+pub fn write_throughput_section(
+    path: impl AsRef<Path>,
+    section: &str,
+    fields: Vec<(String, Json)>,
+) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let mut doc = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|t| Json::parse(&t).ok())
+        .filter(|v| v.as_obj().is_some())
+        .unwrap_or(Json::Obj(Vec::new()));
+    doc.set(section, Json::Obj(fields));
+    std::fs::write(path, doc.to_string_pretty())
+}
+
 /// Formats a ratio as a percentage with sign, e.g. `+14.7%`.
 pub fn pct(x: f64) -> String {
     format!("{:+.1}%", x * 100.0)
@@ -174,6 +235,51 @@ mod tests {
     fn row_length_checked() {
         let mut t = TextTable::new(["a"]);
         t.row(["1", "2"]);
+    }
+
+    #[test]
+    fn throughput_sections_merge_not_clobber() {
+        let dir = std::env::temp_dir().join("hierbus_bench_lib_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(THROUGHPUT_JSON);
+        let _ = std::fs::remove_file(&path);
+        write_throughput_section(
+            &path,
+            "layers",
+            vec![("tlm1_with_kts".to_owned(), Json::Num(85.3))],
+        )
+        .unwrap();
+        write_throughput_section(
+            &path,
+            "campaign",
+            vec![("workers_1".to_owned(), Json::Num(2.0))],
+        )
+        .unwrap();
+        // Rewriting one section keeps the other.
+        write_throughput_section(
+            &path,
+            "layers",
+            vec![("tlm1_with_kts".to_owned(), Json::Num(90.0))],
+        )
+        .unwrap();
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("layers")
+                .unwrap()
+                .get("tlm1_with_kts")
+                .unwrap()
+                .as_f64(),
+            Some(90.0)
+        );
+        assert_eq!(
+            doc.get("campaign")
+                .unwrap()
+                .get("workers_1")
+                .unwrap()
+                .as_f64(),
+            Some(2.0)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,49 @@
+//! Measures how campaign throughput scales with worker count on this
+//! host, using a pure CPU-bound toy runner — run it to sanity-check the
+//! parallel path before blaming the engine for a flat speedup (a
+//! single-core container caps every speedup at 1.0x).
+//!
+//! `cargo run --release -p hierbus-campaign --example scaling_probe`
+
+use hierbus_campaign::{measure_scaling, CampaignPayload, Json, Matrix};
+
+struct Cell(u64);
+
+impl CampaignPayload for Cell {
+    fn to_json(&self) -> Json {
+        Json::Num(self.0 as f64)
+    }
+
+    fn from_json(j: &Json) -> Option<Self> {
+        j.as_u64().map(Cell)
+    }
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("host parallelism: {cores}");
+    let matrix = Matrix::new().axis("i", (0..64).map(|i| i.to_string()));
+    let mut counts = vec![1, 2, 4, cores];
+    counts.sort_unstable();
+    counts.dedup();
+    let points = measure_scaling::<Cell, _>(&matrix, "probe", &counts, |p| {
+        // An LCG busy loop: ~milliseconds of pure CPU per scenario.
+        let mut x = p.index as u64 + 1;
+        for _ in 0..3_000_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+        }
+        Cell(x)
+    });
+    let base = points[0].scenarios_per_sec;
+    for p in &points {
+        println!(
+            "workers={:<3} wall={:>10.2?}  {:>8.1} scenarios/s  {:.2}x",
+            p.workers,
+            p.wall,
+            p.scenarios_per_sec,
+            p.scenarios_per_sec / base
+        );
+    }
+}

@@ -1,0 +1,436 @@
+//! The campaign executor: a sharded worker pool with a deterministic
+//! index-order merge and manifest-based resume.
+//!
+//! Workers pull scenario indices from a shared atomic cursor, so load
+//! balances across uneven scenario costs without any scheduling state.
+//! Each worker builds its *own* simulator inside the runner closure
+//! (the bus models are single-threaded by design); only the runner's
+//! captured read-only inputs — typically an `Arc<CharacterizationDb>`
+//! — are shared. Results are merged strictly in scenario-index order,
+//! so the merged output is byte-identical for any worker count or
+//! completion interleaving.
+
+use crate::manifest::{Manifest, ManifestEntry};
+use crate::matrix::{Matrix, ScenarioPoint};
+use crate::Json;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A campaign result type: anything that can round-trip through the
+/// manifest's JSON payload.
+pub trait CampaignPayload: Sized + Send {
+    /// Serializes the result for the manifest.
+    fn to_json(&self) -> Json;
+    /// Reconstructs a result from a manifest payload; `None` marks the
+    /// payload stale (the scenario re-runs instead of resuming).
+    fn from_json(json: &Json) -> Option<Self>;
+}
+
+/// How a campaign executes.
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// Campaign name, recorded in the manifest.
+    pub name: String,
+    /// Worker threads (clamped to at least 1). One worker reproduces
+    /// the classic sequential loop exactly.
+    pub workers: usize,
+    /// Manifest to resume from / checkpoint to; `None` disables
+    /// resume.
+    pub manifest_path: Option<PathBuf>,
+    /// Process only the first `limit` scenarios of the matrix —
+    /// simulates an interrupted campaign and powers CI smoke runs.
+    pub limit: Option<usize>,
+}
+
+impl CampaignOptions {
+    /// Sequential, manifest-less execution — the drop-in replacement
+    /// for a plain `for` loop over the matrix.
+    pub fn sequential(name: &str) -> Self {
+        CampaignOptions {
+            name: name.to_owned(),
+            workers: 1,
+            manifest_path: None,
+            limit: None,
+        }
+    }
+
+    /// Like [`sequential`](Self::sequential) with `workers` threads.
+    pub fn with_workers(name: &str, workers: usize) -> Self {
+        CampaignOptions {
+            workers,
+            ..CampaignOptions::sequential(name)
+        }
+    }
+}
+
+/// What a campaign run did (wall-clock lives here, never in the
+/// manifest or the merged results).
+#[derive(Debug, Clone)]
+pub struct CampaignStats {
+    /// Scenarios in the matrix.
+    pub total: usize,
+    /// Scenarios executed by this run.
+    pub executed: usize,
+    /// Scenarios skipped because the manifest already had their
+    /// results.
+    pub resumed: usize,
+    /// Scenarios left untouched (beyond [`CampaignOptions::limit`]).
+    pub pending: usize,
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Wall-clock time of the execution phase.
+    pub wall: Duration,
+}
+
+impl CampaignStats {
+    /// Executed scenarios per second (0 when nothing ran).
+    pub fn scenarios_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.executed as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The merged outcome of a campaign run.
+#[derive(Debug)]
+pub struct CampaignReport<R> {
+    /// Scenario points in matrix order.
+    pub points: Vec<ScenarioPoint>,
+    /// Per-scenario results, parallel to `points`; `None` only for
+    /// scenarios beyond the limit.
+    pub results: Vec<Option<R>>,
+    /// Execution statistics.
+    pub stats: CampaignStats,
+}
+
+impl<R> CampaignReport<R> {
+    /// Completed `(point, result)` pairs in scenario-index order.
+    pub fn completed(&self) -> impl Iterator<Item = (&ScenarioPoint, &R)> {
+        self.points
+            .iter()
+            .zip(&self.results)
+            .filter_map(|(p, r)| r.as_ref().map(|r| (p, r)))
+    }
+
+    /// True once every scenario of the matrix has a result.
+    pub fn is_complete(&self) -> bool {
+        self.results.iter().all(Option::is_some)
+    }
+}
+
+/// Runs `runner` over every scenario of `matrix` according to `opts`.
+///
+/// The runner maps a scenario point to its result; it must be pure in
+/// the point (campaign determinism is *its* determinism fanned out).
+/// Results merge in scenario-index order; if a manifest path is set,
+/// completed results load from it before execution and the union is
+/// checkpointed back after.
+///
+/// # Errors
+///
+/// I/O errors from manifest loading or saving. A manifest written for
+/// a *different* matrix is ignored (the campaign starts fresh), not an
+/// error.
+///
+/// # Panics
+///
+/// A runner panic on any worker propagates (after the other workers
+/// finish their current scenario).
+pub fn run<R, F>(
+    matrix: &Matrix,
+    opts: &CampaignOptions,
+    runner: F,
+) -> io::Result<CampaignReport<R>>
+where
+    R: CampaignPayload,
+    F: Fn(&ScenarioPoint) -> R + Sync,
+{
+    let points = matrix.points();
+    let total = points.len();
+    let mut results: Vec<Option<R>> = (0..total).map(|_| None).collect();
+
+    // Resume: adopt every manifest entry whose key still matches the
+    // matrix point and whose payload still parses.
+    let mut resumed = 0;
+    if let Some(path) = &opts.manifest_path {
+        if let Some(manifest) = Manifest::load(path)? {
+            if manifest.matches(matrix) {
+                for entry in &manifest.entries {
+                    if entry.index < total && points[entry.index].key == entry.key {
+                        if let Some(r) = R::from_json(&entry.result) {
+                            results[entry.index] = Some(r);
+                            resumed += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let limit = opts.limit.unwrap_or(total).min(total);
+    let todo: Vec<usize> = (0..limit).filter(|&i| results[i].is_none()).collect();
+    let workers = opts.workers.max(1).min(todo.len().max(1));
+
+    let started = Instant::now();
+    let cursor = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(todo.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&index) = todo.get(slot) else { break };
+                let result = runner(&points[index]);
+                done.lock().unwrap().push((index, result));
+            });
+        }
+    });
+    let wall = started.elapsed();
+
+    // Deterministic merge: completion interleaving is erased by
+    // slotting each result back at its scenario index.
+    let executed_results = done.into_inner().unwrap();
+    let executed = executed_results.len();
+    for (index, result) in executed_results {
+        results[index] = Some(result);
+    }
+
+    if let Some(path) = &opts.manifest_path {
+        let mut manifest = Manifest::new(&opts.name, matrix);
+        manifest.entries = points
+            .iter()
+            .zip(&results)
+            .filter_map(|(p, r)| {
+                r.as_ref().map(|r| ManifestEntry {
+                    index: p.index,
+                    key: p.key.clone(),
+                    result: r.to_json(),
+                })
+            })
+            .collect();
+        manifest.save(path, matrix)?;
+    }
+
+    let pending = results.iter().filter(|r| r.is_none()).count();
+    Ok(CampaignReport {
+        points,
+        results,
+        stats: CampaignStats {
+            total,
+            executed,
+            resumed,
+            pending,
+            workers,
+            wall,
+        },
+    })
+}
+
+/// One worker-count measurement of [`measure_scaling`].
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    pub workers: usize,
+    pub wall: Duration,
+    pub scenarios_per_sec: f64,
+}
+
+/// Runs the full campaign fresh (no manifest) once per worker count
+/// and reports the throughput trajectory — the campaign-engine analog
+/// of Table 3's kT/s column.
+///
+/// # Panics
+///
+/// Propagates runner panics, like [`run`].
+pub fn measure_scaling<R, F>(
+    matrix: &Matrix,
+    name: &str,
+    worker_counts: &[usize],
+    runner: F,
+) -> Vec<ScalingPoint>
+where
+    R: CampaignPayload,
+    F: Fn(&ScenarioPoint) -> R + Sync,
+{
+    worker_counts
+        .iter()
+        .map(|&workers| {
+            let report = run::<R, _>(
+                matrix,
+                &CampaignOptions::with_workers(name, workers),
+                &runner,
+            )
+            .expect("manifest-less campaign cannot fail on I/O");
+            ScalingPoint {
+                workers,
+                wall: report.stats.wall,
+                scenarios_per_sec: report.stats.scenarios_per_sec(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy payload: deterministic function of the scenario key.
+    #[derive(Debug, Clone, PartialEq)]
+    struct Cell {
+        key: String,
+        value: u64,
+    }
+
+    impl CampaignPayload for Cell {
+        fn to_json(&self) -> Json {
+            Json::Obj(vec![
+                ("key".to_owned(), Json::Str(self.key.clone())),
+                ("value".to_owned(), Json::Num(self.value as f64)),
+            ])
+        }
+
+        fn from_json(json: &Json) -> Option<Self> {
+            Some(Cell {
+                key: json.get("key")?.as_str()?.to_owned(),
+                value: json.get("value")?.as_u64()?,
+            })
+        }
+    }
+
+    fn matrix() -> Matrix {
+        Matrix::new()
+            .axis("a", ["0", "1", "2", "3"])
+            .axis("b", ["x", "y", "z"])
+    }
+
+    fn toy_runner(p: &ScenarioPoint) -> Cell {
+        Cell {
+            key: p.key.clone(),
+            value: p.key.bytes().map(u64::from).sum::<u64>() * (p.index as u64 + 1),
+        }
+    }
+
+    fn render<R: std::fmt::Debug>(report: &CampaignReport<R>) -> String {
+        report
+            .completed()
+            .map(|(p, r)| format!("{} {:?}\n", p.key, r))
+            .collect()
+    }
+
+    #[test]
+    fn worker_count_does_not_change_merged_output() {
+        let m = matrix();
+        let base = run(&m, &CampaignOptions::sequential("toy"), toy_runner).unwrap();
+        assert!(base.is_complete());
+        assert_eq!(base.stats.executed, 12);
+        for workers in [2, 4, 7] {
+            let par = run(
+                &m,
+                &CampaignOptions::with_workers("toy", workers),
+                toy_runner,
+            )
+            .unwrap();
+            assert_eq!(render(&par), render(&base), "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn limit_leaves_tail_pending() {
+        let m = matrix();
+        let report = run(
+            &m,
+            &CampaignOptions {
+                limit: Some(5),
+                ..CampaignOptions::with_workers("toy", 3)
+            },
+            toy_runner,
+        )
+        .unwrap();
+        assert_eq!(report.stats.executed, 5);
+        assert_eq!(report.stats.pending, 7);
+        assert!(report.results[..5].iter().all(Option::is_some));
+        assert!(report.results[5..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn manifest_resume_skips_completed_scenarios() {
+        let m = matrix();
+        let dir = std::env::temp_dir().join("hierbus_campaign_engine_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("toy.manifest.json");
+        let opts = |limit| CampaignOptions {
+            manifest_path: Some(path.clone()),
+            limit,
+            ..CampaignOptions::with_workers("toy", 2)
+        };
+
+        // "Interrupted" campaign: only 4 scenarios complete.
+        let partial = run(&m, &opts(Some(4)), toy_runner).unwrap();
+        assert_eq!(partial.stats.executed, 4);
+        assert!(!partial.is_complete());
+
+        // Resume: the 4 come from the manifest, the other 8 execute.
+        let resumed = run(&m, &opts(None), toy_runner).unwrap();
+        assert_eq!(resumed.stats.resumed, 4);
+        assert_eq!(resumed.stats.executed, 8);
+        assert!(resumed.is_complete());
+
+        // A fresh full run and the resumed run agree byte for byte —
+        // merged output and manifest both.
+        let fresh_path = dir.join("fresh.manifest.json");
+        let fresh = run(
+            &m,
+            &CampaignOptions {
+                manifest_path: Some(fresh_path.clone()),
+                limit: None,
+                ..CampaignOptions::sequential("toy")
+            },
+            toy_runner,
+        )
+        .unwrap();
+        assert_eq!(render(&resumed), render(&fresh));
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            std::fs::read_to_string(&fresh_path).unwrap()
+        );
+
+        // A third run resumes everything and executes nothing.
+        let idle = run(&m, &opts(None), toy_runner).unwrap();
+        assert_eq!(idle.stats.resumed, 12);
+        assert_eq!(idle.stats.executed, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_manifest_is_ignored() {
+        let m = matrix();
+        let dir = std::env::temp_dir().join("hierbus_campaign_engine_test2");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("toy.manifest.json");
+        let other = Matrix::new().axis("a", ["0"]);
+        let opts = CampaignOptions {
+            manifest_path: Some(path.clone()),
+            limit: None,
+            ..CampaignOptions::sequential("toy")
+        };
+        run(&other, &opts, toy_runner).unwrap();
+        // Same path, different matrix: starts fresh instead of adopting
+        // stale entries.
+        let report = run(&m, &opts, toy_runner).unwrap();
+        assert_eq!(report.stats.resumed, 0);
+        assert_eq!(report.stats.executed, 12);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scaling_runs_every_worker_count() {
+        let points = measure_scaling::<Cell, _>(&matrix(), "toy", &[1, 2], toy_runner);
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].workers, 1);
+        assert_eq!(points[1].workers, 2);
+    }
+}

@@ -1,0 +1,64 @@
+//! A parallel, deterministic simulation-campaign engine.
+//!
+//! The paper's point is that fast bus models enable design-space
+//! exploration (§4.3's Java Card HW/SW sweep) — and exploration-scale
+//! work is a *batch* of independent simulations. This crate is the
+//! execution layer under every experiment binary:
+//!
+//! * [`Matrix`] — the scenario matrix: a cartesian product of named
+//!   axes (workload × interface × model ...), enumerated in a fixed
+//!   row-major order that assigns every scenario a stable index.
+//! * [`run`] — the executor: a sharded `std::thread` worker pool where
+//!   each worker builds its own simulator per scenario and pulls work
+//!   from an atomic cursor; results merge in scenario-index order, so
+//!   the merged output is byte-identical for any worker count.
+//! * [`Manifest`] — the resumable checkpoint: completed scenarios and
+//!   their serialized results, written atomically, so an interrupted
+//!   campaign reruns only what is missing.
+//! * [`measure_scaling`] — the throughput trajectory (scenarios/s per
+//!   worker count) behind the campaign rows of `BENCH_throughput.json`.
+//!
+//! Like the rest of the workspace the crate is dependency-free; the
+//! [`json`] module carries the manifest and trajectory formats.
+//!
+//! Determinism contract: the engine adds no nondeterminism of its own
+//! (no wall clock in any merged artifact, no iteration-order
+//! dependence). A campaign is exactly as deterministic as its runner.
+
+pub mod engine;
+pub mod json;
+pub mod manifest;
+pub mod matrix;
+
+pub use engine::{
+    measure_scaling, run, CampaignOptions, CampaignPayload, CampaignReport, CampaignStats,
+    ScalingPoint,
+};
+pub use json::Json;
+pub use manifest::{Manifest, ManifestEntry, MANIFEST_VERSION};
+pub use matrix::{Axis, Matrix, ScenarioPoint};
+
+/// Resolves the worker count for experiment binaries: an explicit
+/// request wins, else the `CAMPAIGN_WORKERS` environment variable,
+/// else 1 (sequential — the golden-output-preserving default).
+pub fn worker_count(explicit: Option<usize>) -> usize {
+    explicit
+        .or_else(|| {
+            std::env::var("CAMPAIGN_WORKERS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(1)
+        .max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_count_prefers_explicit() {
+        assert_eq!(worker_count(Some(4)), 4);
+        assert_eq!(worker_count(Some(0)), 1);
+    }
+}

@@ -1,0 +1,234 @@
+//! Scenario matrices: the cartesian product of named axes, as plain
+//! data.
+//!
+//! A campaign is defined by its axes — e.g. `workload × interface` for
+//! the §4.3 exploration, or `scenario × model` for the ablation
+//! benches. The product is enumerated in row-major order (the first
+//! axis varies slowest), which fixes the scenario index every other
+//! part of the engine keys on: workers pull indices, results merge in
+//! index order, and the manifest records completion per index.
+
+use crate::json::Json;
+
+/// One named axis of a scenario matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Axis {
+    /// Axis name, e.g. `"workload"`.
+    pub name: String,
+    /// The values the axis sweeps over, in sweep order.
+    pub values: Vec<String>,
+}
+
+/// One point of the product: its global index plus the value index
+/// along every axis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioPoint {
+    /// Position in row-major enumeration order (the merge key).
+    pub index: usize,
+    /// Per-axis value indices, parallel to [`Matrix::axes`].
+    pub coords: Vec<usize>,
+    /// Stable identifier, e.g. `workload=fib_rec/iface=w32_sep` — the
+    /// manifest key, so resumed campaigns can detect matrix changes.
+    pub key: String,
+}
+
+/// The cartesian product of named axes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Matrix {
+    axes: Vec<Axis>,
+}
+
+impl Matrix {
+    /// An empty matrix (one implicit scenario once an axis is added;
+    /// zero axes enumerate to a single empty point is *not* useful, so
+    /// [`points`](Self::points) returns none until an axis exists).
+    pub fn new() -> Self {
+        Matrix::default()
+    }
+
+    /// Adds an axis; builder-style.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty value list or a duplicate axis name —
+    /// both would make scenario indices meaningless.
+    pub fn axis<S: Into<String>>(
+        mut self,
+        name: &str,
+        values: impl IntoIterator<Item = S>,
+    ) -> Self {
+        let values: Vec<String> = values.into_iter().map(Into::into).collect();
+        assert!(!values.is_empty(), "axis {name:?} has no values");
+        assert!(
+            self.axes.iter().all(|a| a.name != name),
+            "duplicate axis {name:?}"
+        );
+        self.axes.push(Axis {
+            name: name.to_owned(),
+            values,
+        });
+        self
+    }
+
+    /// The axes in declaration order.
+    pub fn axes(&self) -> &[Axis] {
+        &self.axes
+    }
+
+    /// Total number of scenarios (product of axis lengths; 0 with no
+    /// axes).
+    pub fn len(&self) -> usize {
+        if self.axes.is_empty() {
+            0
+        } else {
+            self.axes.iter().map(|a| a.values.len()).product()
+        }
+    }
+
+    /// True if the matrix enumerates no scenarios.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value of `axis` at scenario point `p`.
+    pub fn value_of(&self, p: &ScenarioPoint, axis: &str) -> Option<&str> {
+        let i = self.axes.iter().position(|a| a.name == axis)?;
+        Some(self.axes[i].values[p.coords[i]].as_str())
+    }
+
+    /// Enumerates every scenario point in row-major order (first axis
+    /// slowest) — the canonical campaign order.
+    pub fn points(&self) -> Vec<ScenarioPoint> {
+        let n = self.len();
+        let mut out = Vec::with_capacity(n);
+        for index in 0..n {
+            let mut rem = index;
+            let mut coords = vec![0; self.axes.len()];
+            for (i, axis) in self.axes.iter().enumerate().rev() {
+                coords[i] = rem % axis.values.len();
+                rem /= axis.values.len();
+            }
+            let key = self
+                .axes
+                .iter()
+                .zip(&coords)
+                .map(|(a, &c)| format!("{}={}", a.name, a.values[c]))
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(ScenarioPoint { index, coords, key });
+        }
+        out
+    }
+
+    /// A stable fingerprint of the matrix definition (axis names and
+    /// values, in order). A manifest written for one fingerprint is
+    /// rejected for any other.
+    pub fn fingerprint(&self) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+        let mut eat = |s: &str| {
+            for b in s.bytes().chain([0xff]) {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for axis in &self.axes {
+            eat(&axis.name);
+            for v in &axis.values {
+                eat(v);
+            }
+        }
+        format!("{h:016x}")
+    }
+
+    /// The matrix definition as JSON (for the manifest header).
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.axes
+                .iter()
+                .map(|a| {
+                    Json::Obj(vec![
+                        ("name".to_owned(), Json::Str(a.name.clone())),
+                        (
+                            "values".to_owned(),
+                            Json::Arr(a.values.iter().map(|v| Json::Str(v.clone())).collect()),
+                        ),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::new()
+            .axis("config", ["a", "b", "c"])
+            .axis("workload", ["x", "y"])
+    }
+
+    #[test]
+    fn row_major_enumeration_first_axis_slowest() {
+        let m = sample();
+        assert_eq!(m.len(), 6);
+        let keys: Vec<String> = m.points().into_iter().map(|p| p.key).collect();
+        assert_eq!(
+            keys,
+            [
+                "config=a/workload=x",
+                "config=a/workload=y",
+                "config=b/workload=x",
+                "config=b/workload=y",
+                "config=c/workload=x",
+                "config=c/workload=y",
+            ]
+        );
+    }
+
+    #[test]
+    fn value_lookup_matches_coords() {
+        let m = sample();
+        let points = m.points();
+        assert_eq!(m.value_of(&points[3], "config"), Some("b"));
+        assert_eq!(m.value_of(&points[3], "workload"), Some("y"));
+        assert_eq!(m.value_of(&points[3], "missing"), None);
+        assert_eq!(points[3].index, 3);
+    }
+
+    #[test]
+    fn fingerprint_tracks_definition() {
+        let m = sample();
+        assert_eq!(m.fingerprint(), sample().fingerprint());
+        let other = Matrix::new()
+            .axis("config", ["a", "b", "c"])
+            .axis("workload", ["x", "z"]);
+        assert_ne!(m.fingerprint(), other.fingerprint());
+        // Moving a boundary must change the fingerprint (separator is
+        // out-of-band, not a character collision).
+        let shifted = Matrix::new()
+            .axis("config", ["a", "b", "cx"])
+            .axis("workload", ["", "y"]);
+        assert_ne!(m.fingerprint(), shifted.fingerprint());
+    }
+
+    #[test]
+    fn empty_matrix_has_no_points() {
+        let m = Matrix::new();
+        assert!(m.is_empty());
+        assert!(m.points().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate axis")]
+    fn duplicate_axis_rejected() {
+        let _ = Matrix::new().axis("a", ["1"]).axis("a", ["2"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no values")]
+    fn empty_axis_rejected() {
+        let _ = Matrix::new().axis("a", Vec::<String>::new());
+    }
+}

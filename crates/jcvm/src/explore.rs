@@ -11,19 +11,21 @@ use crate::error::JcvmError;
 use crate::hwstack::HwStackSlave;
 use crate::interp::Interpreter;
 use crate::workloads::Workload;
+use hierbus_campaign::{CampaignOptions, CampaignPayload, CampaignStats, Json, Matrix};
 use hierbus_core::Tlm1Bus;
 use hierbus_ec::{Address, AddressRange};
 use hierbus_power::{CharacterizationDb, Layer1EnergyModel};
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// One measured design point.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExplorationRow {
     /// Interface identifier (see [`IfaceConfig::label`]).
     pub config: String,
     /// Workload name.
-    pub workload: &'static str,
+    pub workload: String,
     /// Bus cycles the workload's stack traffic consumed.
     pub cycles: u64,
     /// Bus transactions issued by the master adapter.
@@ -88,7 +90,7 @@ pub fn run_config(
     let energy_pj = model.borrow().total_energy();
     Ok(ExplorationRow {
         config: config.label(),
-        workload: workload.name,
+        workload: workload.name.to_owned(),
         cycles: stack.cycles(),
         transactions: stack.transactions(),
         energy_pj,
@@ -96,7 +98,77 @@ pub fn run_config(
     })
 }
 
-/// The full sweep: every configuration × every workload.
+impl CampaignPayload for ExplorationRow {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("config".to_owned(), Json::Str(self.config.clone())),
+            ("workload".to_owned(), Json::Str(self.workload.clone())),
+            ("cycles".to_owned(), Json::Num(self.cycles as f64)),
+            (
+                "transactions".to_owned(),
+                Json::Num(self.transactions as f64),
+            ),
+            ("energy_pj".to_owned(), Json::Num(self.energy_pj)),
+            ("result".to_owned(), Json::Num(self.result as f64)),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Option<Self> {
+        Some(ExplorationRow {
+            config: json.get("config")?.as_str()?.to_owned(),
+            workload: json.get("workload")?.as_str()?.to_owned(),
+            cycles: json.get("cycles")?.as_u64()?,
+            transactions: json.get("transactions")?.as_u64()?,
+            energy_pj: json.get("energy_pj")?.as_f64()?,
+            result: json.get("result")?.as_f64()? as i32,
+        })
+    }
+}
+
+/// The campaign matrix of a sweep: `interface × workload`, in the same
+/// row-major order the classic sequential loop used (configurations
+/// outermost).
+pub fn explore_matrix(configs: &[IfaceConfig], workloads: &[Workload]) -> Matrix {
+    Matrix::new()
+        .axis("iface", configs.iter().map(IfaceConfig::label))
+        .axis("workload", workloads.iter().map(|w| w.name))
+}
+
+/// The full sweep as a campaign: every configuration × every workload,
+/// executed per `opts` (worker count, optional resume manifest, limit)
+/// with results merged in matrix order. One worker reproduces
+/// [`explore`] exactly.
+///
+/// # Errors
+///
+/// I/O errors from the resume manifest, if one is configured.
+///
+/// # Panics
+///
+/// Panics if any workload produces a wrong result on any configuration —
+/// the refinement must never change functional behaviour.
+pub fn explore_campaign(
+    configs: &[IfaceConfig],
+    workloads: &[Workload],
+    db: &Arc<CharacterizationDb>,
+    opts: &CampaignOptions,
+) -> std::io::Result<(Vec<ExplorationRow>, CampaignStats)> {
+    let matrix = explore_matrix(configs, workloads);
+    // Workers share the read-only characterization DB; each scenario
+    // builds its own interpreter + bus + hardware stack inside the
+    // runner, so nothing mutable crosses threads.
+    let db = Arc::clone(db);
+    let report = hierbus_campaign::run(&matrix, opts, move |point| {
+        let config = configs[point.coords[0]];
+        let workload = &workloads[point.coords[1]];
+        run_config(config, workload, &db)
+            .unwrap_or_else(|e| panic!("{} on {}: {e}", workload.name, config.label()))
+    })?;
+    let stats = report.stats.clone();
+    Ok((report.results.into_iter().flatten().collect(), stats))
+}
+
+/// The full sweep: every configuration × every workload, sequentially.
 ///
 /// # Panics
 ///
@@ -107,14 +179,14 @@ pub fn explore(
     workloads: &[Workload],
     db: &CharacterizationDb,
 ) -> Vec<ExplorationRow> {
-    let mut rows = Vec::with_capacity(configs.len() * workloads.len());
-    for config in configs {
-        for workload in workloads {
-            let row = run_config(*config, workload, db)
-                .unwrap_or_else(|e| panic!("{} on {}: {e}", workload.name, config.label()));
-            rows.push(row);
-        }
-    }
+    let db = Arc::new(db.clone());
+    let (rows, _) = explore_campaign(
+        configs,
+        workloads,
+        &db,
+        &CampaignOptions::sequential("explore_jcvm"),
+    )
+    .expect("manifest-less campaign cannot fail on I/O");
     rows
 }
 
@@ -195,6 +267,30 @@ mod tests {
         )
         .unwrap();
         assert!(single.transactions >= sep.transactions);
+    }
+
+    #[test]
+    fn campaign_workers_match_sequential_sweep() {
+        let db = CharacterizationDb::uniform();
+        let configs = [
+            IfaceConfig::baseline(BASE),
+            IfaceConfig {
+                width: DataWidth::W8,
+                ..IfaceConfig::baseline(BASE)
+            },
+        ];
+        let workloads = &standard_workloads()[..2];
+        let sequential = explore(&configs, workloads, &db);
+        let shared = Arc::new(db);
+        let (parallel, stats) = explore_campaign(
+            &configs,
+            workloads,
+            &shared,
+            &CampaignOptions::with_workers("test", 3),
+        )
+        .unwrap();
+        assert_eq!(parallel, sequential);
+        assert_eq!(stats.executed, configs.len() * workloads.len());
     }
 
     #[test]

@@ -171,16 +171,17 @@ impl TraceCollector {
         if !self.enabled {
             return;
         }
-        let t = match self.counters.iter_mut().find(|t| t.name == track) {
-            Some(t) => t,
+        let idx = match self.counters.iter().position(|t| t.name == track) {
+            Some(i) => i,
             None => {
                 self.counters.push(CounterTrack {
                     name: track.to_owned(),
                     samples: Vec::new(),
                 });
-                self.counters.last_mut().unwrap()
+                self.counters.len() - 1
             }
         };
+        let t = &mut self.counters[idx];
         if t.samples.last().map(|&(_, v)| v) != Some(value) {
             t.samples.push((cycle, value));
         }
@@ -268,6 +269,22 @@ mod tests {
         c.counter_sample("energy_pj", 1, 1.5);
         c.counter_sample("energy_pj", 2, 2.0);
         assert_eq!(c.counters()[0].samples, vec![(0, 1.5), (2, 2.0)]);
+    }
+
+    #[test]
+    fn first_sample_on_empty_counters_creates_track() {
+        // Regression: the first sample of the first track exercises the
+        // counters-empty path, which must index the freshly pushed
+        // track instead of unwrapping `last_mut`.
+        let mut c = TraceCollector::for_layer("tlm1");
+        assert!(c.counters().is_empty());
+        c.counter_sample("energy_pj", 3, 0.5);
+        assert_eq!(c.counters().len(), 1);
+        assert_eq!(c.counters()[0].samples, vec![(3, 0.5)]);
+        // And after clear() the same path runs again without panicking.
+        c.clear();
+        c.counter_sample("energy_pj", 0, 1.0);
+        assert_eq!(c.counters()[0].samples, vec![(0, 1.0)]);
     }
 
     #[test]

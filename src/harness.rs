@@ -317,6 +317,14 @@ pub fn standard_db() -> CharacterizationDb {
     characterize(&standard_training())
 }
 
+/// [`standard_db`], characterized once per process and shared behind an
+/// `Arc` — the read-only database campaign workers clone a handle to
+/// instead of re-running the gate-level training per scenario.
+pub fn shared_db() -> std::sync::Arc<CharacterizationDb> {
+    static DB: std::sync::OnceLock<std::sync::Arc<CharacterizationDb>> = std::sync::OnceLock::new();
+    std::sync::Arc::clone(DB.get_or_init(|| std::sync::Arc::new(standard_db())))
+}
+
 /// Accuracy comparison of both TLM layers against the reference over a
 /// scenario set (the Tables 1 & 2 computation).
 #[derive(Debug, Clone, Copy, Default)]

@@ -1,0 +1,191 @@
+//! Campaign-engine determinism across the real exploration stack: the
+//! merged results and the manifest must be byte-identical for any
+//! worker count, and a resumed campaign must skip completed scenarios
+//! without changing the final output.
+
+use hierbus_campaign::{CampaignOptions, CampaignPayload, Matrix, ScenarioPoint};
+use hierbus_jcvm::workloads::standard_workloads;
+use hierbus_jcvm::{explore_campaign, explore_matrix, run_config, ExplorationRow, IfaceConfig};
+use hierbus_power::CharacterizationDb;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const BASE: u64 = 0x8000;
+
+fn test_configs() -> Vec<IfaceConfig> {
+    vec![
+        IfaceConfig::baseline(BASE),
+        IfaceConfig {
+            slow_window: true,
+            ..IfaceConfig::baseline(BASE)
+        },
+        IfaceConfig::with_bursts(BASE),
+    ]
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hierbus_campaign_it_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// A byte-exact rendering of the merged rows (Debug includes every
+/// field, including the f64 energy, at full precision).
+fn render(rows: &[ExplorationRow]) -> String {
+    rows.iter().map(|r| format!("{r:?}\n")).collect()
+}
+
+#[test]
+fn merged_results_and_manifest_identical_for_1_2_4_workers() {
+    let db = Arc::new(CharacterizationDb::uniform());
+    let configs = test_configs();
+    let workloads = &standard_workloads()[..2];
+    let dir = temp_dir("workers");
+
+    let mut outputs: Vec<(String, String)> = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let manifest = dir.join(format!("w{workers}.manifest.json"));
+        let opts = CampaignOptions {
+            manifest_path: Some(manifest.clone()),
+            ..CampaignOptions::with_workers("determinism", workers)
+        };
+        let (rows, stats) = explore_campaign(&configs, workloads, &db, &opts).unwrap();
+        assert_eq!(stats.executed, configs.len() * workloads.len());
+        assert_eq!(stats.workers, workers.min(stats.total));
+        outputs.push((
+            render(&rows),
+            std::fs::read_to_string(&manifest).expect("manifest written"),
+        ));
+    }
+    let (base_rows, base_manifest) = &outputs[0];
+    for (rows, manifest) in &outputs[1..] {
+        assert_eq!(rows, base_rows, "merged rows differ across worker counts");
+        assert_eq!(
+            manifest, base_manifest,
+            "manifests differ across worker counts"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn interrupted_campaign_resumes_without_recomputing() {
+    let db = Arc::new(CharacterizationDb::uniform());
+    let configs = test_configs();
+    let all_workloads = standard_workloads();
+    let workloads = &all_workloads[..2];
+    let matrix = explore_matrix(&configs, workloads);
+    let total = matrix.len();
+    let dir = temp_dir("resume");
+    let manifest = dir.join("explore.manifest.json");
+
+    let executions = AtomicUsize::new(0);
+    let runner = |point: &ScenarioPoint| {
+        executions.fetch_add(1, Ordering::Relaxed);
+        run_config(configs[point.coords[0]], &workloads[point.coords[1]], &db).unwrap()
+    };
+
+    // "Interrupted" run: stop after 3 of the scenarios.
+    let interrupted = hierbus_campaign::run(
+        &matrix,
+        &CampaignOptions {
+            manifest_path: Some(manifest.clone()),
+            limit: Some(3),
+            ..CampaignOptions::with_workers("resume", 2)
+        },
+        runner,
+    )
+    .unwrap();
+    assert_eq!(interrupted.stats.executed, 3);
+    assert!(!interrupted.is_complete());
+    assert_eq!(executions.load(Ordering::Relaxed), 3);
+
+    // Resume: only the remaining scenarios execute.
+    let resumed = hierbus_campaign::run(
+        &matrix,
+        &CampaignOptions {
+            manifest_path: Some(manifest.clone()),
+            ..CampaignOptions::with_workers("resume", 2)
+        },
+        runner,
+    )
+    .unwrap();
+    assert!(resumed.is_complete());
+    assert_eq!(resumed.stats.resumed, 3);
+    assert_eq!(resumed.stats.executed, total - 3);
+    assert_eq!(
+        executions.load(Ordering::Relaxed),
+        total,
+        "no recomputation"
+    );
+
+    // The resumed output equals a fresh uninterrupted run, manifest
+    // included.
+    let fresh_manifest = dir.join("fresh.manifest.json");
+    let (fresh_rows, _) = explore_campaign(
+        &configs,
+        workloads,
+        &db,
+        &CampaignOptions {
+            manifest_path: Some(fresh_manifest.clone()),
+            ..CampaignOptions::sequential("resume")
+        },
+    )
+    .unwrap();
+    let resumed_rows: Vec<ExplorationRow> =
+        resumed.results.into_iter().map(Option::unwrap).collect();
+    assert_eq!(render(&resumed_rows), render(&fresh_rows));
+    assert_eq!(
+        std::fs::read_to_string(&manifest).unwrap(),
+        std::fs::read_to_string(&fresh_manifest).unwrap()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn exploration_rows_roundtrip_the_manifest_payload() {
+    let db = CharacterizationDb::uniform();
+    let row = run_config(IfaceConfig::baseline(BASE), &standard_workloads()[0], &db).unwrap();
+    let back = ExplorationRow::from_json(&row.to_json()).expect("payload parses");
+    assert_eq!(back, row);
+}
+
+#[test]
+fn campaign_metrics_snapshots_merge_deterministically() {
+    // Per-scenario MetricsRegistry snapshots reduced in scenario-index
+    // order: the concatenated CSV must not depend on the worker count.
+    use hierbus_obs::MetricsRegistry;
+
+    struct Snap(String);
+    impl CampaignPayload for Snap {
+        fn to_json(&self) -> hierbus_campaign::Json {
+            hierbus_campaign::Json::Str(self.0.clone())
+        }
+        fn from_json(json: &hierbus_campaign::Json) -> Option<Self> {
+            json.as_str().map(|s| Snap(s.to_owned()))
+        }
+    }
+
+    let matrix = Matrix::new().axis("scenario", (0..6).map(|i| i.to_string()));
+    let run_at = |workers| {
+        let report = hierbus_campaign::run(
+            &matrix,
+            &CampaignOptions::with_workers("metrics", workers),
+            |point| {
+                let mut reg = MetricsRegistry::new();
+                let c = reg.counter("scenario.txns");
+                reg.add(c, point.index as u64 * 7 + 1);
+                Snap(reg.to_csv())
+            },
+        )
+        .unwrap();
+        report
+            .completed()
+            .map(|(p, s)| format!("## {}\n{}", p.key, s.0))
+            .collect::<String>()
+    };
+    let sequential = run_at(1);
+    assert_eq!(run_at(4), sequential);
+}
