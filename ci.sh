@@ -19,4 +19,20 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> campaign smoke (2 workers, tiny matrix)"
 cargo run --release -p hierbus-bench --bin explore_jcvm -- --smoke --workers 2
 
+echo "==> results staleness gate (deterministic tables)"
+# Every bin below prints byte-deterministic output (table3_simperf is
+# wall-clock based and exempt). Regenerate each and diff against the
+# committed results/ copy so a model change can't silently strand the
+# published numbers. Refresh with:
+#   cargo run --release -p hierbus-bench --bin all_tables
+stale_tmp="$(mktemp -d)"
+trap 'rm -rf "$stale_tmp"' EXIT
+for bin in table1_timing table2_energy fig6_sampling explore_jcvm ablations; do
+  ./target/release/"$bin" > "$stale_tmp/$bin.txt" 2>/dev/null
+  if ! diff -u "results/$bin.txt" "$stale_tmp/$bin.txt"; then
+    echo "results/$bin.txt is stale — regenerate with the all_tables bin" >&2
+    exit 1
+  fi
+done
+
 echo "CI OK"

@@ -124,6 +124,13 @@ where
         cycles,
         records: world.master.records().to_vec(),
         bus_activations: world.bus_activations,
+        outcomes: world
+            .master
+            .outcomes()
+            .iter()
+            .map(|o| o.expect("all ops settled at end of run"))
+            .collect(),
+        fault: world.master.fault_counters(),
     }
 }
 

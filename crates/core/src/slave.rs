@@ -170,11 +170,23 @@ impl MemSlave {
             .get(&addr.word_offset())
             .unwrap_or(&Self::fill_pattern(addr))
     }
+
+    /// All explicitly written words as `(word_offset, value)`, sorted —
+    /// the committed-memory fingerprint for cross-layer equality checks.
+    pub fn snapshot(&self) -> Vec<(u64, u32)> {
+        let mut v: Vec<(u64, u32)> = self.words.iter().map(|(&k, &w)| (k, w)).collect();
+        v.sort_unstable();
+        v
+    }
 }
 
 impl TlmSlave for MemSlave {
     fn config(&self) -> SlaveConfig {
         self.config
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 
     fn read_word(&mut self, addr: Address) -> SlaveReply<u32> {

@@ -26,7 +26,9 @@
 use crate::master::{Completed, CycleBus, PollStatus};
 use crate::obs_util::access_class;
 use crate::slave::{SlaveReply, TlmSlave};
-use hierbus_ec::{AddressMap, BusError, BusStatus, SignalFrame, SlaveId, Transaction, TxnId};
+use hierbus_ec::{
+    AddressMap, BusError, BusStatus, FaultKind, SignalFrame, SlaveId, Transaction, TxnId,
+};
 use hierbus_obs::{Phase, TraceCollector};
 use std::collections::{HashMap, VecDeque};
 
@@ -71,6 +73,7 @@ pub struct Tlm1Bus {
     read_beat: Option<Beat>,
     write_beat: Option<Beat>,
     finish_q: HashMap<TxnId, usize>,
+    faults: HashMap<TxnId, FaultKind>,
     emit_frames: bool,
     frame: SignalFrame,
     irq_mask: u64,
@@ -102,6 +105,7 @@ impl Tlm1Bus {
             read_beat: None,
             write_beat: None,
             finish_q: HashMap::new(),
+            faults: HashMap::new(),
             emit_frames: false,
             frame: SignalFrame::default(),
             irq_mask: 0,
@@ -152,6 +156,25 @@ impl Tlm1Bus {
     /// Exclusive access to a slave.
     pub fn slave_mut(&mut self, id: SlaveId) -> &mut dyn TlmSlave {
         self.slaves[id.0].as_mut()
+    }
+
+    /// Extra first-beat wait states injected into the transaction at
+    /// `idx`, if a stall fault is attached.
+    fn injected_stall(&self, idx: usize) -> u32 {
+        match self.faults.get(&self.active[idx].txn.id) {
+            Some(FaultKind::Stall(n)) => *n,
+            _ => 0,
+        }
+    }
+
+    /// True when a slave-error fault is attached to the transaction at
+    /// `idx`. The error fires on the first data beat, before the slave
+    /// is consulted — no data is ever committed.
+    fn injected_error(&self, idx: usize) -> bool {
+        matches!(
+            self.faults.get(&self.active[idx].txn.id),
+            Some(FaultKind::SlaveError)
+        )
     }
 
     /// Phase 1 of the bus process: the address-phase FSM.
@@ -244,7 +267,7 @@ impl Tlm1Bus {
         if self.read_beat.is_none() {
             if let Some(idx) = self.read_q.pop_front() {
                 let slave = self.active[idx].slave.expect("decoded");
-                let waits = self.map.config(slave).waits.read;
+                let waits = self.map.config(slave).waits.read + self.injected_stall(idx);
                 let t = &self.active[idx].txn;
                 self.obs.begin(
                     t.id.0,
@@ -278,7 +301,12 @@ impl Tlm1Bus {
                 a.txn.width,
             )
         };
-        match self.slaves[slave.0].read_word(addr) {
+        let reply = if beat_no == 0 && self.injected_error(idx) {
+            SlaveReply::Error
+        } else {
+            self.slaves[slave.0].read_word(addr)
+        };
+        match reply {
             SlaveReply::Wait => (), // dynamic stall: retry next cycle
             SlaveReply::Error => {
                 if self.emit_frames {
@@ -323,7 +351,7 @@ impl Tlm1Bus {
         if self.write_beat.is_none() {
             if let Some(idx) = self.write_q.pop_front() {
                 let slave = self.active[idx].slave.expect("decoded");
-                let waits = self.map.config(slave).waits.write;
+                let waits = self.map.config(slave).waits.write + self.injected_stall(idx);
                 let t = &self.active[idx].txn;
                 self.obs.begin(
                     t.id.0,
@@ -362,7 +390,12 @@ impl Tlm1Bus {
         // Non-enabled lanes of the write bus hold the previous bus value
         // (keeper behaviour), matching the RTL reference's wires.
         let bus_word = width.insert(addr, self.frame.w_data, value);
-        match self.slaves[slave.0].write_word(addr, bus_word, ben) {
+        let reply = if beat_no == 0 && self.injected_error(idx) {
+            SlaveReply::Error
+        } else {
+            self.slaves[slave.0].write_word(addr, bus_word, ben)
+        };
+        match reply {
             SlaveReply::Wait => (),
             SlaveReply::Error => {
                 if self.emit_frames {
@@ -424,10 +457,19 @@ impl CycleBus for Tlm1Bus {
         BusStatus::Request
     }
 
+    fn inject(&mut self, id: TxnId, fault: FaultKind) {
+        self.faults.insert(id, fault);
+    }
+
+    fn obs_counter(&mut self, track: &'static str, cycle: u64, value: f64) {
+        self.obs.counter_sample(track, cycle, value);
+    }
+
     fn poll(&mut self, id: TxnId) -> PollStatus {
         match self.finish_q.remove(&id) {
             None => PollStatus::Pending,
             Some(idx) => {
+                self.faults.remove(&id);
                 let a = &mut self.active[idx];
                 PollStatus::Done(Completed {
                     addr_done_cycle: a.addr_done,

@@ -39,8 +39,8 @@ use crate::master::{Completed, CycleBus, PollStatus};
 use crate::obs_util::access_class;
 use crate::slave::{SlaveReply, TlmSlave};
 use hierbus_ec::{
-    AccessKind, Address, AddressMap, BusError, BusStatus, DataWidth, SlaveId, Transaction, TxnId,
-    WaitProfile,
+    AccessKind, Address, AddressMap, BusError, BusStatus, DataWidth, FaultKind, SlaveId,
+    Transaction, TxnId, WaitProfile,
 };
 use hierbus_obs::{Phase, TraceCollector};
 use std::collections::{HashMap, VecDeque};
@@ -69,8 +69,16 @@ pub struct PhaseEvent {
     pub width: DataWidth,
     /// Beat count.
     pub beats: u32,
-    /// Cycles the phase occupied.
+    /// Cycles the phase occupied (elapsed cycles for a partial phase).
     pub cycles: u32,
+    /// Cycles the phase would have occupied uninterrupted. Equal to
+    /// [`cycles`](Self::cycles) for completed phases; for a phase cut
+    /// short by a card tear, the energy model charges its per-phase
+    /// average pro-rata as `cycles / planned_cycles`.
+    pub planned_cycles: u32,
+    /// False for a phase truncated mid-flight (card tear) — no data
+    /// moved, only `cycles` of the phase were actually driven.
+    pub completed: bool,
     /// Beat words (read results or write payload); empty for address
     /// phases.
     pub data: Vec<u32>,
@@ -88,6 +96,8 @@ struct Active {
     done: Option<u64>,
     error: Option<BusError>,
     read_data: Vec<u32>,
+    /// Injected fault attached at issue time, if any.
+    fault: Option<FaultKind>,
 }
 
 #[derive(Debug)]
@@ -190,6 +200,62 @@ impl Tlm2Bus {
         std::mem::take(&mut self.events)
     }
 
+    /// Emits partial [`PhaseEvent`]s (`completed == false`) for phases
+    /// mid-flight when the clock stopped at `cycle` (card tear). The
+    /// energy model charges them pro-rata; phases still queued drove
+    /// nothing and are not reported. No-op unless events are enabled.
+    pub fn flush_partial_phases(&mut self, cycle: u64) {
+        if !self.emit_events {
+            return;
+        }
+        if let AddrState::Counting { idx, left, error } = &self.addr_state {
+            let a = &self.active[*idx];
+            let planned = if error.is_some() {
+                1
+            } else {
+                1 + a.waits.address
+            };
+            let elapsed = planned - 1 - left;
+            if elapsed > 0 {
+                self.events.push(PhaseEvent {
+                    kind: PhaseKind::Address,
+                    addr: a.txn.addr,
+                    access: a.txn.kind,
+                    width: a.txn.width,
+                    beats: a.txn.beats(),
+                    cycles: elapsed,
+                    planned_cycles: planned,
+                    completed: false,
+                    data: Vec::new(),
+                    at_cycle: cycle,
+                });
+            }
+        }
+        for (side, kind) in [
+            (&self.read, PhaseKind::ReadData),
+            (&self.write, PhaseKind::WriteData),
+        ] {
+            if let Some(st) = &side.current {
+                let a = &self.active[st.idx];
+                let elapsed = st.total - st.left;
+                if elapsed > 0 {
+                    self.events.push(PhaseEvent {
+                        kind,
+                        addr: a.txn.addr,
+                        access: a.txn.kind,
+                        width: a.txn.width,
+                        beats: a.txn.beats(),
+                        cycles: elapsed,
+                        planned_cycles: st.total,
+                        completed: false,
+                        data: Vec::new(),
+                        at_cycle: cycle,
+                    });
+                }
+            }
+        }
+    }
+
     /// Interrupt lines sampled at the last bus-process activation, one
     /// bit per slave (bit *n* = slave *n*).
     pub fn irq_mask(&self) -> u64 {
@@ -208,7 +274,15 @@ impl Tlm2Bus {
 
     fn data_duration(a: &Active) -> u32 {
         let wait = a.waits.data_wait(a.txn.kind);
-        a.txn.beats() * (1 + wait)
+        a.txn.beats() * (1 + wait) + Self::injected_stall(a)
+    }
+
+    /// Extra first-beat wait states from an injected stall fault.
+    fn injected_stall(a: &Active) -> u32 {
+        match a.fault {
+            Some(FaultKind::Stall(n)) => n,
+            _ => 0,
+        }
     }
 
     /// Completes the data phase of `idx`: one block slave call, record
@@ -226,7 +300,16 @@ impl Tlm2Bus {
         };
         let mut error = None;
         let mut words: Vec<u32> = Vec::new();
-        if kind.is_read() {
+        if matches!(self.active[idx].fault, Some(FaultKind::SlaveError)) {
+            // Injected slave error: fires before any data is committed
+            // (the reference errors on the first beat), so memory state
+            // stays identical across layers. Writes still drove their
+            // payload onto the bus, so the event keeps it for energy.
+            error = Some(BusError::SlaveError(addr));
+            if !kind.is_read() {
+                words = self.active[idx].txn.data.clone();
+            }
+        } else if kind.is_read() {
             if width == DataWidth::W32 {
                 words = vec![0u32; beats as usize];
                 if self.slaves[slave.0].read_block(addr, &mut words) == SlaveReply::Error {
@@ -285,6 +368,8 @@ impl Tlm2Bus {
                 width,
                 beats,
                 cycles: phase_cycles,
+                planned_cycles: phase_cycles,
+                completed: true,
                 data: words,
                 at_cycle: cycle,
             });
@@ -394,9 +479,26 @@ impl CycleBus for Tlm2Bus {
             done: None,
             error: None,
             read_data: Vec::new(),
+            fault: None,
         });
         self.addr_q.push_back(idx);
         BusStatus::Request
+    }
+
+    fn inject(&mut self, id: TxnId, fault: FaultKind) {
+        // Inject follows issue immediately, so the target is (almost
+        // always) the most recently pushed entry.
+        let a = self
+            .active
+            .iter_mut()
+            .rev()
+            .find(|a| a.txn.id == id)
+            .expect("inject follows issue");
+        a.fault = Some(fault);
+    }
+
+    fn obs_counter(&mut self, track: &'static str, cycle: u64, value: f64) {
+        self.obs.counter_sample(track, cycle, value);
     }
 
     fn poll(&mut self, id: TxnId) -> PollStatus {
@@ -486,6 +588,8 @@ impl CycleBus for Tlm2Bus {
                         width,
                         beats: burst_beats,
                         cycles: 1 + addr_waits,
+                        planned_cycles: 1 + addr_waits,
+                        completed: true,
                         data: Vec::new(),
                         at_cycle: cycle,
                     });
@@ -525,7 +629,8 @@ impl CycleBus for Tlm2Bus {
                                 addr.raw(),
                                 access_class(kind),
                             );
-                            let wait = self.active[idx].waits.data_wait(kind);
+                            let a = &self.active[idx];
+                            let wait = a.waits.data_wait(kind) + Self::injected_stall(a);
                             if wait == 0 {
                                 self.complete_data(idx, cycle, 1);
                             } else {

@@ -31,9 +31,12 @@
 //!   one bus cycle, shared by the RTL reference and the layer-1 energy
 //!   model ("TLM-to-RTL adapter").
 //! * [`sequences`] — the verification scenarios of §4.1 plus random mixes.
+//! * [`fault`] — deterministic fault plans (error replies, stalls, card
+//!   tear), the master retry/timeout policy and per-op outcomes.
 
 pub mod addr;
 pub mod error;
+pub mod fault;
 pub mod frame;
 pub mod limits;
 pub mod map;
@@ -46,6 +49,9 @@ pub mod txn;
 
 pub use addr::{Address, AddressRange};
 pub use error::BusError;
+pub use fault::{
+    FaultCounters, FaultKind, FaultParams, FaultPlan, OpFault, RetryPolicy, TxnOutcome,
+};
 pub use frame::{SignalClass, SignalFrame, TogglesByClass};
 pub use limits::{OutstandingLimits, OutstandingTracker, TxnCategory};
 pub use map::AddressMap;

@@ -42,6 +42,7 @@ pub struct Layer2EnergyModel {
     last_read_word: Option<u32>,
     last_write_word: Option<u32>,
     phases_estimated: u64,
+    partial_phases: u64,
 }
 
 impl Layer2EnergyModel {
@@ -56,6 +57,7 @@ impl Layer2EnergyModel {
             last_read_word: None,
             last_write_word: None,
             phases_estimated: 0,
+            partial_phases: 0,
         }
     }
 
@@ -69,8 +71,39 @@ impl Layer2EnergyModel {
         self.correlation_correction = true;
     }
 
-    /// Books the energy of one completed phase.
+    /// Books the energy of one completed phase — or, for a phase
+    /// truncated by a card tear (`ev.completed == false`), its
+    /// characterized per-phase average pro-rata: the layer has no
+    /// signal knowledge of the interrupted cycles, so it charges
+    /// `cycles / planned_cycles` of the average-only estimate.
     pub fn on_event(&mut self, ev: &PhaseEvent) {
+        if !ev.completed {
+            let fraction = f64::from(ev.cycles) / f64::from(ev.planned_cycles.max(1));
+            let e = |class: SignalClass| self.db.energy_per_toggle(class);
+            let full = match ev.kind {
+                PhaseKind::Address => {
+                    self.db.avg_addr_bus_toggles() * e(SignalClass::AddrBus)
+                        + self.db.avg_addr_ctl_toggles() * e(SignalClass::AddrCtl)
+                }
+                PhaseKind::ReadData => {
+                    let (avg_data, avg_ctl) = self.db.avg_read_beat_toggles();
+                    ev.beats as f64
+                        * (avg_data * e(SignalClass::ReadData) + avg_ctl * e(SignalClass::ReadCtl))
+                }
+                PhaseKind::WriteData => {
+                    let (avg_data, avg_ctl) = self.db.avg_write_beat_toggles();
+                    ev.beats as f64
+                        * (avg_data * e(SignalClass::WriteData)
+                            + avg_ctl * e(SignalClass::WriteCtl))
+                }
+            };
+            let energy = full * fraction;
+            self.total_pj += energy;
+            self.since_last_pj += energy;
+            self.phases_estimated += 1;
+            self.partial_phases += 1;
+            return;
+        }
         let e = |class: SignalClass| self.db.energy_per_toggle(class);
         let energy = match ev.kind {
             PhaseKind::Address => {
@@ -148,6 +181,11 @@ impl Layer2EnergyModel {
         self.phases_estimated
     }
 
+    /// Number of truncated (card-tear) phases booked pro-rata.
+    pub fn partial_phases(&self) -> u64 {
+        self.partial_phases
+    }
+
     /// The characterization database in use.
     pub fn db(&self) -> &CharacterizationDb {
         &self.db
@@ -167,6 +205,8 @@ mod tests {
             width: DataWidth::W32,
             beats: 1,
             cycles: 1,
+            planned_cycles: 1,
+            completed: true,
             data: Vec::new(),
             at_cycle: 0,
         }
@@ -180,6 +220,8 @@ mod tests {
             width: DataWidth::W32,
             beats: data.len() as u32,
             cycles: data.len() as u32,
+            planned_cycles: data.len() as u32,
+            completed: true,
             data,
             at_cycle: 0,
         }
@@ -231,6 +273,32 @@ mod tests {
         assert!(t2 > 0.0);
         assert_eq!(m.energy_since_last_call(), 0.0);
         assert_eq!(m.total_energy(), t1 + t2);
+    }
+
+    #[test]
+    fn truncated_phase_charges_average_pro_rata() {
+        let mut m = Layer2EnergyModel::new(CharacterizationDb::uniform());
+        // A 4-beat read phase torn after 2 of its 4 cycles: half of the
+        // average-only estimate (4 beats × (16 data + 3 ctl) = 76).
+        let ev = PhaseEvent {
+            beats: 4,
+            cycles: 2,
+            planned_cycles: 4,
+            completed: false,
+            data: Vec::new(),
+            ..read_event(vec![0, 0, 0, 0])
+        };
+        m.on_event(&ev);
+        assert_eq!(m.total_energy(), 76.0 / 2.0);
+        assert_eq!(m.partial_phases(), 1);
+        // The charge scales linearly with the driven fraction: the same
+        // phase torn one cycle later costs proportionally more.
+        let mut later = Layer2EnergyModel::new(CharacterizationDb::uniform());
+        later.on_event(&PhaseEvent {
+            cycles: 3,
+            ..ev.clone()
+        });
+        assert_eq!(later.total_energy(), 76.0 * 3.0 / 4.0);
     }
 
     #[test]

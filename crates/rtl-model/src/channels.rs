@@ -100,6 +100,9 @@ struct DataJob {
     idx: ActiveIdx,
     beats: u32,
     wait_per_beat: u32,
+    /// Extra wait states inserted before beat 0 only (injected stall
+    /// faults stretch the first beat, like a dynamically busy slave).
+    first_beat_extra: u32,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -140,12 +143,22 @@ impl DataChannel {
     /// Enqueues the data phase of a transaction whose address phase
     /// completed this cycle. Eligible immediately (beat 0 may complete in
     /// this same cycle if the channel is free and there are no waits).
-    pub fn push(&mut self, idx: ActiveIdx, beats: u32, wait_per_beat: u32) {
+    /// `first_beat_extra` adds wait states to beat 0 only — the stall
+    /// fault of the robustness layer.
+    pub fn push(&mut self, idx: ActiveIdx, beats: u32, wait_per_beat: u32, first_beat_extra: u32) {
         self.queue.push_back(DataJob {
             idx,
             beats,
             wait_per_beat,
+            first_beat_extra,
         });
+    }
+
+    /// Drops the in-progress transfer (remaining beats never run). Used
+    /// when an injected slave error terminates the transaction on its
+    /// first beat. Queued jobs behind it are unaffected.
+    pub fn cancel_current(&mut self) {
+        self.current = None;
     }
 
     /// True if no beat is active or queued.
@@ -160,7 +173,7 @@ impl DataChannel {
                 self.current = Some(BeatState {
                     job,
                     beat: 0,
-                    waits_left: job.wait_per_beat,
+                    waits_left: job.wait_per_beat + job.first_beat_extra,
                     armed_next_cycle: false,
                 });
             } else {
@@ -235,7 +248,7 @@ mod tests {
     #[test]
     fn zero_wait_single_beat_completes_same_cycle() {
         let mut ch = DataChannel::new();
-        ch.push(0, 1, 0);
+        ch.push(0, 1, 0, 0);
         assert_eq!(
             ch.step(),
             DataCycle::Beat {
@@ -250,7 +263,7 @@ mod tests {
     #[test]
     fn burst_beats_are_one_per_cycle_at_zero_wait() {
         let mut ch = DataChannel::new();
-        ch.push(0, 4, 0);
+        ch.push(0, 4, 0, 0);
         for beat in 0..4 {
             assert_eq!(
                 ch.step(),
@@ -267,7 +280,7 @@ mod tests {
     #[test]
     fn beat_waits_stretch_each_beat() {
         let mut ch = DataChannel::new();
-        ch.push(0, 2, 1);
+        ch.push(0, 2, 1, 0);
         assert_eq!(ch.step(), DataCycle::Busy(0)); // beat 0 wait
         assert!(matches!(ch.step(), DataCycle::Beat { beat: 0, .. }));
         assert_eq!(ch.step(), DataCycle::Busy(0)); // beat 1 wait
@@ -284,10 +297,47 @@ mod tests {
     #[test]
     fn jobs_queue_in_order() {
         let mut ch = DataChannel::new();
-        ch.push(0, 1, 0);
-        ch.push(1, 1, 0);
+        ch.push(0, 1, 0, 0);
+        ch.push(1, 1, 0, 0);
         assert!(matches!(ch.step(), DataCycle::Beat { idx: 0, .. }));
         // Next job starts (and completes) the following cycle.
         assert!(matches!(ch.step(), DataCycle::Beat { idx: 1, .. }));
+    }
+
+    #[test]
+    fn first_beat_extra_stretches_beat_zero_only() {
+        let mut ch = DataChannel::new();
+        ch.push(0, 2, 0, 2);
+        assert_eq!(ch.step(), DataCycle::Busy(0)); // injected stall
+        assert_eq!(ch.step(), DataCycle::Busy(0)); // injected stall
+        assert!(matches!(ch.step(), DataCycle::Beat { beat: 0, .. }));
+        // Beat 1 is back to the static wait profile (zero here).
+        assert!(matches!(
+            ch.step(),
+            DataCycle::Beat {
+                beat: 1,
+                last: true,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn cancel_current_drops_remaining_beats() {
+        let mut ch = DataChannel::new();
+        ch.push(0, 4, 0, 0);
+        ch.push(1, 1, 0, 0);
+        assert!(matches!(ch.step(), DataCycle::Beat { beat: 0, .. }));
+        ch.cancel_current();
+        // The queued job behind the cancelled burst proceeds normally.
+        assert!(matches!(
+            ch.step(),
+            DataCycle::Beat {
+                idx: 1,
+                last: true,
+                ..
+            }
+        ));
+        assert!(ch.is_idle());
     }
 }

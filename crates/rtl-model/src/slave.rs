@@ -12,6 +12,13 @@ pub trait RtlSlaveModel {
     /// The slave control interface: address range, wait states, rights.
     fn config(&self) -> SlaveConfig;
 
+    /// Opt-in downcasting hook so post-run analyses (e.g. memory
+    /// equality checks across model layers) can reach the concrete
+    /// model. Models that support it override this with `Some(self)`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+
     /// Reads the word containing `addr` (the bus presents full words; the
     /// master extracts lanes per the merge pattern).
     fn read_word(&mut self, addr: Address) -> u32;
@@ -60,11 +67,31 @@ impl SimpleMem {
     pub fn written_words(&self) -> usize {
         self.words.len()
     }
+
+    /// Reads back a word without bus semantics (test/inspection aid).
+    pub fn peek(&self, addr: Address) -> u32 {
+        *self
+            .words
+            .get(&addr.word_offset())
+            .unwrap_or(&Self::fill_pattern(addr))
+    }
+
+    /// All explicitly written words as `(word_offset, value)`, sorted —
+    /// the committed-memory fingerprint for cross-layer equality checks.
+    pub fn snapshot(&self) -> Vec<(u64, u32)> {
+        let mut v: Vec<(u64, u32)> = self.words.iter().map(|(&k, &w)| (k, w)).collect();
+        v.sort_unstable();
+        v
+    }
 }
 
 impl RtlSlaveModel for SimpleMem {
     fn config(&self) -> SlaveConfig {
         self.config
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 
     fn read_word(&mut self, addr: Address) -> u32 {

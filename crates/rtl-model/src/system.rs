@@ -7,10 +7,11 @@ use crate::power::{GateLevelPowerEstimator, PowerConfig, TransitionPhase};
 use crate::slave::RtlSlaveModel;
 use crate::wires::InterfaceWires;
 use hierbus_ec::{
-    AccessKind, AddressMap, BusError, OutstandingLimits, Scenario, SignalClass, SignalFrame,
-    SlaveId, Transaction,
+    AccessKind, AddressMap, BusError, FaultCounters, FaultKind, FaultPlan, OutstandingLimits,
+    RetryPolicy, Scenario, SignalClass, SignalFrame, SlaveId, Transaction, TxnOutcome,
 };
 use hierbus_obs::{AccessClass, Phase, TraceCollector};
+use hierbus_sim::CycleSchedule;
 
 /// `hierbus-obs` is dependency-free, so the access-kind translation
 /// lives with each instrumented model.
@@ -28,6 +29,8 @@ struct ActiveTxn {
     rec: usize,
     txn: Transaction,
     slave: Option<SlaveId>,
+    /// The fault injected into this attempt, resolved at issue time.
+    fault: Option<FaultKind>,
     /// Span bookkeeping: the address/data phase has begun on the wires.
     addr_started: bool,
     data_started: bool,
@@ -46,6 +49,10 @@ pub struct RunReport {
     pub transitions: u64,
     /// Glitch transitions alone.
     pub glitch_transitions: u64,
+    /// Final per-stimulus-op outcomes, parallel to the op list.
+    pub outcomes: Vec<TxnOutcome>,
+    /// Fault-injection and robustness counters.
+    pub fault: FaultCounters,
 }
 
 impl RunReport {
@@ -77,6 +84,11 @@ pub struct RtlSystem {
     /// Optional VCD waveform recording of the wire bundle.
     waveform: Option<(hierbus_sim::trace::TraceRecorder, WaveChannels)>,
     obs: TraceCollector,
+    /// The card-tear schedule (at most one entry, from the fault plan).
+    tear: CycleSchedule<()>,
+    torn: bool,
+    /// Fault counters already mirrored into the trace.
+    sampled: FaultCounters,
 }
 
 /// Channel handles of the waveform recording.
@@ -124,7 +136,37 @@ impl RtlSystem {
             frame_log: None,
             waveform: None,
             obs: TraceCollector::disabled("rtl"),
+            tear: CycleSchedule::new(),
+            torn: false,
+            sampled: FaultCounters::default(),
         }
+    }
+
+    /// Attaches a fault plan and robustness policy; builder-style. Must
+    /// be called before the first cycle.
+    pub fn with_faults(mut self, plan: FaultPlan, policy: RetryPolicy) -> Self {
+        self.tear = CycleSchedule::new();
+        if let Some(tc) = plan.tear_cycle {
+            self.tear.at(tc, ());
+        }
+        self.master.set_faults(plan, policy);
+        self
+    }
+
+    /// True once the card has been torn.
+    pub fn torn(&self) -> bool {
+        self.torn
+    }
+
+    /// Final per-op outcomes and fault counters so far.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.master.fault_counters()
+    }
+
+    /// Downcasts the slave at position `i` to its concrete model type
+    /// (post-run memory inspection; see [`RtlSlaveModel::as_any`]).
+    pub fn slave_as<T: 'static>(&self, i: usize) -> Option<&T> {
+        self.slaves.get(i)?.as_any()?.downcast_ref::<T>()
     }
 
     /// Enables transaction-span collection (request/address/data phase
@@ -256,7 +298,7 @@ impl RtlSystem {
     pub fn step_cycle(&mut self) {
         let cycle = self.cycle;
         // Rising edge: the master may issue one request.
-        if let Some((rec, txn)) = self.master.rising_edge(cycle) {
+        if let Some((rec, txn, fault)) = self.master.rising_edge(cycle) {
             let decode = self.map.decode(txn.addr, txn.kind);
             let (slave, addr_waits, error) = match decode {
                 Ok(id) => (Some(id), self.map.config(id).waits.address, None),
@@ -274,11 +316,13 @@ impl RtlSystem {
                 rec,
                 txn,
                 slave,
+                fault,
                 addr_started: false,
                 data_started: false,
             });
             self.addr_ch.push(idx, addr_waits, error);
         }
+        self.sample_fault_counters(cycle);
 
         // Falling edge: the bus process evaluates the three phases in the
         // paper's order (address, read, write) and drives the wires.
@@ -295,13 +339,18 @@ impl RtlSystem {
                 self.obs_addr_start(idx, cycle);
                 self.obs
                     .end(self.active[idx].txn.id.0, Phase::Address, cycle, false);
-                let (kind, beats, wait, rec) = {
+                let (kind, beats, wait, stall, rec) = {
                     let a = &self.active[idx];
                     let waits = self.map.config(a.slave.expect("decoded")).waits;
+                    let stall = match a.fault {
+                        Some(FaultKind::Stall(n)) => n,
+                        _ => 0,
+                    };
                     (
                         a.txn.kind,
                         a.txn.beats(),
                         waits.data_wait(a.txn.kind),
+                        stall,
                         a.rec,
                     )
                 };
@@ -309,9 +358,9 @@ impl RtlSystem {
                 frame.drive_address(t.addr.raw(), t.kind, t.width, t.burst, true, false);
                 self.master.address_done(rec, cycle);
                 if kind.is_read() {
-                    self.read_ch.push(idx, beats, wait);
+                    self.read_ch.push(idx, beats, wait, stall);
                 } else {
-                    self.write_ch.push(idx, beats, wait);
+                    self.write_ch.push(idx, beats, wait, stall);
                 }
             }
             AddrCycle::Failed(idx, err) => {
@@ -331,26 +380,49 @@ impl RtlSystem {
             DataCycle::Busy(idx) => self.obs_data_start(idx, cycle),
             DataCycle::Beat { idx, beat, last } => {
                 self.obs_data_start(idx, cycle);
-                let (word, tag, rec, err) = {
-                    let a = &self.active[idx];
-                    let addr = a.txn.beat_addr(beat);
-                    let slave = a.slave.expect("decoded");
-                    let word = self.slaves[slave.0].read_word(addr);
-                    (word, a.txn.id.tag(), a.rec, None::<BusError>)
-                };
-                frame.drive_read(word, tag, true, false);
-                let a = &self.active[idx];
-                let value = a.txn.width.extract(a.txn.beat_addr(beat), word);
-                self.master.read_beat(rec, beat, value);
-                if last {
-                    self.obs.end(
-                        self.active[idx].txn.id.0,
-                        Phase::ReadData,
-                        cycle,
-                        err.is_some(),
-                    );
-                    self.master.complete(rec, cycle, err);
+                // An injected slave error fires on the first data beat,
+                // before the slave is consulted — no data is ever read.
+                // The error response holds the previous read-bus value
+                // (matching the layer-1 adapter's frame).
+                let injected =
+                    beat == 0 && matches!(self.active[idx].fault, Some(FaultKind::SlaveError));
+                if injected {
+                    let (tag, rec, addr) = {
+                        let a = &self.active[idx];
+                        (a.txn.id.tag(), a.rec, a.txn.beat_addr(0))
+                    };
+                    let prev = self.wires.r_data.value() as u32;
+                    frame.drive_read(prev, tag, true, true);
+                    if !last {
+                        self.read_ch.cancel_current();
+                    }
+                    self.obs
+                        .end(self.active[idx].txn.id.0, Phase::ReadData, cycle, true);
+                    self.master
+                        .complete(rec, cycle, Some(BusError::SlaveError(addr)));
                     self.last_done = cycle;
+                } else {
+                    let (word, tag, rec, err) = {
+                        let a = &self.active[idx];
+                        let addr = a.txn.beat_addr(beat);
+                        let slave = a.slave.expect("decoded");
+                        let word = self.slaves[slave.0].read_word(addr);
+                        (word, a.txn.id.tag(), a.rec, None::<BusError>)
+                    };
+                    frame.drive_read(word, tag, true, false);
+                    let a = &self.active[idx];
+                    let value = a.txn.width.extract(a.txn.beat_addr(beat), word);
+                    self.master.read_beat(rec, beat, value);
+                    if last {
+                        self.obs.end(
+                            self.active[idx].txn.id.0,
+                            Phase::ReadData,
+                            cycle,
+                            err.is_some(),
+                        );
+                        self.master.complete(rec, cycle, err);
+                        self.last_done = cycle;
+                    }
                 }
             }
         }
@@ -360,6 +432,11 @@ impl RtlSystem {
             DataCycle::Busy(idx) => self.obs_data_start(idx, cycle),
             DataCycle::Beat { idx, beat, last } => {
                 self.obs_data_start(idx, cycle);
+                // An injected slave error fires on the first data beat,
+                // before the slave commits — memory is never modified.
+                // The payload was still driven onto the bus.
+                let injected =
+                    beat == 0 && matches!(self.active[idx].fault, Some(FaultKind::SlaveError));
                 let (bus_word, ben, tag, rec) = {
                     let a = &self.active[idx];
                     let addr = a.txn.beat_addr(beat);
@@ -371,17 +448,26 @@ impl RtlSystem {
                     let ben = a.txn.width.byte_enables(addr);
                     (bus_word, ben, a.txn.id.tag(), a.rec)
                 };
-                frame.drive_write(bus_word, ben, tag, true, false);
-                {
+                frame.drive_write(bus_word, ben, tag, true, injected);
+                if !injected {
                     let a = &self.active[idx];
                     let addr = a.txn.beat_addr(beat);
                     let slave = a.slave.expect("decoded");
                     self.slaves[slave.0].write_word(addr, bus_word, ben);
                 }
-                if last {
-                    self.obs
-                        .end(self.active[idx].txn.id.0, Phase::WriteData, cycle, false);
-                    self.master.complete(rec, cycle, None);
+                if last || injected {
+                    let err =
+                        injected.then(|| BusError::SlaveError(self.active[idx].txn.beat_addr(0)));
+                    if !last {
+                        self.write_ch.cancel_current();
+                    }
+                    self.obs.end(
+                        self.active[idx].txn.id.0,
+                        Phase::WriteData,
+                        cycle,
+                        err.is_some(),
+                    );
+                    self.master.complete(rec, cycle, err);
                     self.last_done = cycle;
                 }
             }
@@ -443,7 +529,30 @@ impl RtlSystem {
         }
     }
 
-    /// Runs until the stimulus completes. Returns the run report.
+    /// Mirrors the master's `fault.*` counters into the trace whenever
+    /// they change.
+    fn sample_fault_counters(&mut self, cycle: u64) {
+        let c = self.master.fault_counters();
+        if c == self.sampled {
+            return;
+        }
+        if c.injected != self.sampled.injected {
+            self.obs
+                .counter_sample("fault.injected", cycle, c.injected as f64);
+        }
+        if c.retried != self.sampled.retried {
+            self.obs
+                .counter_sample("fault.retried", cycle, c.retried as f64);
+        }
+        if c.aborted != self.sampled.aborted {
+            self.obs
+                .counter_sample("fault.aborted", cycle, c.aborted as f64);
+        }
+        self.sampled = c;
+    }
+
+    /// Runs until the stimulus completes — or to the card tear,
+    /// whichever is first. Returns the run report.
     ///
     /// # Panics
     ///
@@ -451,6 +560,11 @@ impl RtlSystem {
     /// deadlock would otherwise loop forever.
     pub fn run(&mut self, max_cycles: u64) -> RunReport {
         while !self.master.is_finished() {
+            if !self.tear.pop_due(self.cycle).is_empty() {
+                // Power is gone: the cycle at the tear never executes.
+                self.torn = true;
+                break;
+            }
             assert!(
                 self.cycle < max_cycles,
                 "bus deadlock: {} cycles without completion",
@@ -458,20 +572,34 @@ impl RtlSystem {
             );
             self.step_cycle();
         }
-        // One more cycle settles the bus back to idle: the handshake
-        // wires fall, and those transitions cost energy the layer-1 model
-        // (whose process also runs that cycle) must see too.
-        self.step_cycle();
+        if self.torn {
+            self.master.tear_now();
+            self.sample_fault_counters(self.cycle);
+        } else {
+            // One more cycle settles the bus back to idle: the handshake
+            // wires fall, and those transitions cost energy the layer-1
+            // model (whose process also runs that cycle) must see too.
+            // A torn run gets no such cycle — the clock is dead.
+            self.step_cycle();
+        }
         let glitches: u64 = SignalClass::ALL
             .iter()
             .map(|&c| self.estimator.class_glitch_transitions(c))
             .sum();
+        let any_done = self.master.records().iter().any(|r| r.done_cycle.is_some());
         RunReport {
-            cycles: self.last_done + 1,
+            cycles: if any_done { self.last_done + 1 } else { 0 },
             records: self.master.records().to_vec(),
             energy_pj: self.estimator.total_energy(),
             transitions: self.estimator.total_transitions(),
             glitch_transitions: glitches,
+            outcomes: self
+                .master
+                .outcomes()
+                .iter()
+                .map(|o| o.expect("all ops settled at end of run"))
+                .collect(),
+            fault: self.master.fault_counters(),
         }
     }
 }

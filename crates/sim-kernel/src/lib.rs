@@ -40,6 +40,7 @@ pub mod event;
 pub mod kernel;
 pub mod prng;
 pub mod process;
+pub mod schedule;
 pub mod signal;
 pub mod stats;
 pub mod time;
@@ -50,6 +51,7 @@ pub use event::EventId;
 pub use kernel::{Api, Kernel, ProcessBuilder};
 pub use prng::SplitMix64;
 pub use process::{ProcessId, ProcessProfile};
+pub use schedule::CycleSchedule;
 pub use signal::{Transition, Vector, Wire};
 pub use stats::KernelStats;
 pub use time::SimTime;

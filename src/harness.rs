@@ -247,6 +247,148 @@ pub mod perf {
     }
 }
 
+/// Fault-injection runners: the same scenario + [`FaultPlan`] +
+/// [`RetryPolicy`] replayed at every abstraction level, with energy
+/// attached and the committed memory captured — the differential
+/// robustness harness.
+///
+/// [`FaultPlan`]: hierbus_ec::FaultPlan
+/// [`RetryPolicy`]: hierbus_ec::RetryPolicy
+pub mod fault {
+    use super::*;
+    use hierbus_core::HasSlaves;
+    use hierbus_ec::{FaultCounters, FaultPlan, RetryPolicy, SlaveId, TxnOutcome};
+
+    /// Result of a faulted run at any layer.
+    #[derive(Debug, Clone)]
+    pub struct FaultRun {
+        /// Bus cycles from cycle 0 through the last completion.
+        pub cycles: u64,
+        /// Estimated (or gate-level, for the reference) energy in pJ.
+        pub energy_pj: f64,
+        /// Per-attempt records (one per retry reissue too).
+        pub records: Vec<TxnRecord>,
+        /// Final per-stimulus-op outcomes.
+        pub outcomes: Vec<TxnOutcome>,
+        /// Fault/robustness counters.
+        pub counters: FaultCounters,
+        /// Committed memory: explicitly written `(word_offset, value)`
+        /// pairs, sorted.
+        pub memory: Vec<(u64, u32)>,
+        /// The run ended in a card tear.
+        pub torn: bool,
+    }
+
+    /// The gate-level reference under a fault plan (glitches off so the
+    /// energy number is the deterministic settled-transition cost).
+    pub fn run_reference(scenario: &Scenario, plan: &FaultPlan, policy: RetryPolicy) -> FaultRun {
+        let mem = SimpleMem::new(scenario_slave(scenario));
+        let mut sys = RtlSystem::new(
+            scenario.ops.clone(),
+            vec![Box::new(mem)],
+            PowerConfig::default(),
+            GlitchConfig::off(),
+        )
+        .with_faults(plan.clone(), policy);
+        let report = sys.run(MAX_CYCLES);
+        let memory = sys
+            .slave_as::<SimpleMem>(0)
+            .expect("scenario slave is a SimpleMem")
+            .snapshot();
+        FaultRun {
+            cycles: report.cycles,
+            energy_pj: report.energy_pj,
+            records: report.records,
+            outcomes: report.outcomes,
+            counters: report.fault,
+            memory,
+            torn: sys.torn(),
+        }
+    }
+
+    /// Layer 1 under a fault plan, with the layer-1 energy model: torn
+    /// and aborted transactions charge exactly the transitions their
+    /// frames actually drove.
+    pub fn run_layer1(
+        scenario: &Scenario,
+        db: &CharacterizationDb,
+        plan: &FaultPlan,
+        policy: RetryPolicy,
+    ) -> FaultRun {
+        let mem = MemSlave::new(scenario_slave(scenario));
+        let mut bus = Tlm1Bus::new(vec![Box::new(mem)]);
+        bus.enable_frames();
+        let mut sys = TlmSystem::new(bus, scenario.ops.clone()).with_faults(plan.clone(), policy);
+        let mut model = Layer1EnergyModel::new(db.clone());
+        let report = sys.run(MAX_CYCLES, |bus: &mut Tlm1Bus| {
+            model.on_frame(bus.last_frame());
+        });
+        let memory = sys
+            .bus()
+            .slave_as::<MemSlave>(SlaveId(0))
+            .expect("scenario slave is a MemSlave")
+            .snapshot();
+        FaultRun {
+            cycles: report.cycles,
+            energy_pj: model.total_energy(),
+            records: report.records,
+            outcomes: report.outcomes,
+            counters: report.fault,
+            memory,
+            torn: sys.torn(),
+        }
+    }
+
+    /// Layer 2 under a fault plan, with the layer-2 energy model: a
+    /// phase truncated by the tear is flushed as a partial event and
+    /// charged its per-phase average pro-rata.
+    pub fn run_layer2(
+        scenario: &Scenario,
+        db: &CharacterizationDb,
+        plan: &FaultPlan,
+        policy: RetryPolicy,
+    ) -> FaultRun {
+        let mem = MemSlave::new(scenario_slave(scenario));
+        let mut bus = Tlm2Bus::new(vec![Box::new(mem)]);
+        bus.enable_events();
+        let tear_cycle = plan.tear_cycle;
+        let mut sys = TlmSystem::new(bus, scenario.ops.clone()).with_faults(plan.clone(), policy);
+        let mut model = Layer2EnergyModel::new(db.clone());
+        let report = sys.run(MAX_CYCLES, |bus: &mut Tlm2Bus| {
+            for ev in bus.drain_events() {
+                model.on_event(&ev);
+            }
+        });
+        if sys.torn() {
+            let at = tear_cycle.expect("torn runs come from a tear plan");
+            sys.bus_mut().flush_partial_phases(at);
+            for ev in sys.bus_mut().drain_events() {
+                model.on_event(&ev);
+            }
+        }
+        let memory = sys
+            .bus()
+            .slave_as::<MemSlave>(SlaveId(0))
+            .expect("scenario slave is a MemSlave")
+            .snapshot();
+        FaultRun {
+            cycles: report.cycles,
+            energy_pj: model.total_energy(),
+            records: report.records,
+            outcomes: report.outcomes,
+            counters: report.fault,
+            memory,
+            torn: sys.torn(),
+        }
+    }
+
+    /// Final per-transaction statuses, the layer-invariant contract: the
+    /// same plan must produce the same list at every abstraction level.
+    pub fn statuses(run: &FaultRun) -> Vec<TxnOutcome> {
+        run.outcomes.clone()
+    }
+}
+
 /// Counts phases/beats from a record set (characterization input).
 pub fn phase_counts(records: &[TxnRecord]) -> PhaseCounts {
     let mut counts = PhaseCounts::default();

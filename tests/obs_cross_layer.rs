@@ -10,7 +10,9 @@
 
 use hierbus::core::{MemSlave, Tlm1Bus, Tlm2Bus, TlmSystem};
 use hierbus::ec::sequences::{self, SCENARIO_BASE};
-use hierbus::ec::{BurstLen, MasterOp, Scenario, WaitProfile};
+use hierbus::ec::{
+    BurstLen, FaultKind, FaultPlan, MasterOp, OpFault, RetryPolicy, Scenario, WaitProfile,
+};
 use hierbus::harness::{scenario_slave, MAX_CYCLES};
 use hierbus::obs::{Phase, TraceCollector};
 use hierbus::rtl::{GlitchConfig, PowerConfig, RtlSystem, SimpleMem};
@@ -149,5 +151,81 @@ fn perfetto_export_matches_golden_file() {
         json, golden,
         "Perfetto export drifted from the golden file; if the change is \
          intentional, regenerate with BLESS=1 cargo test --test obs_cross_layer"
+    );
+}
+
+fn rtl_fault_spans(scenario: &Scenario, plan: &FaultPlan, policy: RetryPolicy) -> TraceCollector {
+    let mem = SimpleMem::new(scenario_slave(scenario));
+    let mut rtl = RtlSystem::new(
+        scenario.ops.clone(),
+        vec![Box::new(mem)],
+        PowerConfig::default(),
+        GlitchConfig::default(),
+    )
+    .with_faults(plan.clone(), policy);
+    rtl.enable_obs();
+    rtl.run(MAX_CYCLES);
+    rtl.obs().clone()
+}
+
+fn tlm1_fault_spans(scenario: &Scenario, plan: &FaultPlan, policy: RetryPolicy) -> TraceCollector {
+    let mem = MemSlave::new(scenario_slave(scenario));
+    let mut bus = Tlm1Bus::new(vec![Box::new(mem)]);
+    bus.enable_obs();
+    let mut sys = TlmSystem::new(bus, scenario.ops.clone()).with_faults(plan.clone(), policy);
+    sys.run(MAX_CYCLES, |_| {});
+    sys.bus().obs().clone()
+}
+
+fn tlm2_fault_spans(scenario: &Scenario, plan: &FaultPlan, policy: RetryPolicy) -> TraceCollector {
+    let mem = MemSlave::new(scenario_slave(scenario));
+    let mut bus = Tlm2Bus::new(vec![Box::new(mem)]);
+    bus.enable_obs();
+    let mut sys = TlmSystem::new(bus, scenario.ops.clone()).with_faults(plan.clone(), policy);
+    sys.run(MAX_CYCLES, |_| {});
+    sys.bus().obs().clone()
+}
+
+/// The golden fault scenario: the write answers its first attempt with
+/// a slave error and the master retries it once, successfully. The
+/// trace therefore carries an errored span set, the reissued spans, and
+/// the `fault.injected` / `fault.retried` counter tracks.
+#[test]
+fn perfetto_export_of_faulted_run_matches_golden_file() {
+    let scenario = three_txn_scenario();
+    let plan = FaultPlan::new().with_fault(1, OpFault::once(FaultKind::SlaveError));
+    let policy = RetryPolicy::retries(3);
+    let collectors = [
+        rtl_fault_spans(&scenario, &plan, policy),
+        tlm1_fault_spans(&scenario, &plan, policy),
+        tlm2_fault_spans(&scenario, &plan, policy),
+    ];
+    for c in &collectors {
+        assert_eq!(c.open_count(), 0, "layer {} left spans open", c.layer());
+        assert!(
+            c.spans().iter().any(|s| s.error),
+            "layer {} shows no errored span",
+            c.layer()
+        );
+        let tracks: Vec<&str> = c.counters().iter().map(|t| t.name.as_str()).collect();
+        assert!(tracks.contains(&"fault.injected"), "tracks: {tracks:?}");
+        assert!(tracks.contains(&"fault.retried"), "tracks: {tracks:?}");
+    }
+    let json = hierbus::obs::perfetto::export(&collectors);
+
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/fault_retry.trace.json"
+    );
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(path, &json).expect("bless golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(path).expect("golden file exists");
+    assert_eq!(
+        json, golden,
+        "Perfetto export of the faulted run drifted from the golden file; \
+         if the change is intentional, regenerate with \
+         BLESS=1 cargo test --test obs_cross_layer"
     );
 }

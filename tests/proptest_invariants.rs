@@ -248,6 +248,117 @@ fn energy_accumulates_monotonically() {
     }
 }
 
+/// Ops forced to single beats: the block-atomic layer-2 transfer then
+/// commits at the same cycle as the beat-level models, so a card tear
+/// may demand exact memory agreement (see `tests/fault_equivalence.rs`
+/// for the exhaustive fixed-scenario sweep).
+fn arb_single_ops(rng: &mut SplitMix64, lo: usize, hi: usize) -> Vec<MasterOp> {
+    arb_ops(rng, lo, hi)
+        .into_iter()
+        .map(|mut op| {
+            if op.burst.is_burst() {
+                op.burst = BurstLen::Single;
+                op.data.truncate(1);
+            }
+            op
+        })
+        .collect()
+}
+
+#[test]
+fn fault_outcomes_agree_across_all_layers_under_random_plans() {
+    use hierbus::ec::{FaultParams, FaultPlan, RetryPolicy};
+    use hierbus::harness::fault::{run_layer1, run_layer2, run_reference};
+    let db = hierbus::harness::shared_db();
+    for case in 0..CASES {
+        let seed = 0x7FA0_0000 + case;
+        let mut rng = SplitMix64::new(seed);
+        let scenario = Scenario {
+            name: "fault-prop",
+            ops: arb_ops(&mut rng, 1, 30),
+            waits: arb_waits(&mut rng),
+        };
+        let plan = FaultPlan::random(seed, scenario.ops.len(), FaultParams::default());
+        let policy = RetryPolicy::retries(2);
+        let rtl = run_reference(&scenario, &plan, policy);
+        let l1 = run_layer1(&scenario, &db, &plan, policy);
+        let l2 = run_layer2(&scenario, &db, &plan, policy);
+        // Same final verdict for every stimulus op, at every layer.
+        assert_eq!(rtl.outcomes, l1.outcomes, "seed {seed:#x}: rtl vs l1");
+        assert_eq!(l1.outcomes, l2.outcomes, "seed {seed:#x}: l1 vs l2");
+        assert_eq!(rtl.counters, l1.counters, "seed {seed:#x}: counters");
+        assert_eq!(l1.counters, l2.counters, "seed {seed:#x}: counters");
+        // Layer 1 stays cycle-exact under injection, retries included.
+        assert_eq!(rtl.cycles, l1.cycles, "seed {seed:#x}: l1 not cycle-exact");
+        if let Some((i, r, c)) = first_divergence(&rtl.records, &l1.records) {
+            panic!("seed {seed:#x}: record {i} diverges\n  rtl: {r:?}\n  tlm1: {c:?}");
+        }
+        // Layer 2 is never optimistic. (No upper bound here: an
+        // error-truncated burst legitimately saves layer 1 more beats
+        // than the layer-2 handoff approximation accounts for.)
+        assert!(
+            l2.cycles >= l1.cycles,
+            "seed {seed:#x}: layer 2 optimistic: {} < {}",
+            l2.cycles,
+            l1.cycles
+        );
+        // And every layer committed the same memory.
+        assert_eq!(rtl.memory, l1.memory, "seed {seed:#x}: memory");
+        assert_eq!(l1.memory, l2.memory, "seed {seed:#x}: memory");
+    }
+}
+
+#[test]
+fn random_tears_commit_identical_memory_on_single_beat_traffic() {
+    use hierbus::ec::{FaultPlan, RetryPolicy};
+    use hierbus::harness::fault::{run_layer1, run_layer2, run_reference};
+    let db = hierbus::harness::shared_db();
+    for case in 0..CASES {
+        let seed = 0x8EA2_0000 + case;
+        let mut rng = SplitMix64::new(seed);
+        let scenario = Scenario {
+            name: "tear-prop",
+            ops: arb_single_ops(&mut rng, 1, 12),
+            waits: arb_waits(&mut rng),
+        };
+        let tear = rng.range_u64(0, 80);
+        let plan = FaultPlan::new().with_tear(tear);
+        let rtl = run_reference(&scenario, &plan, RetryPolicy::NONE);
+        let l1 = run_layer1(&scenario, &db, &plan, RetryPolicy::NONE);
+        let l2 = run_layer2(&scenario, &db, &plan, RetryPolicy::NONE);
+        assert_eq!(rtl.outcomes, l1.outcomes, "seed {seed:#x} tear@{tear}");
+        assert_eq!(l1.outcomes, l2.outcomes, "seed {seed:#x} tear@{tear}");
+        assert_eq!(rtl.memory, l1.memory, "seed {seed:#x} tear@{tear}");
+        assert_eq!(l1.memory, l2.memory, "seed {seed:#x} tear@{tear}");
+    }
+}
+
+#[test]
+fn faulted_runs_reproduce_from_their_seed() {
+    use hierbus::ec::{FaultParams, FaultPlan, RetryPolicy};
+    use hierbus::harness::fault::run_layer1;
+    let db = hierbus::harness::shared_db();
+    let seed = 0x9D0C_0005u64;
+    let mk = || {
+        let mut rng = SplitMix64::new(seed);
+        Scenario {
+            name: "repro",
+            ops: arb_ops(&mut rng, 5, 25),
+            waits: arb_waits(&mut rng),
+        }
+    };
+    let (a, b) = (mk(), mk());
+    let plan_a = FaultPlan::random(seed, a.ops.len(), FaultParams::default());
+    let plan_b = FaultPlan::random(seed, b.ops.len(), FaultParams::default());
+    assert_eq!(plan_a, plan_b, "plan generation must be seed-deterministic");
+    let ra = run_layer1(&a, &db, &plan_a, RetryPolicy::retries(2));
+    let rb = run_layer1(&b, &db, &plan_b, RetryPolicy::retries(2));
+    assert_eq!(ra.outcomes, rb.outcomes);
+    assert_eq!(ra.cycles, rb.cycles);
+    assert_eq!(ra.memory, rb.memory);
+    assert_eq!(ra.energy_pj.to_bits(), rb.energy_pj.to_bits());
+}
+
 #[test]
 fn glitchless_reference_transitions_equal_layer1_toggles() {
     use hierbus::power::{CharacterizationDb, Layer1EnergyModel};
