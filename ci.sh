@@ -19,6 +19,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> campaign smoke (2 workers, tiny matrix)"
 cargo run --release -p hierbus-bench --bin explore_jcvm -- --smoke --workers 2
 
+echo "==> bench smoke (hot-path differential + scaling regression, release)"
+# The perf layer's correctness story: the packed diff must stay
+# bit-exact against the bit-loop reference, and 2-worker campaigns must
+# not lose throughput (the test skips itself on single-CPU runners).
+cargo test --release -q --test energy_hotpath_diff --test campaign_scaling_regression -- --nocapture
+
+echo "==> throughput JSON schema gate"
+# BENCH_throughput.json must parse and carry the speedup/scaling fields
+# the regression tracking depends on.
+cargo run --release -p hierbus-bench --bin check_throughput
+
 echo "==> results staleness gate (deterministic tables)"
 # Every bin below prints byte-deterministic output (table3_simperf is
 # wall-clock based and exempt). Regenerate each and diff against the

@@ -10,7 +10,7 @@
 
 use hierbus::harness;
 use hierbus_bench::{grouped, throughput, time_best, TextTable, THROUGHPUT_JSON};
-use hierbus_campaign::{CampaignPayload, Json, Matrix};
+use hierbus_campaign::{CampaignPayload, ClaimStrategy, Json, Matrix};
 use hierbus_ec::sequences::{random_mix, MixParams};
 use hierbus_ec::SignalFrame;
 use hierbus_power::{CharacterizationDb, Layer1EnergyModel};
@@ -132,12 +132,36 @@ fn main() {
     }
     worker_counts.sort_unstable();
     worker_counts.dedup();
-    let scaling = hierbus_campaign::measure_scaling::<MixCell, _>(
+    // Old engine arm: per-scenario atomic claiming, a fresh model per
+    // scenario and the bit-loop reference diff — the code path the
+    // committed baseline was measured on.
+    let old_scaling = hierbus_campaign::measure_scaling_with::<(), MixCell, _, _>(
+        &matrix,
+        "bus_throughput_campaign_old",
+        &worker_counts,
+        ClaimStrategy::PerScenario,
+        || (),
+        |(), point| {
+            let run = harness::run_layer1_reference(&scenarios[point.coords[0]], &db);
+            MixCell {
+                cycles: run.cycles,
+                energy_pj: run.energy_pj,
+            }
+        },
+    );
+    // New engine arm: chunked claiming and one reset-reused lean session
+    // per worker over the packed hot path — no per-transaction records
+    // and no per-cycle trace, because the payload keeps neither. Cycles
+    // and energy stay bit-identical to the old arm's
+    // (`proptest_invariants::lean_session_matches_full_runner_bit_exact`).
+    let scaling = hierbus_campaign::measure_scaling_with::<harness::Layer1LeanSession, MixCell, _, _>(
         &matrix,
         "bus_throughput_campaign",
         &worker_counts,
-        |point| {
-            let run = harness::run_layer1(&scenarios[point.coords[0]], &db);
+        ClaimStrategy::Chunked,
+        || harness::Layer1LeanSession::new(&db),
+        |session, point| {
+            let run = session.run(&scenarios[point.coords[0]]);
             MixCell {
                 cycles: run.cycles,
                 energy_pj: run.energy_pj,
@@ -145,12 +169,21 @@ fn main() {
         },
     );
     let base = scaling[0].scenarios_per_sec;
-    let mut scale_table = TextTable::new(["workers", "wall", "scenarios/s", "speedup"]);
-    for p in &scaling {
+    let mut scale_table = TextTable::new([
+        "workers",
+        "wall",
+        "scenarios/s",
+        "old scen/s",
+        "speedup (new/old)",
+        "scaling (vs 1w)",
+    ]);
+    for (p, old) in scaling.iter().zip(&old_scaling) {
         scale_table.row([
             p.workers.to_string(),
             format!("{:.2?}", p.wall),
             format!("{:.1}", p.scenarios_per_sec),
+            format!("{:.1}", old.scenarios_per_sec),
+            format!("{:.2}x", p.scenarios_per_sec / old.scenarios_per_sec),
             format!("{:.2}x", p.scenarios_per_sec / base),
         ]);
     }
@@ -167,11 +200,20 @@ fn main() {
             Json::Arr(
                 scaling
                     .iter()
-                    .map(|p| {
+                    .zip(&old_scaling)
+                    .map(|(p, old)| {
                         Json::Obj(vec![
                             ("workers".to_owned(), Json::Num(p.workers as f64)),
                             ("scenarios_per_s".to_owned(), Json::Num(p.scenarios_per_sec)),
-                            ("speedup".to_owned(), Json::Num(p.scenarios_per_sec / base)),
+                            (
+                                "old_scenarios_per_s".to_owned(),
+                                Json::Num(old.scenarios_per_sec),
+                            ),
+                            (
+                                "speedup".to_owned(),
+                                Json::Num(p.scenarios_per_sec / old.scenarios_per_sec),
+                            ),
+                            ("scaling".to_owned(), Json::Num(p.scenarios_per_sec / base)),
                         ])
                     })
                     .collect(),

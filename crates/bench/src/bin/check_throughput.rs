@@ -1,0 +1,104 @@
+//! Schema gate for `BENCH_throughput.json` — part of the `ci.sh`
+//! staleness checks.
+//!
+//! The throughput trajectory is only useful for regression tracking if
+//! every revision writes the same shape, so this binary verifies the
+//! committed file parses and carries the fields the scaling analysis
+//! depends on: each `campaign_*` section must list per-worker entries
+//! with `workers`, `scenarios_per_s`, `old_scenarios_per_s`, `speedup`
+//! (new-engine vs old-engine throughput at the same worker count) and
+//! `scaling` (new-engine throughput vs its own 1-worker point), and the
+//! `layers` section must carry the Table 3 kT/s numbers including the
+//! hot-path old-vs-new pair. Exits non-zero with a description of the
+//! first violation.
+//!
+//! Run with `cargo run --release -p hierbus-bench --bin check_throughput`.
+
+use hierbus_campaign::Json;
+use std::process::ExitCode;
+
+const LAYER_FIELDS: &[&str] = &[
+    "tlm1_with_kts",
+    "tlm1_with_reference_kts",
+    "tlm1_hotpath_speedup",
+    "tlm1_without_kts",
+    "tlm1_observed_kts",
+    "tlm2_with_kts",
+    "tlm2_without_kts",
+    "tlm3_kts",
+];
+
+const WORKER_FIELDS: &[&str] = &[
+    "workers",
+    "scenarios_per_s",
+    "old_scenarios_per_s",
+    "speedup",
+    "scaling",
+];
+
+fn check(root: &Json) -> Result<(), String> {
+    let layers = root
+        .get("layers")
+        .ok_or("missing section: layers".to_owned())?;
+    for field in LAYER_FIELDS {
+        layers
+            .get(field)
+            .and_then(Json::as_f64)
+            .ok_or(format!("layers: missing or non-numeric field {field}"))?;
+    }
+    for section in ["campaign_bus", "campaign_explore"] {
+        let s = root
+            .get(section)
+            .ok_or(format!("missing section: {section}"))?;
+        s.get("scenarios")
+            .and_then(Json::as_u64)
+            .ok_or(format!("{section}: missing scenarios count"))?;
+        let workers = s
+            .get("workers")
+            .and_then(Json::as_arr)
+            .ok_or(format!("{section}: missing workers array"))?;
+        if workers.is_empty() {
+            return Err(format!("{section}: empty workers array"));
+        }
+        for (i, entry) in workers.iter().enumerate() {
+            for field in WORKER_FIELDS {
+                entry.get(field).and_then(Json::as_f64).ok_or(format!(
+                    "{section}: workers[{i}] missing or non-numeric field {field}"
+                ))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let path = hierbus_bench::throughput_json_path();
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check_throughput: cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let root = match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!(
+                "check_throughput: {} is not valid JSON: {e}",
+                path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    match check(&root) {
+        Ok(()) => {
+            println!("check_throughput: {} schema OK", path.display());
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("check_throughput: {}: {msg}", path.display());
+            eprintln!("regenerate with the bench bins (see README \"Benchmarking\")");
+            ExitCode::FAILURE
+        }
+    }
+}

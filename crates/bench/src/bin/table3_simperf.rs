@@ -73,6 +73,7 @@ fn main() {
     let db = harness::shared_db();
 
     let l1_with = measure(|| harness::perf::layer1(&scenario, &db));
+    let l1_with_reference = measure(|| harness::perf::layer1_reference(&scenario, &db));
     let l1_without = measure(|| harness::perf::layer1_timing(&scenario));
     let l2_with = measure(|| harness::perf::layer2(&scenario, &db));
     let l2_without = measure(|| harness::perf::layer2_timing(&scenario));
@@ -109,6 +110,11 @@ fn main() {
     ]);
     println!("Table 3 — simulation performance (paper factors: 1 / 1.1 / 1.52 / 1.7):\n");
     println!("{}", table3.render());
+    println!(
+        "Layer-1 hot path: {l1_with:.1} kT/s packed vs {l1_with_reference:.1} kT/s bit-loop \
+         reference ({:.2}x)\n",
+        l1_with / l1_with_reference
+    );
 
     // Observability overhead: the span/counter probes are compiled into
     // every bus model and branch on a `enabled` flag. With obs off the
@@ -162,22 +168,60 @@ fn main() {
     let workloads = standard_workloads();
     let matrix = explore_matrix(&configs, &workloads);
     let worker_counts = scaling_worker_counts();
-    let scaling = hierbus_campaign::measure_scaling::<hierbus_jcvm::ExplorationRow, _>(
+    // Old engine arm: per-scenario claiming with a fresh energy model
+    // per scenario driving the bit-loop reference diff — the code path
+    // the committed baseline measured.
+    let old_scaling =
+        hierbus_campaign::measure_scaling_with::<(), hierbus_jcvm::ExplorationRow, _, _>(
+            &matrix,
+            "table3_campaign_old",
+            &worker_counts,
+            hierbus_campaign::ClaimStrategy::PerScenario,
+            || (),
+            |(), point| {
+                hierbus_jcvm::run_config_reference(
+                    configs[point.coords[0]],
+                    &workloads[point.coords[1]],
+                    &db,
+                )
+                .expect("exploration scenario runs")
+            },
+        );
+    // New engine arm: chunked claiming, one reset-reused session per
+    // worker.
+    let scaling = hierbus_campaign::measure_scaling_with::<
+        hierbus_jcvm::ExploreSession,
+        hierbus_jcvm::ExplorationRow,
+        _,
+        _,
+    >(
         &matrix,
         "table3_campaign",
         &worker_counts,
-        |point| {
-            hierbus_jcvm::run_config(configs[point.coords[0]], &workloads[point.coords[1]], &db)
+        hierbus_campaign::ClaimStrategy::Chunked,
+        || hierbus_jcvm::ExploreSession::new(&db),
+        |session, point| {
+            session
+                .run(configs[point.coords[0]], &workloads[point.coords[1]])
                 .expect("exploration scenario runs")
         },
     );
     let base_sps = scaling[0].scenarios_per_sec;
-    let mut scale_table = TextTable::new(["workers", "wall", "scenarios/s", "speedup"]);
-    for p in &scaling {
+    let mut scale_table = TextTable::new([
+        "workers",
+        "wall",
+        "scenarios/s",
+        "old scen/s",
+        "speedup (new/old)",
+        "scaling (vs 1w)",
+    ]);
+    for (p, old) in scaling.iter().zip(&old_scaling) {
         scale_table.row([
             p.workers.to_string(),
             format!("{:.2?}", p.wall),
             format!("{:.1}", p.scenarios_per_sec),
+            format!("{:.1}", old.scenarios_per_sec),
+            format!("{:.2}x", p.scenarios_per_sec / old.scenarios_per_sec),
             format!("{:.2}x", p.scenarios_per_sec / base_sps),
         ]);
     }
@@ -190,6 +234,14 @@ fn main() {
     // Machine-readable perf trajectory for regression tracking.
     let layer_fields = vec![
         ("tlm1_with_kts".to_owned(), Json::Num(l1_with)),
+        (
+            "tlm1_with_reference_kts".to_owned(),
+            Json::Num(l1_with_reference),
+        ),
+        (
+            "tlm1_hotpath_speedup".to_owned(),
+            Json::Num(l1_with / l1_with_reference),
+        ),
         ("tlm1_without_kts".to_owned(), Json::Num(l1_without)),
         ("tlm1_observed_kts".to_owned(), Json::Num(l1_obs_on)),
         ("tlm2_with_kts".to_owned(), Json::Num(l2_with)),
@@ -203,12 +255,21 @@ fn main() {
             Json::Arr(
                 scaling
                     .iter()
-                    .map(|p| {
+                    .zip(&old_scaling)
+                    .map(|(p, old)| {
                         Json::Obj(vec![
                             ("workers".to_owned(), Json::Num(p.workers as f64)),
                             ("scenarios_per_s".to_owned(), Json::Num(p.scenarios_per_sec)),
                             (
+                                "old_scenarios_per_s".to_owned(),
+                                Json::Num(old.scenarios_per_sec),
+                            ),
+                            (
                                 "speedup".to_owned(),
+                                Json::Num(p.scenarios_per_sec / old.scenarios_per_sec),
+                            ),
+                            (
+                                "scaling".to_owned(),
                                 Json::Num(p.scenarios_per_sec / base_sps),
                             ),
                         ])

@@ -1,13 +1,17 @@
 //! The campaign executor: a sharded worker pool with a deterministic
 //! index-order merge and manifest-based resume.
 //!
-//! Workers pull scenario indices from a shared atomic cursor, so load
-//! balances across uneven scenario costs without any scheduling state.
-//! Each worker builds its *own* simulator inside the runner closure
-//! (the bus models are single-threaded by design); only the runner's
-//! captured read-only inputs — typically an `Arc<CharacterizationDb>`
-//! — are shared. Results are merged strictly in scenario-index order,
-//! so the merged output is byte-identical for any worker count or
+//! Workers claim *chunks* of contiguous scenario indices from a shared
+//! atomic cursor (chunk size derived from the matrix length and the
+//! worker count), so the claim cost amortises over many scenarios while
+//! load still balances across uneven scenario costs. Each worker owns a
+//! private result buffer (no shared lock on the hot path) and — through
+//! [`run_with`] — a private mutable *worker state* it reuses across
+//! scenarios, so simulators and scratch buffers are built once per
+//! worker instead of once per scenario. Only the runner's captured
+//! read-only inputs — typically an `Arc<CharacterizationDb>` — are
+//! shared. Results are merged strictly in scenario-index order, so the
+//! merged output is byte-identical for any worker count, chunk size or
 //! completion interleaving.
 
 use crate::manifest::{Manifest, ManifestEntry};
@@ -16,7 +20,6 @@ use crate::Json;
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// A campaign result type: anything that can round-trip through the
@@ -27,6 +30,32 @@ pub trait CampaignPayload: Sized + Send {
     /// Reconstructs a result from a manifest payload; `None` marks the
     /// payload stale (the scenario re-runs instead of resuming).
     fn from_json(json: &Json) -> Option<Self>;
+}
+
+/// How workers claim scenarios from the shared work list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClaimStrategy {
+    /// Claim contiguous chunks sized from `todo / (workers × 4)` — one
+    /// atomic op per chunk, keeping claim overhead off the per-scenario
+    /// path while the ×4 oversubscription still balances uneven
+    /// scenario costs.
+    #[default]
+    Chunked,
+    /// Claim one scenario per atomic op — the engine's original
+    /// policy, kept as the benchmark comparator (and for differential
+    /// tests: both strategies must merge byte-identically).
+    PerScenario,
+}
+
+impl ClaimStrategy {
+    /// The chunk size this strategy claims for `todo` pending scenarios
+    /// on `workers` threads (always ≥ 1).
+    pub fn chunk_size(self, todo: usize, workers: usize) -> usize {
+        match self {
+            ClaimStrategy::PerScenario => 1,
+            ClaimStrategy::Chunked => (todo / (workers * 4)).max(1),
+        }
+    }
 }
 
 /// How a campaign executes.
@@ -43,6 +72,9 @@ pub struct CampaignOptions {
     /// Process only the first `limit` scenarios of the matrix —
     /// simulates an interrupted campaign and powers CI smoke runs.
     pub limit: Option<usize>,
+    /// Work-claiming policy; [`ClaimStrategy::Chunked`] unless a
+    /// benchmark explicitly asks for the legacy comparator.
+    pub claim: ClaimStrategy,
 }
 
 impl CampaignOptions {
@@ -54,6 +86,7 @@ impl CampaignOptions {
             workers: 1,
             manifest_path: None,
             limit: None,
+            claim: ClaimStrategy::default(),
         }
     }
 
@@ -151,6 +184,40 @@ where
     R: CampaignPayload,
     F: Fn(&ScenarioPoint) -> R + Sync,
 {
+    run_with(matrix, opts, || (), |(), point| runner(point))
+}
+
+/// Like [`run`], with per-worker mutable state: `make_state` builds one
+/// `S` per worker thread, and the runner receives it exclusively for
+/// every scenario that worker claims — the hook for reusing simulators
+/// and scratch buffers across scenarios (via a `reset()` path) instead
+/// of rebuilding them per scenario.
+///
+/// Determinism contract: the runner must produce the same result for a
+/// point whether its state is fresh or reused — reset-reuse must be
+/// observationally identical to rebuilding. Under that contract the
+/// merged output stays byte-identical for any worker count and claim
+/// strategy, exactly as for [`run`].
+///
+/// # Errors
+///
+/// I/O errors from manifest loading or saving, as for [`run`].
+///
+/// # Panics
+///
+/// A runner (or `make_state`) panic on any worker propagates after the
+/// other workers finish their current chunk.
+pub fn run_with<S, R, F, I>(
+    matrix: &Matrix,
+    opts: &CampaignOptions,
+    make_state: I,
+    runner: F,
+) -> io::Result<CampaignReport<R>>
+where
+    R: CampaignPayload + Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &ScenarioPoint) -> R + Sync,
+{
     let points = matrix.points();
     let total = points.len();
     let mut results: Vec<Option<R>> = (0..total).map(|_| None).collect();
@@ -176,25 +243,46 @@ where
     let limit = opts.limit.unwrap_or(total).min(total);
     let todo: Vec<usize> = (0..limit).filter(|&i| results[i].is_none()).collect();
     let workers = opts.workers.max(1).min(todo.len().max(1));
+    let chunk = opts.claim.chunk_size(todo.len(), workers);
 
     let started = Instant::now();
     let cursor = AtomicUsize::new(0);
-    let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(todo.len()));
+    // Per-worker result buffers: no shared lock between claim points.
+    // Each worker builds its state once and reuses it chunk after chunk.
+    let mut executed_results: Vec<(usize, R)> = Vec::with_capacity(todo.len());
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let slot = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(&index) = todo.get(slot) else { break };
-                let result = runner(&points[index]);
-                done.lock().unwrap().push((index, result));
-            });
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = make_state();
+                    let mut mine: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if lo >= todo.len() {
+                            break;
+                        }
+                        let hi = (lo + chunk).min(todo.len());
+                        mine.reserve(hi - lo);
+                        for &index in &todo[lo..hi] {
+                            let result = runner(&mut state, &points[index]);
+                            mine.push((index, result));
+                        }
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(mine) => executed_results.extend(mine),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
     let wall = started.elapsed();
 
     // Deterministic merge: completion interleaving is erased by
     // slotting each result back at its scenario index.
-    let executed_results = done.into_inner().unwrap();
     let executed = executed_results.len();
     for (index, result) in executed_results {
         results[index] = Some(result);
@@ -239,9 +327,14 @@ pub struct ScalingPoint {
     pub scenarios_per_sec: f64,
 }
 
-/// Runs the full campaign fresh (no manifest) once per worker count
-/// and reports the throughput trajectory — the campaign-engine analog
-/// of Table 3's kT/s column.
+/// How many fresh runs each worker-count measurement takes; the
+/// fastest wall clock wins, like every best-of-N timer in the bench
+/// crate, so transient scheduler noise cannot fake a scaling cliff.
+pub const SCALING_REPS: usize = 5;
+
+/// Runs the full campaign fresh (no manifest) [`SCALING_REPS`] times
+/// per worker count and reports the best-of-N throughput trajectory —
+/// the campaign-engine analog of Table 3's kT/s column.
 ///
 /// # Panics
 ///
@@ -253,23 +346,60 @@ pub fn measure_scaling<R, F>(
     runner: F,
 ) -> Vec<ScalingPoint>
 where
-    R: CampaignPayload,
+    R: CampaignPayload + Send,
     F: Fn(&ScenarioPoint) -> R + Sync,
+{
+    measure_scaling_with(
+        matrix,
+        name,
+        worker_counts,
+        ClaimStrategy::default(),
+        || (),
+        |(), point| runner(point),
+    )
+}
+
+/// [`measure_scaling`] over the stateful [`run_with`] path with an
+/// explicit claim strategy — the instrument behind the old-vs-new
+/// engine comparison in `BENCH_throughput.json`.
+///
+/// # Panics
+///
+/// Propagates runner panics, like [`run`].
+pub fn measure_scaling_with<S, R, F, I>(
+    matrix: &Matrix,
+    name: &str,
+    worker_counts: &[usize],
+    claim: ClaimStrategy,
+    make_state: I,
+    runner: F,
+) -> Vec<ScalingPoint>
+where
+    R: CampaignPayload + Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &ScenarioPoint) -> R + Sync,
 {
     worker_counts
         .iter()
         .map(|&workers| {
-            let report = run::<R, _>(
-                matrix,
-                &CampaignOptions::with_workers(name, workers),
-                &runner,
-            )
-            .expect("manifest-less campaign cannot fail on I/O");
-            ScalingPoint {
-                workers,
-                wall: report.stats.wall,
-                scenarios_per_sec: report.stats.scenarios_per_sec(),
+            let opts = CampaignOptions {
+                claim,
+                ..CampaignOptions::with_workers(name, workers)
+            };
+            let mut best: Option<ScalingPoint> = None;
+            for _ in 0..SCALING_REPS.max(1) {
+                let report = run_with::<S, R, _, _>(matrix, &opts, &make_state, &runner)
+                    .expect("manifest-less campaign cannot fail on I/O");
+                let point = ScalingPoint {
+                    workers,
+                    wall: report.stats.wall,
+                    scenarios_per_sec: report.stats.scenarios_per_sec(),
+                };
+                if best.as_ref().is_none_or(|b| point.wall < b.wall) {
+                    best = Some(point);
+                }
             }
+            best.expect("SCALING_REPS >= 1")
         })
         .collect()
 }
@@ -432,5 +562,63 @@ mod tests {
         assert_eq!(points.len(), 2);
         assert_eq!(points[0].workers, 1);
         assert_eq!(points[1].workers, 2);
+    }
+
+    #[test]
+    fn chunk_size_derivation() {
+        assert_eq!(ClaimStrategy::Chunked.chunk_size(64, 2), 8);
+        assert_eq!(ClaimStrategy::Chunked.chunk_size(16, 4), 1);
+        assert_eq!(ClaimStrategy::Chunked.chunk_size(0, 1), 1);
+        assert_eq!(ClaimStrategy::Chunked.chunk_size(1000, 1), 250);
+        assert_eq!(ClaimStrategy::PerScenario.chunk_size(1000, 4), 1);
+    }
+
+    #[test]
+    fn claim_strategies_merge_identically() {
+        let m = matrix();
+        let mut renders = Vec::new();
+        for claim in [ClaimStrategy::Chunked, ClaimStrategy::PerScenario] {
+            for workers in [1, 3, 8] {
+                let opts = CampaignOptions {
+                    claim,
+                    ..CampaignOptions::with_workers("toy", workers)
+                };
+                let report = run(&m, &opts, toy_runner).unwrap();
+                assert!(report.is_complete(), "{claim:?} {workers} workers");
+                renders.push(render(&report));
+            }
+        }
+        for r in &renders[1..] {
+            assert_eq!(r, &renders[0], "claim strategy changed the merge");
+        }
+    }
+
+    #[test]
+    fn worker_state_is_built_once_per_worker_and_reused() {
+        use std::sync::atomic::AtomicUsize;
+        let m = matrix();
+        let states_built = AtomicUsize::new(0);
+        let report = run_with(
+            &m,
+            &CampaignOptions::with_workers("toy", 2),
+            || {
+                states_built.fetch_add(1, Ordering::Relaxed);
+                0u64 // scenarios served by this worker's state
+            },
+            |served, p| {
+                *served += 1;
+                toy_runner(p)
+            },
+        )
+        .unwrap();
+        assert!(report.is_complete());
+        let built = states_built.load(Ordering::Relaxed);
+        assert!(
+            (1..=2).contains(&built),
+            "one state per worker, not per scenario (built {built})"
+        );
+        // Stateless and stateful paths agree byte for byte.
+        let base = run(&m, &CampaignOptions::sequential("toy"), toy_runner).unwrap();
+        assert_eq!(render(&report), render(&base));
     }
 }

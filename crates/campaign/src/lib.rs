@@ -31,8 +31,8 @@ pub mod manifest;
 pub mod matrix;
 
 pub use engine::{
-    measure_scaling, run, CampaignOptions, CampaignPayload, CampaignReport, CampaignStats,
-    ScalingPoint,
+    measure_scaling, measure_scaling_with, run, run_with, CampaignOptions, CampaignPayload,
+    CampaignReport, CampaignStats, ClaimStrategy, ScalingPoint, SCALING_REPS,
 };
 pub use json::Json;
 pub use manifest::{Manifest, ManifestEntry, MANIFEST_VERSION};

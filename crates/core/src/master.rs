@@ -77,6 +77,13 @@ pub trait CycleBus {
     fn obs_counter(&mut self, track: &'static str, cycle: u64, value: f64) {
         let _ = (track, cycle, value);
     }
+
+    /// Hints the expected number of transactions so the bus can pre-size
+    /// its bookkeeping and never reallocate on the issue path. Purely a
+    /// capacity hint; buses may ignore it.
+    fn reserve_transactions(&mut self, n: usize) {
+        let _ = n;
+    }
 }
 
 /// One in-flight attempt and the bookkeeping needed to judge it.
@@ -422,7 +429,8 @@ pub struct TlmSystem<B> {
 
 impl<B: CycleBus> TlmSystem<B> {
     /// Creates a system replaying `ops` on `bus`.
-    pub fn new(bus: B, ops: Vec<MasterOp>) -> Self {
+    pub fn new(mut bus: B, ops: Vec<MasterOp>) -> Self {
+        bus.reserve_transactions(ops.len());
         TlmSystem {
             bus,
             master: TlmMaster::new(ops),

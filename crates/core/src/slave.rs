@@ -1,7 +1,6 @@
 //! The abstract slave interface of the TLM models.
 
 use hierbus_ec::{Address, SlaveConfig};
-use std::collections::HashMap;
 
 /// Reply of a slave data-interface call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,7 +132,7 @@ pub trait HasSlaves {
 #[derive(Debug, Clone)]
 pub struct MemSlave {
     config: SlaveConfig,
-    words: HashMap<u64, u32>,
+    words: hierbus_ec::FastIdMap<u64, u32>,
 }
 
 impl MemSlave {
@@ -141,7 +140,7 @@ impl MemSlave {
     pub fn new(config: SlaveConfig) -> Self {
         MemSlave {
             config,
-            words: HashMap::new(),
+            words: hierbus_ec::FastIdMap::default(),
         }
     }
 

@@ -27,10 +27,10 @@ use crate::master::{Completed, CycleBus, PollStatus};
 use crate::obs_util::access_class;
 use crate::slave::{SlaveReply, TlmSlave};
 use hierbus_ec::{
-    AddressMap, BusError, BusStatus, FaultKind, SignalFrame, SlaveId, Transaction, TxnId,
+    AddressMap, BusError, BusStatus, FastIdMap, FaultKind, SignalFrame, SlaveId, Transaction, TxnId,
 };
 use hierbus_obs::{Phase, TraceCollector};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 #[derive(Debug)]
 struct Active {
@@ -65,15 +65,15 @@ pub struct Tlm1Bus {
     map: AddressMap,
     slaves: Vec<Box<dyn TlmSlave>>,
     active: Vec<Active>,
-    by_id: HashMap<TxnId, usize>,
+    by_id: FastIdMap<TxnId, usize>,
     request_q: VecDeque<usize>,
     addr_fsm: AddrFsm,
     read_q: VecDeque<usize>,
     write_q: VecDeque<usize>,
     read_beat: Option<Beat>,
     write_beat: Option<Beat>,
-    finish_q: HashMap<TxnId, usize>,
-    faults: HashMap<TxnId, FaultKind>,
+    finish_q: FastIdMap<TxnId, usize>,
+    faults: FastIdMap<TxnId, FaultKind>,
     emit_frames: bool,
     frame: SignalFrame,
     irq_mask: u64,
@@ -97,15 +97,15 @@ impl Tlm1Bus {
             map,
             slaves,
             active: Vec::new(),
-            by_id: HashMap::new(),
+            by_id: FastIdMap::default(),
             request_q: VecDeque::new(),
             addr_fsm: AddrFsm::Idle,
             read_q: VecDeque::new(),
             write_q: VecDeque::new(),
             read_beat: None,
             write_beat: None,
-            finish_q: HashMap::new(),
-            faults: HashMap::new(),
+            finish_q: FastIdMap::default(),
+            faults: FastIdMap::default(),
             emit_frames: false,
             frame: SignalFrame::default(),
             irq_mask: 0,
@@ -161,6 +161,9 @@ impl Tlm1Bus {
     /// Extra first-beat wait states injected into the transaction at
     /// `idx`, if a stall fault is attached.
     fn injected_stall(&self, idx: usize) -> u32 {
+        if self.faults.is_empty() {
+            return 0;
+        }
         match self.faults.get(&self.active[idx].txn.id) {
             Some(FaultKind::Stall(n)) => *n,
             _ => 0,
@@ -171,10 +174,11 @@ impl Tlm1Bus {
     /// `idx`. The error fires on the first data beat, before the slave
     /// is consulted — no data is ever committed.
     fn injected_error(&self, idx: usize) -> bool {
-        matches!(
-            self.faults.get(&self.active[idx].txn.id),
-            Some(FaultKind::SlaveError)
-        )
+        !self.faults.is_empty()
+            && matches!(
+                self.faults.get(&self.active[idx].txn.id),
+                Some(FaultKind::SlaveError)
+            )
     }
 
     /// Phase 1 of the bus process: the address-phase FSM.
@@ -435,6 +439,12 @@ impl Tlm1Bus {
 }
 
 impl CycleBus for Tlm1Bus {
+    fn reserve_transactions(&mut self, n: usize) {
+        self.active.reserve(n);
+        self.by_id.reserve(n);
+        self.request_q.reserve(n);
+    }
+
     fn issue(&mut self, txn: Transaction, cycle: u64) -> BusStatus {
         let idx = self.active.len();
         self.by_id.insert(txn.id, idx);
@@ -445,13 +455,18 @@ impl CycleBus for Tlm1Bus {
             txn.addr.raw(),
             access_class(txn.kind),
         );
+        let read_beats = if txn.kind.is_read() {
+            txn.beats() as usize
+        } else {
+            0
+        };
         self.active.push(Active {
             txn,
             slave: None,
             addr_done: None,
             done: None,
             error: None,
-            read_data: Vec::new(),
+            read_data: Vec::with_capacity(read_beats),
         });
         self.request_q.push_back(idx);
         BusStatus::Request

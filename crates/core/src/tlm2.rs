@@ -43,7 +43,7 @@ use hierbus_ec::{
     Transaction, TxnId, WaitProfile,
 };
 use hierbus_obs::{Phase, TraceCollector};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Which protocol phase a [`PhaseEvent`] reports.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,7 +138,7 @@ pub struct Tlm2Bus {
     addr_state: AddrState,
     read: DataSide,
     write: DataSide,
-    finish_q: HashMap<TxnId, usize>,
+    finish_q: hierbus_ec::FastIdMap<TxnId, usize>,
     events: Vec<PhaseEvent>,
     emit_events: bool,
     irq_mask: u64,
@@ -166,7 +166,7 @@ impl Tlm2Bus {
             addr_state: AddrState::Idle,
             read: DataSide::default(),
             write: DataSide::default(),
-            finish_q: HashMap::new(),
+            finish_q: hierbus_ec::FastIdMap::default(),
             events: Vec::new(),
             emit_events: false,
             irq_mask: 0,

@@ -20,13 +20,12 @@ use crate::slave::{SlaveReply, TlmSlave};
 use hierbus_ec::{
     Address, AddressMap, BusError, BusStatus, DataWidth, SlaveId, Transaction, TxnId,
 };
-use std::collections::HashMap;
 
 /// The layer-3 bus. See the [module docs](self).
 pub struct Tlm3Bus {
     map: AddressMap,
     slaves: Vec<Box<dyn TlmSlave>>,
-    finish_q: HashMap<TxnId, Completed>,
+    finish_q: hierbus_ec::FastIdMap<TxnId, Completed>,
     messages: u64,
 }
 
@@ -46,7 +45,7 @@ impl Tlm3Bus {
         Tlm3Bus {
             map,
             slaves,
-            finish_q: HashMap::new(),
+            finish_q: hierbus_ec::FastIdMap::default(),
             messages: 0,
         }
     }

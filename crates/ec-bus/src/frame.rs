@@ -113,6 +113,36 @@ impl TogglesByClass {
             self.0[i] += other.0[i];
         }
     }
+
+    /// The raw counts, indexed by [`SignalClass::index`] — the zero-cost
+    /// view energy models fold against their per-class weight arrays.
+    pub fn as_array(&self) -> &[u32; 6] {
+        &self.0
+    }
+}
+
+/// A [`SignalFrame`] with every signal class packed into one word,
+/// indexed by [`SignalClass::index`] — the representation the layer-1
+/// per-cycle hot path diffs.
+///
+/// Packing happens once per frame; the cycle-boundary transition count
+/// is then one XOR + `count_ones` per class ([`PackedFrame::diff`])
+/// instead of a walk over individual wires. An energy model keeps the
+/// *packed* previous frame, so each cycle packs only the new frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PackedFrame([u64; 6]);
+
+impl PackedFrame {
+    /// Bit toggles per signal class between `prev` and `self` — the
+    /// word-packed fast path, byte-for-byte equal to
+    /// [`SignalFrame::diff_reference`] on the corresponding frames.
+    pub fn diff(&self, prev: &PackedFrame) -> TogglesByClass {
+        let mut t = [0u32; 6];
+        for (i, out) in t.iter_mut().enumerate() {
+            *out = (self.0[i] ^ prev.0[i]).count_ones();
+        }
+        TogglesByClass(t)
+    }
 }
 
 /// The settled value of every interface signal in one clock cycle.
@@ -243,16 +273,58 @@ impl SignalFrame {
             | ((self.w_error as u64) << 9)
     }
 
+    /// Packs every signal class into its word (one-time cost per frame;
+    /// see [`PackedFrame`]).
+    pub fn packed(&self) -> PackedFrame {
+        PackedFrame([
+            self.a_addr,
+            self.addr_ctl(),
+            self.r_data as u64,
+            self.read_ctl(),
+            self.w_data as u64,
+            self.write_ctl(),
+        ])
+    }
+
     /// Bit toggles per signal class between `prev` and `self` — the
-    /// layer-1 energy model's per-cycle transition count.
+    /// layer-1 energy model's per-cycle transition count (word-packed
+    /// fast path).
     pub fn diff(&self, prev: &SignalFrame) -> TogglesByClass {
+        self.packed().diff(&prev.packed())
+    }
+
+    /// The original wire-by-wire transition count: walks every bit
+    /// position of every class and compares the two frames' settled
+    /// values individually, exactly as the first layer-1 power module
+    /// did. Kept as the reference implementation the differential tests
+    /// hold [`diff`](Self::diff) (and [`PackedFrame::diff`]) to — both
+    /// must agree toggle-for-toggle on every class for every frame
+    /// pair.
+    pub fn diff_reference(&self, prev: &SignalFrame) -> TogglesByClass {
         let mut t = TogglesByClass::default();
-        t.0[SignalClass::AddrBus.index()] = (self.a_addr ^ prev.a_addr).count_ones();
-        t.0[SignalClass::AddrCtl.index()] = (self.addr_ctl() ^ prev.addr_ctl()).count_ones();
-        t.0[SignalClass::ReadData.index()] = (self.r_data ^ prev.r_data).count_ones();
-        t.0[SignalClass::ReadCtl.index()] = (self.read_ctl() ^ prev.read_ctl()).count_ones();
-        t.0[SignalClass::WriteData.index()] = (self.w_data ^ prev.w_data).count_ones();
-        t.0[SignalClass::WriteCtl.index()] = (self.write_ctl() ^ prev.write_ctl()).count_ones();
+        let mut count = |class: SignalClass, new: u64, old: u64| {
+            let mut toggles = 0u32;
+            for bit in 0..u64::BITS {
+                if (new >> bit) & 1 != (old >> bit) & 1 {
+                    toggles += 1;
+                }
+            }
+            t.0[class.index()] = toggles;
+        };
+        count(SignalClass::AddrBus, self.a_addr, prev.a_addr);
+        count(SignalClass::AddrCtl, self.addr_ctl(), prev.addr_ctl());
+        count(
+            SignalClass::ReadData,
+            self.r_data as u64,
+            prev.r_data as u64,
+        );
+        count(SignalClass::ReadCtl, self.read_ctl(), prev.read_ctl());
+        count(
+            SignalClass::WriteData,
+            self.w_data as u64,
+            prev.w_data as u64,
+        );
+        count(SignalClass::WriteCtl, self.write_ctl(), prev.write_ctl());
         t
     }
 }
@@ -338,6 +410,32 @@ mod tests {
         assert_eq!(a.diff(&SignalFrame::default()).get(SignalClass::AddrCtl), 1);
         assert_eq!(b.diff(&SignalFrame::default()).get(SignalClass::AddrCtl), 1);
         assert_eq!(a.diff(&b).get(SignalClass::AddrCtl), 2);
+    }
+
+    #[test]
+    fn packed_diff_matches_reference_on_driven_frames() {
+        let mut frames = vec![SignalFrame::default()];
+        let mut f = SignalFrame::default();
+        f.drive_address(
+            0xF0F0_F0F0F,
+            AccessKind::DataWrite,
+            DataWidth::W32,
+            BurstLen::B4,
+            true,
+            false,
+        );
+        f.drive_write(0xDEAD_BEEF, 0xF, 3, true, false);
+        frames.push(f);
+        frames.push(f.to_idle());
+        let mut e = SignalFrame::default();
+        e.drive_read(0x1234_5678, 5, true, true);
+        frames.push(e);
+        for a in &frames {
+            for b in &frames {
+                assert_eq!(a.diff(b), a.diff_reference(b));
+                assert_eq!(a.packed().diff(&b.packed()), a.diff_reference(b));
+            }
+        }
     }
 
     #[test]

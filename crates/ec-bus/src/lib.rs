@@ -38,6 +38,7 @@ pub mod addr;
 pub mod error;
 pub mod fault;
 pub mod frame;
+pub mod hash;
 pub mod limits;
 pub mod map;
 pub mod merge;
@@ -52,7 +53,8 @@ pub use error::BusError;
 pub use fault::{
     FaultCounters, FaultKind, FaultParams, FaultPlan, OpFault, RetryPolicy, TxnOutcome,
 };
-pub use frame::{SignalClass, SignalFrame, TogglesByClass};
+pub use frame::{PackedFrame, SignalClass, SignalFrame, TogglesByClass};
+pub use hash::{FastIdHasher, FastIdMap};
 pub use limits::{OutstandingLimits, OutstandingTracker, TxnCategory};
 pub use map::AddressMap;
 pub use merge::DataWidth;

@@ -47,7 +47,80 @@ impl ExplorationRow {
     }
 }
 
-/// Runs one workload on one interface configuration.
+/// A reusable exploration runner: the layer-1 energy model (its weight
+/// cache and characterization clone) is built once and [`reset`] between
+/// design points instead of per run. One session replaying a sequence of
+/// points produces bit-identical rows to building a fresh session per
+/// point — the campaign engine hands each worker one session for its
+/// whole share of the matrix.
+///
+/// [`reset`]: Layer1EnergyModel::reset
+pub struct ExploreSession {
+    model: Rc<RefCell<Layer1EnergyModel>>,
+}
+
+impl ExploreSession {
+    /// Builds a session over a characterization database.
+    pub fn new(db: &CharacterizationDb) -> Self {
+        ExploreSession {
+            model: Rc::new(RefCell::new(Layer1EnergyModel::new(db.clone()))),
+        }
+    }
+
+    /// Runs one workload on one interface configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`JcvmError`] the applet raises (the standard
+    /// workloads raise none on capacities ≥ their stack needs).
+    pub fn run(
+        &mut self,
+        config: IfaceConfig,
+        workload: &Workload,
+    ) -> Result<ExplorationRow, JcvmError> {
+        self.model.borrow_mut().reset();
+        let slave = HwStackSlave::new(
+            AddressRange::new(Address::new(config.base), 0x100),
+            config.width,
+            config.capacity,
+            config.waits(),
+        );
+        let mut bus = Tlm1Bus::new(vec![Box::new(slave)]);
+        bus.enable_frames();
+        let mut stack = BusStack::new(bus, config);
+
+        let tap = Rc::clone(&self.model);
+        stack.set_observer(move |bus: &mut Tlm1Bus| {
+            tap.borrow_mut().on_frame(bus.last_frame());
+        });
+
+        let mut vm = Interpreter::new();
+        let (entry, args) = (workload.build)(&mut vm);
+        let result = vm
+            .run(entry, &args, &mut stack, 50_000_000)?
+            .ok_or(JcvmError::FrameUnderflow)?;
+        assert_eq!(
+            result,
+            workload.expected,
+            "{} produced a wrong result on {}",
+            workload.name,
+            config.label()
+        );
+
+        let energy_pj = self.model.borrow().total_energy();
+        Ok(ExplorationRow {
+            config: config.label(),
+            workload: workload.name.to_owned(),
+            cycles: stack.cycles(),
+            transactions: stack.transactions(),
+            energy_pj,
+            result,
+        })
+    }
+}
+
+/// Runs one workload on one interface configuration (a one-shot
+/// [`ExploreSession`]).
 ///
 /// # Errors
 ///
@@ -58,6 +131,24 @@ pub fn run_config(
     workload: &Workload,
     db: &CharacterizationDb,
 ) -> Result<ExplorationRow, JcvmError> {
+    ExploreSession::new(db).run(config, workload)
+}
+
+/// [`run_config`] through the pre-optimization hot path: a fresh energy
+/// model per point driving the bit-loop reference diff and per-toggle
+/// database lookups. Kept so the benchmarks can report the old-vs-new
+/// engine uplift on identical stimulus; must stay observationally
+/// identical to [`run_config`].
+///
+/// # Errors
+///
+/// Propagates any [`JcvmError`] the applet raises, like [`run_config`].
+pub fn run_config_reference(
+    config: IfaceConfig,
+    workload: &Workload,
+    db: &CharacterizationDb,
+) -> Result<ExplorationRow, JcvmError> {
+    let model = Rc::new(RefCell::new(Layer1EnergyModel::new(db.clone())));
     let slave = HwStackSlave::new(
         AddressRange::new(Address::new(config.base), 0x100),
         config.width,
@@ -68,10 +159,9 @@ pub fn run_config(
     bus.enable_frames();
     let mut stack = BusStack::new(bus, config);
 
-    let model = Rc::new(RefCell::new(Layer1EnergyModel::new(db.clone())));
     let tap = Rc::clone(&model);
     stack.set_observer(move |bus: &mut Tlm1Bus| {
-        tap.borrow_mut().on_frame(bus.last_frame());
+        tap.borrow_mut().on_frame_reference(bus.last_frame());
     });
 
     let mut vm = Interpreter::new();
@@ -154,16 +244,23 @@ pub fn explore_campaign(
     opts: &CampaignOptions,
 ) -> std::io::Result<(Vec<ExplorationRow>, CampaignStats)> {
     let matrix = explore_matrix(configs, workloads);
-    // Workers share the read-only characterization DB; each scenario
-    // builds its own interpreter + bus + hardware stack inside the
-    // runner, so nothing mutable crosses threads.
+    // Workers share the read-only characterization DB; each worker
+    // builds one session (energy model) and resets it between points,
+    // while the interpreter + bus + hardware stack are rebuilt inside
+    // the runner, so nothing mutable crosses threads.
     let db = Arc::clone(db);
-    let report = hierbus_campaign::run(&matrix, opts, move |point| {
-        let config = configs[point.coords[0]];
-        let workload = &workloads[point.coords[1]];
-        run_config(config, workload, &db)
-            .unwrap_or_else(|e| panic!("{} on {}: {e}", workload.name, config.label()))
-    })?;
+    let report = hierbus_campaign::run_with(
+        &matrix,
+        opts,
+        || ExploreSession::new(&db),
+        move |session, point| {
+            let config = configs[point.coords[0]];
+            let workload = &workloads[point.coords[1]];
+            session
+                .run(config, workload)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", workload.name, config.label()))
+        },
+    )?;
     let stats = report.stats.clone();
     Ok((report.results.into_iter().flatten().collect(), stats))
 }
@@ -291,6 +388,49 @@ mod tests {
         .unwrap();
         assert_eq!(parallel, sequential);
         assert_eq!(stats.executed, configs.len() * workloads.len());
+    }
+
+    #[test]
+    fn reference_path_matches_optimized_path_bit_exact() {
+        let db = CharacterizationDb::uniform();
+        let configs = [
+            IfaceConfig::baseline(BASE),
+            IfaceConfig {
+                width: DataWidth::W8,
+                ..IfaceConfig::baseline(BASE)
+            },
+        ];
+        let workloads = &standard_workloads()[..2];
+        for config in configs {
+            for w in workloads {
+                let fast = run_config(config, w, &db).unwrap();
+                let slow = run_config_reference(config, w, &db).unwrap();
+                assert_eq!(fast, slow);
+                assert_eq!(fast.energy_pj.to_bits(), slow.energy_pj.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn reused_session_matches_fresh_sessions_bit_exact() {
+        let db = CharacterizationDb::uniform();
+        let configs = [
+            IfaceConfig::baseline(BASE),
+            IfaceConfig {
+                width: DataWidth::W8,
+                ..IfaceConfig::baseline(BASE)
+            },
+        ];
+        let workloads = &standard_workloads()[..2];
+        let mut session = ExploreSession::new(&db);
+        for config in configs {
+            for w in workloads {
+                let reused = session.run(config, w).unwrap();
+                let fresh = run_config(config, w, &db).unwrap();
+                assert_eq!(reused, fresh);
+                assert_eq!(reused.energy_pj.to_bits(), fresh.energy_pj.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The layer-1 (cycle-accurate) energy model.
 
 use crate::characterize::CharacterizationDb;
-use hierbus_ec::{SignalFrame, TogglesByClass};
+use hierbus_ec::{PackedFrame, SignalClass, SignalFrame, TogglesByClass};
 
 /// The layer-1 power module: a TLM-to-RTL adapter.
 ///
@@ -14,6 +14,14 @@ use hierbus_ec::{SignalFrame, TogglesByClass};
 /// profiling) and
 /// [`energy_since_last_call`](Self::energy_since_last_call) (interval
 /// estimation).
+///
+/// The per-cycle path is the hottest loop in a layer-1 simulation, so
+/// the model keeps the previous frame pre-packed ([`PackedFrame`]) and
+/// the per-class weights hoisted into an array: one cycle costs six
+/// XOR + `count_ones` plus six multiply-adds, with no per-toggle
+/// database lookups. [`reset`](Self::reset) returns the model to its
+/// post-construction state without dropping the trace allocation, so
+/// campaign workers can reuse one model across scenarios.
 ///
 /// ```
 /// use hierbus_power::{CharacterizationDb, Layer1EnergyModel};
@@ -28,7 +36,11 @@ use hierbus_ec::{SignalFrame, TogglesByClass};
 #[derive(Debug, Clone)]
 pub struct Layer1EnergyModel {
     db: CharacterizationDb,
+    /// Per-class pJ/toggle, indexed by [`SignalClass::index`]; hoisted
+    /// out of the per-cycle loop at construction.
+    weights: [f64; 6],
     prev: SignalFrame,
+    prev_packed: PackedFrame,
     total_pj: f64,
     last_cycle_pj: f64,
     since_last_pj: f64,
@@ -41,9 +53,13 @@ impl Layer1EnergyModel {
     /// Creates the model over a characterization database; the signal
     /// state starts at the idle (reset) frame.
     pub fn new(db: CharacterizationDb) -> Self {
+        let weights = std::array::from_fn(|i| db.energy_per_toggle(SignalClass::ALL[i]));
+        let prev = SignalFrame::default();
         Layer1EnergyModel {
             db,
-            prev: SignalFrame::default(),
+            weights,
+            prev,
+            prev_packed: prev.packed(),
             total_pj: 0.0,
             last_cycle_pj: 0.0,
             since_last_pj: 0.0,
@@ -57,16 +73,62 @@ impl Layer1EnergyModel {
         self.trace = Some(Vec::new());
     }
 
+    /// Enables the trace with room for `cycles` samples, so a run of
+    /// known length never reallocates inside the per-cycle loop.
+    pub fn enable_trace_with_capacity(&mut self, cycles: usize) {
+        self.trace = Some(Vec::with_capacity(cycles));
+    }
+
+    /// Returns the model to its post-construction state — idle previous
+    /// frame, zero energy and toggle counters — while keeping the
+    /// database, the weight cache and any trace *allocation* (an enabled
+    /// trace is emptied, not dropped). A reset model replaying a
+    /// stimulus produces bit-identical results to a freshly built one.
+    pub fn reset(&mut self) {
+        self.prev = SignalFrame::default();
+        self.prev_packed = self.prev.packed();
+        self.total_pj = 0.0;
+        self.last_cycle_pj = 0.0;
+        self.since_last_pj = 0.0;
+        self.toggles = TogglesByClass::default();
+        if let Some(t) = &mut self.trace {
+            t.clear();
+        }
+    }
+
     /// Feeds the settled frame of one bus cycle; called by the harness
     /// after every bus-process activation.
     pub fn on_frame(&mut self, frame: &SignalFrame) {
-        let diff = frame.diff(&self.prev);
+        let packed = frame.packed();
+        let diff = packed.diff(&self.prev_packed);
+        let mut energy = 0.0;
+        for (i, &toggles) in diff.as_array().iter().enumerate() {
+            energy += toggles as f64 * self.weights[i];
+        }
+        self.toggles.accumulate(&diff);
+        self.prev = *frame;
+        self.prev_packed = packed;
+        self.last_cycle_pj = energy;
+        self.since_last_pj += energy;
+        self.total_pj += energy;
+        if let Some(t) = &mut self.trace {
+            t.push(energy);
+        }
+    }
+
+    /// [`on_frame`](Self::on_frame) via the bit-loop reference diff and
+    /// per-toggle database lookups — the pre-optimization code path,
+    /// kept as the differential-test and benchmark baseline. Must stay
+    /// observationally identical to `on_frame`.
+    pub fn on_frame_reference(&mut self, frame: &SignalFrame) {
+        let diff = frame.diff_reference(&self.prev);
         let mut energy = 0.0;
         for (class, toggles) in diff.iter() {
             energy += toggles as f64 * self.db.energy_per_toggle(class);
         }
         self.toggles.accumulate(&diff);
         self.prev = *frame;
+        self.prev_packed = frame.packed();
         self.last_cycle_pj = energy;
         self.since_last_pj += energy;
         self.total_pj += energy;
@@ -188,5 +250,63 @@ mod tests {
         m.on_frame(&frame_with_addr(0b11));
         // 2 address-bus toggles × 10 pJ; control toggles are free here.
         assert_eq!(m.energy_last_cycle(), 20.0);
+    }
+
+    #[test]
+    fn reference_path_matches_fast_path_bit_exact() {
+        let frames = [
+            frame_with_addr(0xFF),
+            SignalFrame::default(),
+            frame_with_addr(0xDEAD_BEEF),
+            frame_with_addr(0xDEAD_BEEF).to_idle(),
+        ];
+        let mut fast = Layer1EnergyModel::new(CharacterizationDb::uniform());
+        let mut slow = Layer1EnergyModel::new(CharacterizationDb::uniform());
+        fast.enable_trace();
+        slow.enable_trace();
+        for f in &frames {
+            fast.on_frame(f);
+            slow.on_frame_reference(f);
+            assert_eq!(
+                fast.energy_last_cycle().to_bits(),
+                slow.energy_last_cycle().to_bits()
+            );
+        }
+        assert_eq!(fast.total_energy().to_bits(), slow.total_energy().to_bits());
+        assert_eq!(fast.toggles(), slow.toggles());
+        assert_eq!(fast.trace(), slow.trace());
+    }
+
+    #[test]
+    fn reset_replay_is_bit_exact() {
+        let frames = [
+            frame_with_addr(0x123),
+            frame_with_addr(0xFFFF),
+            SignalFrame::default(),
+        ];
+        let mut reused = Layer1EnergyModel::new(CharacterizationDb::uniform());
+        reused.enable_trace();
+        for f in &frames {
+            reused.on_frame(f);
+        }
+        let _ = reused.energy_since_last_call();
+        reused.reset();
+        assert_eq!(reused.total_energy(), 0.0);
+        assert_eq!(reused.trace(), Some(&[][..]));
+        let mut fresh = Layer1EnergyModel::new(CharacterizationDb::uniform());
+        fresh.enable_trace();
+        for f in &frames {
+            reused.on_frame(f);
+            fresh.on_frame(f);
+        }
+        assert_eq!(
+            fresh.total_energy().to_bits(),
+            reused.total_energy().to_bits()
+        );
+        assert_eq!(
+            fresh.energy_since_last_call().to_bits(),
+            reused.energy_since_last_call().to_bits()
+        );
+        assert_eq!(fresh.trace(), reused.trace());
     }
 }

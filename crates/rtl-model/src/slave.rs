@@ -1,7 +1,6 @@
 //! Slave-side models for the RTL reference.
 
 use hierbus_ec::{Address, SlaveConfig};
-use std::collections::HashMap;
 
 /// A slave as seen by the cycle-true bus: static configuration (range,
 /// wait states, rights) plus word-level storage access. Wait-state
@@ -34,7 +33,7 @@ pub trait RtlSlaveModel {
 #[derive(Debug, Clone)]
 pub struct SimpleMem {
     config: SlaveConfig,
-    words: HashMap<u64, u32>,
+    words: hierbus_ec::FastIdMap<u64, u32>,
 }
 
 impl SimpleMem {
@@ -42,7 +41,7 @@ impl SimpleMem {
     pub fn new(config: SlaveConfig) -> Self {
         SimpleMem {
             config,
-            words: HashMap::new(),
+            words: hierbus_ec::FastIdMap::default(),
         }
     }
 

@@ -104,6 +104,120 @@ pub fn run_layer1(scenario: &Scenario, db: &CharacterizationDb) -> TlmRun {
     }
 }
 
+/// [`run_layer1`] through the pre-optimization hot path: a fresh model
+/// per call, the bit-loop reference diff and per-toggle database
+/// lookups. Kept so benchmarks and differential tests can compare the
+/// old and new code paths on identical stimulus; must stay
+/// observationally identical to [`run_layer1`].
+pub fn run_layer1_reference(scenario: &Scenario, db: &CharacterizationDb) -> TlmRun {
+    let mem = MemSlave::new(scenario_slave(scenario));
+    let mut bus = Tlm1Bus::new(vec![Box::new(mem)]);
+    bus.enable_frames();
+    let mut sys = TlmSystem::new(bus, scenario.ops.clone());
+    let mut model = Layer1EnergyModel::new(db.clone());
+    model.enable_trace();
+    let report = sys.run(MAX_CYCLES, |bus: &mut Tlm1Bus| {
+        model.on_frame_reference(bus.last_frame());
+    });
+    TlmRun {
+        cycles: report.cycles,
+        energy_pj: model.total_energy(),
+        records: report.records,
+        bus_activations: report.bus_activations,
+        trace: PowerTrace::from_samples(model.trace().unwrap_or(&[]).to_vec()),
+    }
+}
+
+/// A reusable layer-1 runner: the energy model (its per-class weight
+/// cache, characterization clone and trace allocation) is built once
+/// and [`reset`] between scenarios instead of per run. One session
+/// replaying a sequence of scenarios produces bit-identical [`TlmRun`]s
+/// to calling [`run_layer1`] per scenario — campaign workers hold one
+/// session for their whole share of the matrix.
+///
+/// [`reset`]: Layer1EnergyModel::reset
+#[derive(Debug, Clone)]
+pub struct Layer1Session {
+    model: Layer1EnergyModel,
+}
+
+impl Layer1Session {
+    /// Builds a session over a characterization database.
+    pub fn new(db: &CharacterizationDb) -> Self {
+        let mut model = Layer1EnergyModel::new(db.clone());
+        model.enable_trace();
+        Layer1Session { model }
+    }
+
+    /// Runs a scenario; equivalent to [`run_layer1`].
+    pub fn run(&mut self, scenario: &Scenario) -> TlmRun {
+        self.model.reset();
+        let mem = MemSlave::new(scenario_slave(scenario));
+        let mut bus = Tlm1Bus::new(vec![Box::new(mem)]);
+        bus.enable_frames();
+        let mut sys = TlmSystem::new(bus, scenario.ops.clone());
+        let model = &mut self.model;
+        let report = sys.run(MAX_CYCLES, |bus: &mut Tlm1Bus| {
+            model.on_frame(bus.last_frame());
+        });
+        TlmRun {
+            cycles: report.cycles,
+            energy_pj: model.total_energy(),
+            records: report.records,
+            bus_activations: report.bus_activations,
+            trace: PowerTrace::from_samples(model.trace().unwrap_or(&[]).to_vec()),
+        }
+    }
+}
+
+/// A single lean (throughput-mode) layer-1 result: the scalar outcome a
+/// campaign payload keeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeanRun {
+    /// Bus cycles used.
+    pub cycles: u64,
+    /// Estimated energy in pJ.
+    pub energy_pj: f64,
+}
+
+/// Throughput-mode sibling of [`Layer1Session`]: the reused model keeps
+/// no per-cycle trace and the replay keeps no per-transaction records,
+/// because a campaign whose payload is only `(cycles, energy)` would
+/// build and immediately drop both. Cycles and total energy are
+/// bit-identical to [`run_layer1`] on the same scenario — records and
+/// tracing are pure observers of the simulation.
+#[derive(Debug, Clone)]
+pub struct Layer1LeanSession {
+    model: Layer1EnergyModel,
+}
+
+impl Layer1LeanSession {
+    /// Builds a lean session over a characterization database.
+    pub fn new(db: &CharacterizationDb) -> Self {
+        Layer1LeanSession {
+            model: Layer1EnergyModel::new(db.clone()),
+        }
+    }
+
+    /// Runs a scenario; cycles and energy equal [`run_layer1`]'s.
+    pub fn run(&mut self, scenario: &Scenario) -> LeanRun {
+        self.model.reset();
+        let mem = MemSlave::new(scenario_slave(scenario));
+        let mut bus = Tlm1Bus::new(vec![Box::new(mem)]);
+        bus.enable_frames();
+        let mut sys = TlmSystem::new(bus, scenario.ops.clone());
+        sys.disable_records();
+        let model = &mut self.model;
+        let report = sys.run(MAX_CYCLES, |bus: &mut Tlm1Bus| {
+            model.on_frame(bus.last_frame());
+        });
+        LeanRun {
+            cycles: report.cycles,
+            energy_pj: model.total_energy(),
+        }
+    }
+}
+
 /// Runs a scenario on the layer-1 bus *without* energy estimation
 /// (the Table 3 "without estimation" configuration).
 pub fn run_layer1_timing_only(scenario: &Scenario) -> TlmRun {
@@ -179,6 +293,23 @@ pub mod perf {
         let mut model = Layer1EnergyModel::new(db.clone());
         sys.run(MAX_CYCLES, |bus: &mut Tlm1Bus| {
             model.on_frame(bus.last_frame());
+        });
+        sys.completed()
+    }
+
+    /// Layer 1 with the energy model driven through the bit-loop
+    /// reference diff and per-toggle database lookups — the
+    /// pre-optimization hot path, kept so the benchmarks can report the
+    /// old-vs-new uplift on identical stimulus.
+    pub fn layer1_reference(scenario: &Scenario, db: &CharacterizationDb) -> u64 {
+        let mem = MemSlave::new(scenario_slave(scenario));
+        let mut bus = Tlm1Bus::new(vec![Box::new(mem)]);
+        bus.enable_frames();
+        let mut sys = TlmSystem::new(bus, scenario.ops.clone());
+        sys.disable_records();
+        let mut model = Layer1EnergyModel::new(db.clone());
+        sys.run(MAX_CYCLES, |bus: &mut Tlm1Bus| {
+            model.on_frame_reference(bus.last_frame());
         });
         sys.completed()
     }

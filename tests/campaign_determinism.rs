@@ -3,9 +3,11 @@
 //! worker count, and a resumed campaign must skip completed scenarios
 //! without changing the final output.
 
-use hierbus_campaign::{CampaignOptions, CampaignPayload, Matrix, ScenarioPoint};
+use hierbus_campaign::{CampaignOptions, CampaignPayload, ClaimStrategy, Matrix, ScenarioPoint};
 use hierbus_jcvm::workloads::standard_workloads;
-use hierbus_jcvm::{explore_campaign, explore_matrix, run_config, ExplorationRow, IfaceConfig};
+use hierbus_jcvm::{
+    explore_campaign, explore_matrix, run_config, ExplorationRow, ExploreSession, IfaceConfig,
+};
 use hierbus_power::CharacterizationDb;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -38,14 +40,14 @@ fn render(rows: &[ExplorationRow]) -> String {
 }
 
 #[test]
-fn merged_results_and_manifest_identical_for_1_2_4_workers() {
+fn merged_results_and_manifest_identical_for_1_2_4_8_workers() {
     let db = Arc::new(CharacterizationDb::uniform());
     let configs = test_configs();
     let workloads = &standard_workloads()[..2];
     let dir = temp_dir("workers");
 
     let mut outputs: Vec<(String, String)> = Vec::new();
-    for workers in [1usize, 2, 4] {
+    for workers in [1usize, 2, 4, 8] {
         let manifest = dir.join(format!("w{workers}.manifest.json"));
         let opts = CampaignOptions {
             manifest_path: Some(manifest.clone()),
@@ -131,6 +133,114 @@ fn interrupted_campaign_resumes_without_recomputing() {
         &CampaignOptions {
             manifest_path: Some(fresh_manifest.clone()),
             ..CampaignOptions::sequential("resume")
+        },
+    )
+    .unwrap();
+    let resumed_rows: Vec<ExplorationRow> =
+        resumed.results.into_iter().map(Option::unwrap).collect();
+    assert_eq!(render(&resumed_rows), render(&fresh_rows));
+    assert_eq!(
+        std::fs::read_to_string(&manifest).unwrap(),
+        std::fs::read_to_string(&fresh_manifest).unwrap()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn claim_strategies_produce_identical_output_at_every_worker_count() {
+    // Chunked claiming with reset-reused sessions must be byte-identical
+    // to the old per-scenario claiming with fresh sessions — the
+    // determinism contract of the engine optimization.
+    let db = Arc::new(CharacterizationDb::uniform());
+    let configs = test_configs();
+    let workloads = &standard_workloads()[..2];
+    let matrix = explore_matrix(&configs, workloads);
+
+    let run_at = |workers: usize, claim: ClaimStrategy| {
+        let opts = CampaignOptions {
+            claim,
+            ..CampaignOptions::with_workers("claims", workers)
+        };
+        let report = hierbus_campaign::run_with(
+            &matrix,
+            &opts,
+            || ExploreSession::new(&db),
+            |session, point: &ScenarioPoint| {
+                session
+                    .run(configs[point.coords[0]], &workloads[point.coords[1]])
+                    .unwrap()
+            },
+        )
+        .unwrap();
+        let rows: Vec<ExplorationRow> = report.results.into_iter().flatten().collect();
+        render(&rows)
+    };
+
+    let baseline = run_at(1, ClaimStrategy::PerScenario);
+    for workers in [1usize, 2, 4, 8] {
+        for claim in [ClaimStrategy::Chunked, ClaimStrategy::PerScenario] {
+            assert_eq!(
+                run_at(workers, claim),
+                baseline,
+                "output differs at {workers} workers with {claim:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn interrupted_chunked_campaign_resumes_byte_identically() {
+    // Interrupt under chunked claiming, resume under chunked claiming
+    // with a different worker count: no recomputation of completed
+    // scenarios, and the final manifest equals a fresh sequential run's.
+    let db = Arc::new(CharacterizationDb::uniform());
+    let configs = test_configs();
+    let all_workloads = standard_workloads();
+    let workloads = &all_workloads[..2];
+    let matrix = explore_matrix(&configs, workloads);
+    let total = matrix.len();
+    let dir = temp_dir("chunked_resume");
+    let manifest = dir.join("chunked.manifest.json");
+
+    let executions = AtomicUsize::new(0);
+    let run_chunked = |workers: usize, limit: Option<usize>| {
+        hierbus_campaign::run_with(
+            &matrix,
+            &CampaignOptions {
+                manifest_path: Some(manifest.clone()),
+                limit,
+                claim: ClaimStrategy::Chunked,
+                ..CampaignOptions::with_workers("chunked_resume", workers)
+            },
+            || ExploreSession::new(&db),
+            |session, point: &ScenarioPoint| {
+                executions.fetch_add(1, Ordering::Relaxed);
+                session
+                    .run(configs[point.coords[0]], &workloads[point.coords[1]])
+                    .unwrap()
+            },
+        )
+        .unwrap()
+    };
+
+    let interrupted = run_chunked(4, Some(3));
+    assert_eq!(interrupted.stats.executed, 3);
+    assert!(!interrupted.is_complete());
+
+    let resumed = run_chunked(2, None);
+    assert!(resumed.is_complete());
+    assert_eq!(resumed.stats.resumed, 3);
+    assert_eq!(resumed.stats.executed, total - 3);
+    assert_eq!(executions.load(Ordering::Relaxed), total, "no recompute");
+
+    let fresh_manifest = dir.join("fresh.manifest.json");
+    let (fresh_rows, _) = explore_campaign(
+        &configs,
+        workloads,
+        &db,
+        &CampaignOptions {
+            manifest_path: Some(fresh_manifest.clone()),
+            ..CampaignOptions::sequential("chunked_resume")
         },
     )
     .unwrap();

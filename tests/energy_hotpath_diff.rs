@@ -1,0 +1,158 @@
+//! Differential tests for the layer-1 per-cycle hot path: the
+//! word-packed `SignalFrame::diff` (XOR + `count_ones` per class, cached
+//! per-class weights) must agree *exactly* — per-class toggle counts and
+//! `f64::to_bits` energies — with the bit-loop `diff_reference` path it
+//! replaced, over seeded-random frame soups, the layer-1 doctest frames,
+//! and the frames a faulted / torn bus actually drives.
+
+use hierbus::ec::sequences::{random_mix, MixParams};
+use hierbus::ec::{FaultKind, FaultPlan, OpFault, RetryPolicy, SignalFrame};
+use hierbus::harness;
+use hierbus::power::Layer1EnergyModel;
+use hierbus::sim::SplitMix64;
+use hierbus_core::{MemSlave, Tlm1Bus, TlmSystem};
+
+/// A fully randomized frame: every field, including bits outside the
+/// architectural widths (the packed path must reproduce the reference's
+/// behaviour on out-of-range `a_addr` bits, which the public field
+/// permits).
+fn random_frame(rng: &mut SplitMix64) -> SignalFrame {
+    let bits = rng.next_u64();
+    SignalFrame {
+        a_valid: bits & 1 != 0,
+        a_addr: rng.next_u64(),
+        a_kind: rng.next_u32() as u8,
+        a_width: rng.next_u32() as u8,
+        a_burst: rng.next_u32() as u8,
+        a_ready: bits & 2 != 0,
+        a_error: bits & 4 != 0,
+        r_valid: bits & 8 != 0,
+        r_data: rng.next_u32(),
+        r_id: rng.next_u32() as u8,
+        r_ready: bits & 16 != 0,
+        r_error: bits & 32 != 0,
+        w_valid: bits & 64 != 0,
+        w_data: rng.next_u32(),
+        w_ben: rng.next_u32() as u8,
+        w_id: rng.next_u32() as u8,
+        w_ready: bits & 128 != 0,
+        w_error: bits & 256 != 0,
+    }
+}
+
+/// Replays `frames` through both hot paths and asserts bit-exact
+/// agreement of every per-cycle diff and every energy query.
+fn assert_paths_agree(frames: &[SignalFrame], context: &str) {
+    let db = harness::shared_db();
+    let mut fast = Layer1EnergyModel::new((*db).clone());
+    let mut slow = Layer1EnergyModel::new((*db).clone());
+    fast.enable_trace();
+    slow.enable_trace();
+    let mut prev = SignalFrame::default();
+    for (i, frame) in frames.iter().enumerate() {
+        assert_eq!(
+            frame.diff(&prev),
+            frame.diff_reference(&prev),
+            "{context}: diff mismatch at frame {i}"
+        );
+        fast.on_frame(frame);
+        slow.on_frame_reference(frame);
+        assert_eq!(
+            fast.energy_last_cycle().to_bits(),
+            slow.energy_last_cycle().to_bits(),
+            "{context}: per-cycle energy diverges at frame {i}"
+        );
+        prev = *frame;
+    }
+    assert_eq!(fast.toggles(), slow.toggles(), "{context}: toggle totals");
+    assert_eq!(
+        fast.total_energy().to_bits(),
+        slow.total_energy().to_bits(),
+        "{context}: total energy"
+    );
+    assert_eq!(
+        fast.energy_since_last_call().to_bits(),
+        slow.energy_since_last_call().to_bits(),
+        "{context}: interval energy"
+    );
+    assert_eq!(fast.trace(), slow.trace(), "{context}: traces");
+}
+
+#[test]
+fn packed_diff_matches_reference_on_seeded_random_frames() {
+    for seed in [0xD1FF_0001u64, 0x5EED_BEEF, 0x0BAD_CAFE, 0x1234_5678] {
+        println!("energy_hotpath_diff seed = {seed:#x}");
+        let mut rng = SplitMix64::new(seed);
+        let frames: Vec<SignalFrame> = (0..512).map(|_| random_frame(&mut rng)).collect();
+        assert_paths_agree(&frames, &format!("seed {seed:#x}"));
+    }
+}
+
+#[test]
+fn packed_diff_matches_reference_on_doctest_frames() {
+    // The frames the layer-1 doctest and unit tests drive.
+    let doc = SignalFrame {
+        a_addr: 0xFF,
+        ..SignalFrame::default()
+    };
+    let mut driven = SignalFrame::default();
+    driven.drive_address(
+        0xF_FFFF_FFFF,
+        hierbus::ec::AccessKind::DataWrite,
+        hierbus::ec::DataWidth::W32,
+        hierbus::ec::BurstLen::B4,
+        true,
+        false,
+    );
+    driven.drive_write(0xDEAD_BEEF, 0xF, 3, true, false);
+    let frames = [
+        doc,
+        SignalFrame::default(),
+        driven,
+        driven.to_idle(),
+        SignalFrame::default(),
+    ];
+    assert_paths_agree(&frames, "doctest frames");
+}
+
+#[test]
+fn packed_diff_matches_reference_on_fault_and_tear_frames() {
+    let scenario = random_mix(
+        0xFA57,
+        MixParams {
+            count: 120,
+            read_pct: 50,
+            burst_pct: 40,
+            ..MixParams::default()
+        },
+    );
+    let plans = [
+        (
+            "slave error with retries",
+            FaultPlan::new().with_fault(1, OpFault::once(FaultKind::SlaveError)),
+            RetryPolicy::retries(3),
+        ),
+        (
+            "persistent stall",
+            FaultPlan::new().with_fault(0, OpFault::always(FaultKind::Stall(17))),
+            RetryPolicy::NONE,
+        ),
+        (
+            "card tear mid-run",
+            FaultPlan::new().with_tear(200),
+            RetryPolicy::NONE,
+        ),
+    ];
+    for (name, plan, policy) in plans {
+        let mem = MemSlave::new(harness::scenario_slave(&scenario));
+        let mut bus = Tlm1Bus::new(vec![Box::new(mem)]);
+        bus.enable_frames();
+        let mut sys = TlmSystem::new(bus, scenario.ops.clone()).with_faults(plan.clone(), policy);
+        let mut frames = Vec::new();
+        sys.run(harness::MAX_CYCLES, |bus: &mut Tlm1Bus| {
+            frames.push(*bus.last_frame());
+        });
+        assert!(!frames.is_empty(), "{name}: no frames captured");
+        assert_paths_agree(&frames, name);
+    }
+}

@@ -248,6 +248,106 @@ fn energy_accumulates_monotonically() {
     }
 }
 
+#[test]
+fn reset_reused_model_replays_bit_exact() {
+    // A reset() model replaying the same stimulus must agree with a
+    // fresh model to the last bit of every energy query — the contract
+    // that lets campaign workers keep one model across scenarios.
+    use hierbus::power::{CharacterizationDb, Layer1EnergyModel};
+    let mut reused = Layer1EnergyModel::new(CharacterizationDb::uniform());
+    reused.enable_trace();
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(0xAE5E_0000 + case);
+        let scenario = Scenario {
+            name: "reset-prop",
+            ops: arb_ops(&mut rng, 1, 30),
+            waits: arb_waits(&mut rng),
+        };
+        reused.reset();
+        let mut fresh = Layer1EnergyModel::new(CharacterizationDb::uniform());
+        fresh.enable_trace();
+        let run_one = |model: &mut Layer1EnergyModel| {
+            let mem = MemSlave::new(slave_config(scenario.waits));
+            let mut bus = Tlm1Bus::new(vec![Box::new(mem)]);
+            bus.enable_frames();
+            let mut sys = TlmSystem::new(bus, scenario.ops.clone());
+            sys.run(1_000_000, |bus: &mut Tlm1Bus| {
+                model.on_frame(bus.last_frame());
+            });
+        };
+        run_one(&mut reused);
+        run_one(&mut fresh);
+        assert_eq!(
+            fresh.total_energy().to_bits(),
+            reused.total_energy().to_bits(),
+            "case {case}: total_energy"
+        );
+        assert_eq!(
+            fresh.energy_last_cycle().to_bits(),
+            reused.energy_last_cycle().to_bits(),
+            "case {case}: energy_last_cycle"
+        );
+        assert_eq!(
+            fresh.energy_since_last_call().to_bits(),
+            reused.energy_since_last_call().to_bits(),
+            "case {case}: energy_since_last_call"
+        );
+        assert_eq!(fresh.toggles(), reused.toggles(), "case {case}: toggles");
+        assert_eq!(fresh.trace(), reused.trace(), "case {case}: traces");
+    }
+}
+
+#[test]
+fn reset_reused_session_replays_scenarios_bit_exact() {
+    // The same contract one level up: harness::Layer1Session reuse
+    // versus a fresh run_layer1 per scenario.
+    let db = hierbus::harness::shared_db();
+    let mut session = hierbus::harness::Layer1Session::new(&db);
+    for case in 0..8 {
+        let mut rng = SplitMix64::new(0xBE55_0000 + case);
+        let scenario = Scenario {
+            name: "session-prop",
+            ops: arb_ops(&mut rng, 1, 30),
+            waits: arb_waits(&mut rng),
+        };
+        let reused = session.run(&scenario);
+        let fresh = hierbus::harness::run_layer1(&scenario, &db);
+        assert_eq!(
+            fresh.energy_pj.to_bits(),
+            reused.energy_pj.to_bits(),
+            "case {case}: energy"
+        );
+        assert_eq!(fresh.cycles, reused.cycles, "case {case}: cycles");
+        assert_eq!(fresh.records, reused.records, "case {case}: records");
+        assert_eq!(fresh.trace, reused.trace, "case {case}: trace");
+    }
+}
+
+#[test]
+fn lean_session_matches_full_runner_bit_exact() {
+    // The throughput-mode session drops records and the per-cycle trace
+    // — pure observers — so its scalar outcome must still equal the
+    // full-fidelity runner's bit for bit, across reset-reuse.
+    let db = hierbus::harness::shared_db();
+    let mut session = hierbus::harness::Layer1LeanSession::new(&db);
+    for case in 0..8 {
+        let mut rng = SplitMix64::new(0x1EA4_0000 + case);
+        let scenario = Scenario {
+            name: "lean-prop",
+            ops: arb_ops(&mut rng, 1, 30),
+            waits: arb_waits(&mut rng),
+        };
+        let lean = session.run(&scenario);
+        let full = hierbus::harness::run_layer1(&scenario, &db);
+        assert_eq!(
+            full.energy_pj.to_bits(),
+            lean.energy_pj.to_bits(),
+            "case {case}: energy"
+        );
+        assert_eq!(full.cycles, lean.cycles, "case {case}: cycles");
+    }
+}
+
 /// Ops forced to single beats: the block-atomic layer-2 transfer then
 /// commits at the same cycle as the beat-level models, so a card tear
 /// may demand exact memory agreement (see `tests/fault_equivalence.rs`
