@@ -38,12 +38,23 @@ echo "==> results staleness gate (deterministic tables)"
 #   cargo run --release -p hierbus-bench --bin all_tables
 stale_tmp="$(mktemp -d)"
 trap 'rm -rf "$stale_tmp"' EXIT
-for bin in table1_timing table2_energy fig6_sampling explore_jcvm ablations; do
+for bin in table1_timing table2_energy fig6_sampling explore_jcvm ablations attribution; do
   ./target/release/"$bin" > "$stale_tmp/$bin.txt" 2>/dev/null
   if ! diff -u "results/$bin.txt" "$stale_tmp/$bin.txt"; then
     echo "results/$bin.txt is stale — regenerate with the all_tables bin" >&2
     exit 1
   fi
 done
+
+echo "==> attribution JSON schema gate"
+# The attribution bin above rewrote results/obs/attribution_*.json as a
+# side effect; validate the schema and fail if the rewrite left the
+# committed copies stale.
+cargo run --release -p hierbus-bench --bin check_attribution
+if ! git diff --quiet -- results/obs; then
+  git --no-pager diff --stat -- results/obs >&2
+  echo "results/obs attribution artifacts are stale — commit the regenerated files" >&2
+  exit 1
+fi
 
 echo "CI OK"

@@ -97,6 +97,14 @@ fn main() {
         "campaign: {} cells in {:.2?} ({} workers)",
         report.stats.total, report.stats.wall, report.stats.workers
     );
+    for (i, w) in report.stats.per_worker.iter().enumerate() {
+        eprintln!(
+            "  worker {i}: {} claimed, {} completed, {:.0}% busy",
+            w.claimed,
+            w.completed,
+            100.0 * w.utilization(report.stats.wall)
+        );
+    }
     // cells[scenario][model], merged in matrix order.
     let cell = |scenario: usize, model: &str| -> f64 {
         let m = MODELS.iter().position(|&x| x == model).expect("model");
@@ -361,6 +369,10 @@ fn fault_ablation(db: &std::sync::Arc<CharacterizationDb>) {
         }
     };
 
+    // Captured before the campaign closure takes `setup` and `mix`.
+    let attr_mix = mix.clone();
+    let attr_setups: Vec<(FaultPlan, RetryPolicy)> = PRESETS.iter().map(|p| setup(p)).collect();
+
     let matrix = Matrix::new().axis("fault", PRESETS).axis("layer", LAYERS);
     let workers = hierbus_campaign::worker_count(None);
     let runner_db = std::sync::Arc::clone(db);
@@ -393,6 +405,14 @@ fn fault_ablation(db: &std::sync::Arc<CharacterizationDb>) {
         "fault campaign: {} cells in {:.2?} ({} workers)",
         report.stats.total, report.stats.wall, report.stats.workers
     );
+    for (i, w) in report.stats.per_worker.iter().enumerate() {
+        eprintln!(
+            "  worker {i}: {} claimed, {} completed, {:.0}% busy",
+            w.claimed,
+            w.completed,
+            100.0 * w.utilization(report.stats.wall)
+        );
+    }
     let cell = |preset: usize, layer: usize| -> &FaultCell {
         report.results[preset * LAYERS.len() + layer]
             .as_ref()
@@ -435,4 +455,27 @@ fn fault_ablation(db: &std::sync::Arc<CharacterizationDb>) {
         retry.cycles - clean.cycles,
         pct((retry.energy_pj - clean.energy_pj) / clean.energy_pj)
     );
+
+    // Where the fault overhead lands: the layer-1 attribution ledger
+    // splits each preset's energy by bus phase, so retries (replayed
+    // address+data phases) and stalls (wait-state idle) separate.
+    let mut attr = TextTable::new([
+        "fault preset",
+        "energy pJ",
+        "address",
+        "read",
+        "write",
+        "idle",
+    ]);
+    for (preset, (plan, policy)) in PRESETS.iter().zip(&attr_setups) {
+        let run = fh::run_layer1_attributed(&attr_mix, db, plan, *policy);
+        let total = run.ledger.total_pj();
+        let mut row = vec![preset.to_string(), format!("{total:.0}")];
+        for (_, pj) in run.ledger.phase_totals() {
+            row.push(format!("{:.1}%", 100.0 * pj / total));
+        }
+        attr.row(row);
+    }
+    println!("\n  Layer-1 energy attribution by bus phase per preset:\n");
+    println!("{}", attr.render());
 }

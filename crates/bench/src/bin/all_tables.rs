@@ -10,13 +10,14 @@ use hierbus_campaign::{CampaignOptions, CampaignPayload, Json, Matrix};
 use std::fs;
 use std::process::Command;
 
-const BINARIES: [&str; 6] = [
+const BINARIES: [&str; 7] = [
     "table1_timing",
     "table2_energy",
     "table3_simperf",
     "fig6_sampling",
     "explore_jcvm",
     "ablations",
+    "attribution",
 ];
 
 /// One regenerated table: the binary's name and its stdout.

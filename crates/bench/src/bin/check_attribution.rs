@@ -1,0 +1,158 @@
+//! Schema gate for `results/obs/attribution_*.json` — part of the
+//! `ci.sh` staleness checks.
+//!
+//! The attribution artifacts are regression-diffed across revisions, so
+//! every file must carry the same shape: `schema_version` 1, the
+//! scenario slug, exactly three layer ledgers (`rtl`, `tlm1`, `tlm2`)
+//! whose buckets sum to the reported `total_pj`, and the divergence
+//! section with both layer-pair audits. Exits non-zero naming the first
+//! violating file and field.
+//!
+//! Run with `cargo run --release -p hierbus-bench --bin
+//! check_attribution` after the `attribution` binary has populated
+//! `results/obs/`.
+
+use hierbus_campaign::Json;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const LAYERS: [&str; 3] = ["rtl", "tlm1", "tlm2"];
+const BUCKET_FIELDS: [&str; 3] = ["slave", "phase", "class"];
+const AUDIT_PAIRS: [&str; 2] = ["rtl_tlm1", "tlm1_tlm2"];
+const AUDIT_FIELDS: [&str; 2] = ["checked", "divergent"];
+
+fn check_ledger(ledger: &Json, want_layer: &str) -> Result<(), String> {
+    let layer = ledger
+        .get("layer")
+        .and_then(Json::as_str)
+        .ok_or("ledger missing layer".to_owned())?;
+    if layer != want_layer {
+        return Err(format!("expected layer {want_layer}, found {layer}"));
+    }
+    ledger
+        .get("cycles")
+        .and_then(Json::as_u64)
+        .ok_or(format!("{layer}: missing cycles"))?;
+    if !matches!(ledger.get("software"), Some(Json::Null | Json::Str(_))) {
+        return Err(format!("{layer}: software must be null or a string"));
+    }
+    let total = ledger
+        .get("total_pj")
+        .and_then(Json::as_f64)
+        .ok_or(format!("{layer}: missing total_pj"))?;
+    let buckets = ledger
+        .get("buckets")
+        .and_then(Json::as_arr)
+        .ok_or(format!("{layer}: missing buckets array"))?;
+    let mut sum = 0.0;
+    for (i, bucket) in buckets.iter().enumerate() {
+        for field in BUCKET_FIELDS {
+            bucket
+                .get(field)
+                .and_then(Json::as_str)
+                .ok_or(format!("{layer}: buckets[{i}] missing field {field}"))?;
+        }
+        sum += bucket
+            .get("energy_pj")
+            .and_then(Json::as_f64)
+            .ok_or(format!("{layer}: buckets[{i}] missing energy_pj"))?;
+    }
+    if (sum - total).abs() > 1e-6 * total.abs().max(1.0) {
+        return Err(format!(
+            "{layer}: buckets sum to {sum} but total_pj says {total}"
+        ));
+    }
+    Ok(())
+}
+
+fn check(root: &Json) -> Result<(), String> {
+    let version = root
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .ok_or("missing schema_version".to_owned())?;
+    if version != 1 {
+        return Err(format!("unsupported schema_version {version}"));
+    }
+    root.get("scenario")
+        .and_then(Json::as_str)
+        .ok_or("missing scenario".to_owned())?;
+    let layers = root
+        .get("layers")
+        .and_then(Json::as_arr)
+        .ok_or("missing layers array".to_owned())?;
+    if layers.len() != LAYERS.len() {
+        return Err(format!(
+            "expected {} layers, found {}",
+            LAYERS.len(),
+            layers.len()
+        ));
+    }
+    for (ledger, want) in layers.iter().zip(LAYERS) {
+        check_ledger(ledger, want)?;
+    }
+    let divergence = root
+        .get("divergence")
+        .ok_or("missing divergence section".to_owned())?;
+    for pair in AUDIT_PAIRS {
+        let audit = divergence
+            .get(pair)
+            .ok_or(format!("divergence: missing pair {pair}"))?;
+        for field in AUDIT_FIELDS {
+            audit
+                .get(field)
+                .and_then(Json::as_u64)
+                .ok_or(format!("divergence.{pair}: missing field {field}"))?;
+        }
+        for field in ["first", "worst"] {
+            if audit.get(field).is_none() {
+                return Err(format!("divergence.{pair}: missing field {field}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_file(path: &Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    let root = Json::parse(&text).map_err(|e| format!("not valid JSON: {e}"))?;
+    check(&root)
+}
+
+fn main() -> ExitCode {
+    let dir = PathBuf::from("results/obs");
+    let mut files: Vec<PathBuf> = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("attribution_") && n.ends_with(".json"))
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!("check_attribution: cannot list {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    files.sort();
+    if files.is_empty() {
+        eprintln!(
+            "check_attribution: no attribution_*.json under {} — run the attribution binary",
+            dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    for path in &files {
+        if let Err(msg) = check_file(path) {
+            eprintln!("check_attribution: {}: {msg}", path.display());
+            eprintln!("regenerate with: cargo run --release -p hierbus-bench --bin attribution");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "check_attribution: {} attribution file(s) under {} schema OK",
+        files.len(),
+        dir.display()
+    );
+    ExitCode::SUCCESS
+}

@@ -102,8 +102,19 @@ fn main() {
         stats.executed,
         stats.resumed
     );
+    for (i, w) in stats.per_worker.iter().enumerate() {
+        eprintln!(
+            "  worker {i}: {} claimed, {} completed, {:.0}% busy",
+            w.claimed,
+            w.completed,
+            100.0 * w.utilization(stats.wall)
+        );
+    }
 
-    // Full table.
+    // Full table, with the stack-access energy attribution from each
+    // row's ledger. Back-to-back stack traffic is pipelined (address
+    // cycles fold into the overlapping data phases), so a nonzero
+    // address share is the signature of wait states — the slow window.
     let mut table = TextTable::new([
         "interface",
         "workload",
@@ -111,8 +122,13 @@ fn main() {
         "txns",
         "energy pJ",
         "pJ/cycle",
+        "addr",
+        "rd",
+        "wr",
+        "idle",
     ]);
     for row in &rows {
+        let share = |p: &str| format!("{:.0}%", 100.0 * row.phase_share(p));
         table.row([
             row.config.clone(),
             row.workload.clone(),
@@ -120,6 +136,10 @@ fn main() {
             row.transactions.to_string(),
             format!("{:.0}", row.energy_pj),
             format!("{:.2}", row.energy_per_cycle()),
+            share("address"),
+            share("read-data"),
+            share("write-data"),
+            share("idle"),
         ]);
     }
     println!("{}", table.render());

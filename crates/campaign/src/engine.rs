@@ -99,6 +99,34 @@ impl CampaignOptions {
     }
 }
 
+/// Per-worker execution diagnostics. Claim counts and busy time depend
+/// on scheduling, so these describe *this run* — they are surfaced in
+/// run reports (stderr) and never enter the manifest or the merged
+/// results, which stay byte-identical at any worker count.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerStats {
+    /// Scenarios this worker claimed from the shared cursor.
+    pub claimed: u64,
+    /// Scenarios it finished (equals `claimed` after a clean run).
+    pub completed: u64,
+    /// Time spent executing scenarios (measured per claimed chunk).
+    pub busy: Duration,
+}
+
+impl WorkerStats {
+    /// Fraction of the campaign's wall clock this worker spent running
+    /// scenarios — near 1.0 across the pool on a balanced campaign,
+    /// sagging when chunks are uneven or workers starve.
+    pub fn utilization(&self, wall: Duration) -> f64 {
+        let w = wall.as_secs_f64();
+        if w > 0.0 {
+            self.busy.as_secs_f64() / w
+        } else {
+            0.0
+        }
+    }
+}
+
 /// What a campaign run did (wall-clock lives here, never in the
 /// manifest or the merged results).
 #[derive(Debug, Clone)]
@@ -116,6 +144,9 @@ pub struct CampaignStats {
     pub workers: usize,
     /// Wall-clock time of the execution phase.
     pub wall: Duration,
+    /// Per-worker claim/completion/utilization diagnostics, in worker
+    /// spawn order (one entry per worker thread).
+    pub per_worker: Vec<WorkerStats>,
 }
 
 impl CampaignStats {
@@ -250,31 +281,40 @@ where
     // Per-worker result buffers: no shared lock between claim points.
     // Each worker builds its state once and reuses it chunk after chunk.
     let mut executed_results: Vec<(usize, R)> = Vec::with_capacity(todo.len());
+    let mut per_worker: Vec<WorkerStats> = Vec::with_capacity(workers);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
                     let mut state = make_state();
                     let mut mine: Vec<(usize, R)> = Vec::new();
+                    let mut wstats = WorkerStats::default();
                     loop {
                         let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
                         if lo >= todo.len() {
                             break;
                         }
                         let hi = (lo + chunk).min(todo.len());
+                        wstats.claimed += (hi - lo) as u64;
                         mine.reserve(hi - lo);
+                        let chunk_started = Instant::now();
                         for &index in &todo[lo..hi] {
                             let result = runner(&mut state, &points[index]);
                             mine.push((index, result));
+                            wstats.completed += 1;
                         }
+                        wstats.busy += chunk_started.elapsed();
                     }
-                    mine
+                    (mine, wstats)
                 })
             })
             .collect();
         for handle in handles {
             match handle.join() {
-                Ok(mine) => executed_results.extend(mine),
+                Ok((mine, wstats)) => {
+                    executed_results.extend(mine);
+                    per_worker.push(wstats);
+                }
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
@@ -315,6 +355,7 @@ where
             pending,
             workers,
             wall,
+            per_worker,
         },
     })
 }
@@ -591,6 +632,48 @@ mod tests {
         for r in &renders[1..] {
             assert_eq!(r, &renders[0], "claim strategy changed the merge");
         }
+    }
+
+    #[test]
+    fn worker_stats_account_for_every_execution() {
+        let m = matrix();
+        for workers in [1, 3] {
+            let report = run(
+                &m,
+                &CampaignOptions::with_workers("toy", workers),
+                toy_runner,
+            )
+            .unwrap();
+            let stats = &report.stats;
+            assert_eq!(stats.per_worker.len(), stats.workers);
+            let claimed: u64 = stats.per_worker.iter().map(|w| w.claimed).sum();
+            let completed: u64 = stats.per_worker.iter().map(|w| w.completed).sum();
+            assert_eq!(claimed, stats.executed as u64);
+            assert_eq!(completed, stats.executed as u64);
+            for w in &stats.per_worker {
+                assert_eq!(w.claimed, w.completed, "clean runs finish every claim");
+                let u = w.utilization(stats.wall);
+                assert!(u >= 0.0 && u.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn resumed_campaign_reports_idle_workers() {
+        // Everything comes from the manifest: no claims, no busy time.
+        let m = matrix();
+        let dir = std::env::temp_dir().join("hierbus_campaign_wstats_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = CampaignOptions {
+            manifest_path: Some(dir.join("toy.manifest.json")),
+            ..CampaignOptions::with_workers("toy", 2)
+        };
+        run(&m, &opts, toy_runner).unwrap();
+        let idle = run(&m, &opts, toy_runner).unwrap();
+        assert_eq!(idle.stats.executed, 0);
+        let claimed: u64 = idle.stats.per_worker.iter().map(|w| w.claimed).sum();
+        assert_eq!(claimed, 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod matrix;
 
 pub use engine::{
     measure_scaling, measure_scaling_with, run, run_with, CampaignOptions, CampaignPayload,
-    CampaignReport, CampaignStats, ClaimStrategy, ScalingPoint, SCALING_REPS,
+    CampaignReport, CampaignStats, ClaimStrategy, ScalingPoint, WorkerStats, SCALING_REPS,
 };
 pub use json::Json;
 pub use manifest::{Manifest, ManifestEntry, MANIFEST_VERSION};

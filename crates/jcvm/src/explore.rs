@@ -14,6 +14,7 @@ use crate::workloads::Workload;
 use hierbus_campaign::{CampaignOptions, CampaignPayload, CampaignStats, Json, Matrix};
 use hierbus_core::Tlm1Bus;
 use hierbus_ec::{Address, AddressRange};
+use hierbus_obs::{BucketKey, EnergyLedger, SlaveMap};
 use hierbus_power::{CharacterizationDb, Layer1EnergyModel};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -34,6 +35,10 @@ pub struct ExplorationRow {
     pub energy_pj: f64,
     /// The workload's (verified) result.
     pub result: i32,
+    /// Energy attribution: `(folded bucket key, pJ)` pairs in sorted
+    /// key order (see [`BucketKey::folded_key`]) — the decomposition of
+    /// [`energy_pj`](Self::energy_pj) along `slave;phase;class`.
+    pub attribution: Vec<(String, f64)>,
 }
 
 impl ExplorationRow {
@@ -45,6 +50,57 @@ impl ExplorationRow {
             self.energy_pj / self.cycles as f64
         }
     }
+
+    /// Fraction of the row's energy attributed to `phase` (a
+    /// [`hierbus_obs::LedgerPhase`] name, e.g. `"address"` or
+    /// `"idle"`); 0 when the row has no energy.
+    pub fn phase_share(&self, phase: &str) -> f64 {
+        let total: f64 = self.attribution.iter().map(|(_, v)| v).sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let matching: f64 = self
+            .attribution
+            .iter()
+            .filter(|(k, _)| BucketKey::from_folded_key(k).is_some_and(|b| b.phase.name() == phase))
+            .map(|(_, v)| v)
+            .sum::<f64>()
+            + 0.0; // empty sums are -0.0; normalize the sign
+        matching / total
+    }
+
+    /// Reconstructs the row's [`EnergyLedger`] (layer `tlm1`, software
+    /// dimension = the interface config label), e.g. for merging a
+    /// campaign's rows into one per-config or sweep-wide ledger.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed attribution key — rows only carry keys
+    /// produced by [`BucketKey::folded_key`].
+    pub fn to_ledger(&self) -> EnergyLedger {
+        let mut ledger = EnergyLedger::new("tlm1").with_software(self.config.clone());
+        ledger.set_cycles(self.cycles);
+        for (key, pj) in &self.attribution {
+            let key = BucketKey::from_folded_key(key)
+                .unwrap_or_else(|| panic!("malformed attribution key {key:?}"));
+            ledger.book(key, *pj);
+        }
+        ledger
+    }
+}
+
+/// The attribution slave map for one interface configuration: the
+/// hardware stack's register window.
+fn hwstack_map(config: &IfaceConfig) -> SlaveMap {
+    let mut map = SlaveMap::new();
+    map.add(config.base, config.base + 0x100, "hwstack");
+    map
+}
+
+/// Folds a ledger into the row representation: `(folded key, pJ)` in
+/// sorted key order.
+fn attribution_entries(ledger: &EnergyLedger) -> Vec<(String, f64)> {
+    ledger.entries().map(|(k, v)| (k.folded_key(), v)).collect()
 }
 
 /// A reusable exploration runner: the layer-1 energy model (its weight
@@ -62,8 +118,12 @@ pub struct ExploreSession {
 impl ExploreSession {
     /// Builds a session over a characterization database.
     pub fn new(db: &CharacterizationDb) -> Self {
+        let mut model = Layer1EnergyModel::new(db.clone());
+        // Per-cycle trace feeds the row's attribution ledger; reset()
+        // keeps the allocation across design points.
+        model.enable_trace();
         ExploreSession {
-            model: Rc::new(RefCell::new(Layer1EnergyModel::new(db.clone()))),
+            model: Rc::new(RefCell::new(model)),
         }
     }
 
@@ -86,6 +146,7 @@ impl ExploreSession {
             config.waits(),
         );
         let mut bus = Tlm1Bus::new(vec![Box::new(slave)]);
+        bus.enable_obs();
         bus.enable_frames();
         let mut stack = BusStack::new(bus, config);
 
@@ -107,14 +168,18 @@ impl ExploreSession {
             config.label()
         );
 
-        let energy_pj = self.model.borrow().total_energy();
+        let model = self.model.borrow();
+        let ledger = model
+            .ledger(stack.bus().obs().spans(), &hwstack_map(&config))
+            .expect("session model traces");
         Ok(ExplorationRow {
             config: config.label(),
             workload: workload.name.to_owned(),
             cycles: stack.cycles(),
             transactions: stack.transactions(),
-            energy_pj,
+            energy_pj: model.total_energy(),
             result,
+            attribution: attribution_entries(&ledger),
         })
     }
 }
@@ -148,7 +213,9 @@ pub fn run_config_reference(
     workload: &Workload,
     db: &CharacterizationDb,
 ) -> Result<ExplorationRow, JcvmError> {
-    let model = Rc::new(RefCell::new(Layer1EnergyModel::new(db.clone())));
+    let mut reference_model = Layer1EnergyModel::new(db.clone());
+    reference_model.enable_trace();
+    let model = Rc::new(RefCell::new(reference_model));
     let slave = HwStackSlave::new(
         AddressRange::new(Address::new(config.base), 0x100),
         config.width,
@@ -156,6 +223,7 @@ pub fn run_config_reference(
         config.waits(),
     );
     let mut bus = Tlm1Bus::new(vec![Box::new(slave)]);
+    bus.enable_obs();
     bus.enable_frames();
     let mut stack = BusStack::new(bus, config);
 
@@ -177,14 +245,18 @@ pub fn run_config_reference(
         config.label()
     );
 
-    let energy_pj = model.borrow().total_energy();
+    let model = model.borrow();
+    let ledger = model
+        .ledger(stack.bus().obs().spans(), &hwstack_map(&config))
+        .expect("reference model traces");
     Ok(ExplorationRow {
         config: config.label(),
         workload: workload.name.to_owned(),
         cycles: stack.cycles(),
         transactions: stack.transactions(),
-        energy_pj,
+        energy_pj: model.total_energy(),
         result,
+        attribution: attribution_entries(&ledger),
     })
 }
 
@@ -200,10 +272,28 @@ impl CampaignPayload for ExplorationRow {
             ),
             ("energy_pj".to_owned(), Json::Num(self.energy_pj)),
             ("result".to_owned(), Json::Num(self.result as f64)),
+            (
+                "attribution".to_owned(),
+                Json::Obj(
+                    self.attribution
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
         ])
     }
 
     fn from_json(json: &Json) -> Option<Self> {
+        // Manifests from before the attribution field parse to None and
+        // re-run, like any other stale payload.
+        let attribution = match json.get("attribution")? {
+            Json::Obj(fields) => fields
+                .iter()
+                .map(|(k, v)| Some((k.clone(), v.as_f64()?)))
+                .collect::<Option<Vec<_>>>()?,
+            _ => return None,
+        };
         Some(ExplorationRow {
             config: json.get("config")?.as_str()?.to_owned(),
             workload: json.get("workload")?.as_str()?.to_owned(),
@@ -211,6 +301,7 @@ impl CampaignPayload for ExplorationRow {
             transactions: json.get("transactions")?.as_u64()?,
             energy_pj: json.get("energy_pj")?.as_f64()?,
             result: json.get("result")?.as_f64()? as i32,
+            attribution,
         })
     }
 }
@@ -431,6 +522,83 @@ mod tests {
                 assert_eq!(reused.energy_pj.to_bits(), fresh.energy_pj.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn attribution_decomposes_row_energy_and_round_trips() {
+        let db = CharacterizationDb::uniform();
+        let w = &standard_workloads()[0];
+        let row = run_config(IfaceConfig::baseline(BASE), w, &db).unwrap();
+        assert!(!row.attribution.is_empty());
+        let total: f64 = row.attribution.iter().map(|(_, v)| v).sum();
+        assert!(
+            (total - row.energy_pj).abs() <= 1e-9 * row.energy_pj,
+            "attribution sums to the row energy: {total} vs {}",
+            row.energy_pj
+        );
+        // The stack bus is fully pipelined: address cycles overlap data
+        // spans, which outrank them, so only data phases carry energy.
+        assert!(row.phase_share("read-data") > 0.0);
+        assert!(row.phase_share("write-data") > 0.0);
+        // Phase shares partition.
+        let sum: f64 = ["address", "read-data", "write-data", "idle"]
+            .iter()
+            .map(|p| row.phase_share(p))
+            .sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        // The manifest payload round-trips the attribution exactly.
+        let back = ExplorationRow::from_json(&row.to_json()).unwrap();
+        assert_eq!(back, row);
+        // And the ledger reconstruction keeps the software dimension.
+        let ledger = row.to_ledger();
+        assert_eq!(ledger.software(), Some(row.config.as_str()));
+        assert_eq!(ledger.cycles(), row.cycles);
+        assert_eq!(ledger.total_pj(), total);
+    }
+
+    #[test]
+    fn pre_attribution_payload_reruns_instead_of_resuming() {
+        let db = CharacterizationDb::uniform();
+        let w = &standard_workloads()[0];
+        let row = run_config(IfaceConfig::baseline(BASE), w, &db).unwrap();
+        let mut json = row.to_json();
+        if let Json::Obj(fields) = &mut json {
+            fields.retain(|(k, _)| k != "attribution");
+        }
+        assert!(ExplorationRow::from_json(&json).is_none());
+    }
+
+    #[test]
+    fn merged_campaign_ledger_is_byte_identical_at_any_worker_count() {
+        let db = CharacterizationDb::uniform();
+        let configs = [
+            IfaceConfig::baseline(BASE),
+            IfaceConfig {
+                width: DataWidth::W8,
+                ..IfaceConfig::baseline(BASE)
+            },
+        ];
+        let workloads = &standard_workloads()[..2];
+        let shared = Arc::new(db);
+        let mut folded = Vec::new();
+        for workers in [1, 2, 4] {
+            let (rows, _) = explore_campaign(
+                &configs,
+                workloads,
+                &shared,
+                &CampaignOptions::with_workers("merge-test", workers),
+            )
+            .unwrap();
+            // Merge every row's ledger in matrix (index) order.
+            let mut merged = EnergyLedger::new("tlm1");
+            for row in &rows {
+                merged.merge(&row.to_ledger());
+            }
+            folded.push(merged.folded());
+        }
+        assert_eq!(folded[0], folded[1], "2 workers changed the merge");
+        assert_eq!(folded[0], folded[2], "4 workers changed the merge");
+        assert!(!folded[0].is_empty());
     }
 
     #[test]

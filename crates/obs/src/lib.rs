@@ -14,16 +14,25 @@
 //!   id, plus sampled counter tracks for energy.
 //! * [`perfetto`] — Chrome trace-event / Perfetto JSON exporter;
 //!   [`MetricsSnapshot::to_csv`] is the CSV metrics dump.
+//! * [`attribution`] — [`EnergyLedger`] decomposes a model's energy
+//!   along `layer → slave → phase → access class` (folded-stack, JSON
+//!   and Perfetto-counter exports), and [`DivergenceAuditor`] pinpoints
+//!   the first bucket/cycle where two layers disagree.
 //!
 //! Everything is deterministic (no wall clock, no randomness, stable
 //! ordering), so exports can be golden-file tested, and everything is
 //! cheap when off: disabled registries and collectors reduce every
 //! probe to one branch on an `enabled` flag with no allocation.
 
+pub mod attribution;
 pub mod metrics;
 pub mod perfetto;
 pub mod span;
 
+pub use attribution::{
+    attribute_cycles, BucketKey, DivergenceAuditor, EnergyLedger, LedgerAudit, LedgerPhase,
+    SlaveMap, TraceDivergence,
+};
 pub use metrics::{CounterId, GaugeId, Histogram, HistogramId, MetricsRegistry, MetricsSnapshot};
 pub use span::{AccessClass, CounterTrack, Phase, SpanEvent, TraceCollector};
 

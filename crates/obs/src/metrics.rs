@@ -407,4 +407,62 @@ mod tests {
         assert!(csv.contains("hist,lat,le_4,1\n"));
         assert!(csv.contains("hist,lat,le_inf,0\n"));
     }
+
+    #[test]
+    fn csv_histogram_emits_one_row_per_bound_plus_overflow() {
+        let mut m = MetricsRegistry::new();
+        let h = m.histogram("lat", &[2, 4, 8]);
+        m.observe(h, 1); // le_2
+        m.observe(h, 4); // le_4 (inclusive upper bound)
+        m.observe(h, 100); // overflow
+        let csv = m.to_csv();
+        let rows: Vec<&str> = csv
+            .lines()
+            .filter(|l| l.starts_with("hist,lat,le_"))
+            .collect();
+        // Exactly bounds.len() bucket rows plus the implicit overflow
+        // bucket, in bound order.
+        assert_eq!(
+            rows,
+            vec![
+                "hist,lat,le_2,1",
+                "hist,lat,le_4,1",
+                "hist,lat,le_8,0",
+                "hist,lat,le_inf,1",
+            ]
+        );
+        assert!(csv.contains("hist,lat,count,3\n"));
+        assert!(csv.contains("hist,lat,sum,105\n"));
+        assert!(csv.contains("hist,lat,min,1\n"));
+        assert!(csv.contains("hist,lat,max,100\n"));
+    }
+
+    #[test]
+    fn csv_empty_histogram_skips_min_max_but_keeps_buckets() {
+        let mut m = MetricsRegistry::new();
+        m.histogram("empty", &[10, 20]);
+        let csv = m.to_csv();
+        assert!(csv.contains("hist,empty,count,0\n"));
+        assert!(csv.contains("hist,empty,sum,0\n"));
+        // min/max are meaningless with no observations and are omitted.
+        assert!(!csv.contains("hist,empty,min,"));
+        assert!(!csv.contains("hist,empty,max,"));
+        // All-zero bucket rows still render so the shape is stable.
+        assert!(csv.contains("hist,empty,le_10,0\n"));
+        assert!(csv.contains("hist,empty,le_20,0\n"));
+        assert!(csv.contains("hist,empty,le_inf,0\n"));
+    }
+
+    #[test]
+    fn csv_histogram_with_no_bounds_is_a_single_overflow_bucket() {
+        let mut m = MetricsRegistry::new();
+        let h = m.histogram("one", &[]);
+        m.observe(h, 7);
+        let csv = m.to_csv();
+        let rows: Vec<&str> = csv
+            .lines()
+            .filter(|l| l.starts_with("hist,one,le_"))
+            .collect();
+        assert_eq!(rows, vec!["hist,one,le_inf,1"]);
+    }
 }

@@ -73,7 +73,12 @@ pub fn export<C: std::borrow::Borrow<TraceCollector>>(collectors: &[C]) -> Strin
         }
         for t in c.counters() {
             let name = escape(&t.name);
-            for &(cycle, value) in &t.samples {
+            // Stored samples, then the dedup-dropped end of a trailing
+            // plateau (if any) so the counter holds its final value for
+            // the full run instead of stopping at the plateau's first
+            // cycle.
+            let trailing = t.trailing_sample();
+            for &(cycle, value) in t.samples.iter().chain(trailing.iter()) {
                 events.push(format!(
                     r#"{{"ph":"C","pid":{pid},"name":"{name}","ts":{cycle},"args":{{"{name}":{value}}}}}"#,
                 ));
@@ -154,6 +159,25 @@ mod tests {
     fn escape_handles_quotes_and_controls() {
         assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn counter_plateau_ends_at_its_last_cycle() {
+        // Regression: the dedup in counter_sample dropped the final
+        // sample of a plateau, so exported ramps ended early.
+        let mut c = TraceCollector::for_layer("tlm1");
+        c.counter_sample("e", 0, 1.0);
+        c.counter_sample("e", 1, 2.0);
+        c.counter_sample("e", 5, 2.0);
+        let json = export(&[&c]);
+        assert!(json.contains(r#""name":"e","ts":1,"args":{"e":2}"#));
+        assert!(json.contains(r#""name":"e","ts":5,"args":{"e":2}"#));
+        // No duplicate event when the last sample was stored anyway.
+        let mut c2 = TraceCollector::for_layer("tlm1");
+        c2.counter_sample("e", 0, 1.0);
+        c2.counter_sample("e", 5, 2.0);
+        let json2 = export(&[&c2]);
+        assert_eq!(json2.matches(r#""ts":5"#).count(), 1);
     }
 
     #[test]

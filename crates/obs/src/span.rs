@@ -39,7 +39,7 @@ impl Phase {
 
 /// What kind of access a transaction is (layer-agnostic mirror of the
 /// bus crate's `AccessKind`; this crate is dependency-free).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AccessClass {
     Fetch,
     Read,
@@ -81,6 +81,23 @@ pub struct CounterTrack {
     pub name: String,
     /// `(cycle, value)` samples, deduplicated on unchanged values.
     pub samples: Vec<(u64, f64)>,
+    /// The most recent sample fed to the track, recorded even when the
+    /// dedup above skipped it, so exporters can close a plateau at its
+    /// true end instead of its first cycle.
+    pub last: Option<(u64, f64)>,
+}
+
+impl CounterTrack {
+    /// The final sample of the track if the dedup dropped it — i.e. the
+    /// track ends on a plateau whose last cycle is later than the last
+    /// stored sample. Exporters append this so ramps span their full
+    /// duration.
+    pub fn trailing_sample(&self) -> Option<(u64, f64)> {
+        match (self.samples.last(), self.last) {
+            (Some(&(stored, _)), Some((cycle, value))) if cycle > stored => Some((cycle, value)),
+            _ => None,
+        }
+    }
 }
 
 /// Per-layer span collector. Disabled collectors hold no buffers and
@@ -177,6 +194,7 @@ impl TraceCollector {
                 self.counters.push(CounterTrack {
                     name: track.to_owned(),
                     samples: Vec::new(),
+                    last: None,
                 });
                 self.counters.len() - 1
             }
@@ -185,6 +203,7 @@ impl TraceCollector {
         if t.samples.last().map(|&(_, v)| v) != Some(value) {
             t.samples.push((cycle, value));
         }
+        t.last = Some((cycle, value));
     }
 
     /// All closed spans, in close order.
@@ -285,6 +304,31 @@ mod tests {
         c.clear();
         c.counter_sample("energy_pj", 0, 1.0);
         assert_eq!(c.counters()[0].samples, vec![(0, 1.0)]);
+    }
+
+    #[test]
+    fn trailing_sample_recovers_plateau_end() {
+        // Regression: dedup dropped the last sample of a plateau, so a
+        // counter ramp [(0,1),(1,2),(2,2),(3,2)] exported as ending at
+        // cycle 1. The track now remembers the final sample.
+        let mut c = TraceCollector::for_layer("tlm1");
+        c.counter_sample("e", 0, 1.0);
+        c.counter_sample("e", 1, 2.0);
+        c.counter_sample("e", 2, 2.0);
+        c.counter_sample("e", 3, 2.0);
+        let t = &c.counters()[0];
+        assert_eq!(t.samples, vec![(0, 1.0), (1, 2.0)]);
+        assert_eq!(t.last, Some((3, 2.0)));
+        assert_eq!(t.trailing_sample(), Some((3, 2.0)));
+        // No plateau: the stored samples already end the track.
+        let mut c2 = TraceCollector::for_layer("tlm1");
+        c2.counter_sample("e", 0, 1.0);
+        c2.counter_sample("e", 1, 2.0);
+        assert_eq!(c2.counters()[0].trailing_sample(), None);
+        // clear() resets the remembered sample too.
+        c.clear();
+        c.counter_sample("e", 5, 7.0);
+        assert_eq!(c.counters()[0].trailing_sample(), None);
     }
 
     #[test]

@@ -164,6 +164,26 @@ impl Layer1EnergyModel {
         self.trace.as_deref()
     }
 
+    /// Decomposes the recorded per-cycle trace into an energy
+    /// attribution ledger along `slave → phase → access class`, using
+    /// the span record of the same run (`hierbus-obs` collector spans
+    /// share the trace's cycle numbering). Returns `None` unless
+    /// [`enable_trace`](Self::enable_trace) was on. Attribution is a
+    /// partition of the trace, so the ledger total matches
+    /// [`total_energy`](Self::total_energy) up to f64 regrouping.
+    pub fn ledger(
+        &self,
+        spans: &[hierbus_obs::SpanEvent],
+        slaves: &hierbus_obs::SlaveMap,
+    ) -> Option<hierbus_obs::EnergyLedger> {
+        Some(hierbus_obs::attribute_cycles(
+            "tlm1",
+            spans,
+            self.trace()?,
+            slaves,
+        ))
+    }
+
     /// The characterization database in use.
     pub fn db(&self) -> &CharacterizationDb {
         &self.db

@@ -76,7 +76,10 @@ impl Layer2EnergyModel {
     /// characterized per-phase average pro-rata: the layer has no
     /// signal knowledge of the interrupted cycles, so it charges
     /// `cycles / planned_cycles` of the average-only estimate.
-    pub fn on_event(&mut self, ev: &PhaseEvent) {
+    ///
+    /// Returns the energy booked for this event, in pJ, so callers can
+    /// attribute it (see [`on_event_ledger`](Self::on_event_ledger)).
+    pub fn on_event(&mut self, ev: &PhaseEvent) -> f64 {
         if !ev.completed {
             let fraction = f64::from(ev.cycles) / f64::from(ev.planned_cycles.max(1));
             let e = |class: SignalClass| self.db.energy_per_toggle(class);
@@ -102,7 +105,7 @@ impl Layer2EnergyModel {
             self.since_last_pj += energy;
             self.phases_estimated += 1;
             self.partial_phases += 1;
-            return;
+            return energy;
         }
         let e = |class: SignalClass| self.db.energy_per_toggle(class);
         let energy = match ev.kind {
@@ -141,6 +144,36 @@ impl Layer2EnergyModel {
         self.total_pj += energy;
         self.since_last_pj += energy;
         self.phases_estimated += 1;
+        energy
+    }
+
+    /// [`on_event`](Self::on_event), plus attribution: the booked
+    /// energy lands in the ledger bucket for the event's slave window,
+    /// protocol phase and access kind. Layer 2 prices whole phases, so
+    /// its ledgers have no idle bucket; the ledger total still matches
+    /// [`total_energy`](Self::total_energy) up to f64 regrouping.
+    pub fn on_event_ledger(
+        &mut self,
+        ev: &PhaseEvent,
+        ledger: &mut hierbus_obs::EnergyLedger,
+        slaves: &hierbus_obs::SlaveMap,
+    ) {
+        use hierbus_obs::{AccessClass, BucketKey, LedgerPhase};
+        let energy = self.on_event(ev);
+        let phase = match ev.kind {
+            PhaseKind::Address => LedgerPhase::Address,
+            PhaseKind::ReadData => LedgerPhase::ReadData,
+            PhaseKind::WriteData => LedgerPhase::WriteData,
+        };
+        let class = match ev.access {
+            hierbus_ec::AccessKind::InstrFetch => AccessClass::Fetch,
+            hierbus_ec::AccessKind::DataRead => AccessClass::Read,
+            hierbus_ec::AccessKind::DataWrite => AccessClass::Write,
+        };
+        ledger.book(
+            BucketKey::new(slaves.resolve(ev.addr.raw()), phase, Some(class)),
+            energy,
+        );
     }
 
     /// Data-bus toggle estimate for a whole data phase: first beat at the
@@ -299,6 +332,39 @@ mod tests {
             ..ev.clone()
         });
         assert_eq!(later.total_energy(), 76.0 * 3.0 / 4.0);
+    }
+
+    #[test]
+    fn ledger_booking_decomposes_the_total() {
+        use hierbus_obs::{BucketKey, EnergyLedger, LedgerPhase, SlaveMap};
+        let mut m = Layer2EnergyModel::new(CharacterizationDb::uniform());
+        let mut ledger = EnergyLedger::new("tlm2");
+        let mut slaves = SlaveMap::new();
+        slaves.add(0x0, 0x1000, "mem");
+        m.on_event_ledger(&addr_event(0x100), &mut ledger, &slaves);
+        m.on_event_ledger(&read_event(vec![0b000, 0b001]), &mut ledger, &slaves);
+        // Attribution only decomposes: bucket sum equals the model total.
+        assert_eq!(ledger.total_pj(), m.total_energy());
+        assert_eq!(
+            ledger.get(&BucketKey::new(
+                "mem",
+                LedgerPhase::Address,
+                Some(hierbus_obs::AccessClass::Read)
+            )),
+            22.0
+        );
+        // Torn phases book into the same phase bucket.
+        let torn = PhaseEvent {
+            beats: 4,
+            cycles: 2,
+            planned_cycles: 4,
+            completed: false,
+            data: Vec::new(),
+            ..read_event(vec![0, 0, 0, 0])
+        };
+        m.on_event_ledger(&torn, &mut ledger, &slaves);
+        assert_eq!(ledger.total_pj(), m.total_energy());
+        assert_eq!(ledger.bucket_count(), 2);
     }
 
     #[test]

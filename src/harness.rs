@@ -24,6 +24,14 @@ pub fn scenario_slave(scenario: &Scenario) -> SlaveConfig {
     )
 }
 
+/// The attribution slave map matching [`scenario_slave`]: every harness
+/// scenario talks to one memory window, named `mem` in ledgers.
+pub fn scenario_slave_map() -> hierbus_obs::SlaveMap {
+    let mut map = hierbus_obs::SlaveMap::new();
+    map.add(0, 0x2_0000, "mem");
+    map
+}
+
 /// Result of a gate-level reference run.
 #[derive(Debug, Clone)]
 pub struct ReferenceRun {
@@ -517,6 +525,62 @@ pub mod fault {
     /// same plan must produce the same list at every abstraction level.
     pub fn statuses(run: &FaultRun) -> Vec<TxnOutcome> {
         run.outcomes.clone()
+    }
+
+    /// A layer-1 faulted run with attribution attached: the energy
+    /// ledger, the per-cycle trace and the span record, so a clean and
+    /// a faulted replay of the same scenario can be fed to the
+    /// divergence auditor (ledger-level and cycle-level).
+    #[derive(Debug, Clone)]
+    pub struct AttributedL1Run {
+        pub run: FaultRun,
+        pub ledger: hierbus_obs::EnergyLedger,
+        pub trace: Vec<f64>,
+        pub spans: Vec<hierbus_obs::SpanEvent>,
+    }
+
+    /// [`run_layer1`](self::run_layer1) with spans, per-cycle trace and
+    /// the attribution ledger collected. An empty [`FaultPlan`] gives
+    /// the clean baseline.
+    pub fn run_layer1_attributed(
+        scenario: &Scenario,
+        db: &CharacterizationDb,
+        plan: &FaultPlan,
+        policy: RetryPolicy,
+    ) -> AttributedL1Run {
+        let mem = MemSlave::new(scenario_slave(scenario));
+        let mut bus = Tlm1Bus::new(vec![Box::new(mem)]);
+        bus.enable_obs();
+        bus.enable_frames();
+        let mut sys = TlmSystem::new(bus, scenario.ops.clone()).with_faults(plan.clone(), policy);
+        let mut model = Layer1EnergyModel::new(db.clone());
+        model.enable_trace();
+        let report = sys.run(MAX_CYCLES, |bus: &mut Tlm1Bus| {
+            model.on_frame(bus.last_frame());
+        });
+        let memory = sys
+            .bus()
+            .slave_as::<MemSlave>(SlaveId(0))
+            .expect("scenario slave is a MemSlave")
+            .snapshot();
+        let spans = sys.bus().obs().spans().to_vec();
+        let ledger = model
+            .ledger(&spans, &scenario_slave_map())
+            .expect("trace enabled above");
+        AttributedL1Run {
+            run: FaultRun {
+                cycles: report.cycles,
+                energy_pj: model.total_energy(),
+                records: report.records,
+                outcomes: report.outcomes,
+                counters: report.fault,
+                memory,
+                torn: sys.torn(),
+            },
+            ledger,
+            trace: model.trace().unwrap_or(&[]).to_vec(),
+            spans,
+        }
     }
 }
 

@@ -19,11 +19,11 @@
 //! | `L.energy_pj` | counter | estimated energy, rounded to whole pJ |
 //! | `L.txn_latency_cycles` | histogram | issue→done latency per transaction |
 
-use crate::harness::{scenario_slave, MAX_CYCLES};
+use crate::harness::{scenario_slave, scenario_slave_map, MAX_CYCLES};
 use hierbus_core::{MemSlave, Tlm1Bus, Tlm2Bus, TlmSystem};
 use hierbus_ec::record::TxnRecord;
 use hierbus_ec::sequences::Scenario;
-use hierbus_obs::{MetricsRegistry, TraceCollector};
+use hierbus_obs::{DivergenceAuditor, EnergyLedger, MetricsRegistry, TraceCollector};
 use hierbus_power::{CharacterizationDb, Layer1EnergyModel, Layer2EnergyModel};
 use hierbus_rtl::{GlitchConfig, PowerConfig, RtlSystem, SimpleMem};
 use std::path::{Path, PathBuf};
@@ -43,6 +43,15 @@ pub struct ObservedRun {
     pub collectors: Vec<TraceCollector>,
     /// Cross-layer metrics (see the module docs for the name table).
     pub metrics: MetricsRegistry,
+    /// Energy-attribution ledgers in layer order: `rtl`, `tlm1`,
+    /// `tlm2`. Each decomposes (never re-prices) the matching entry of
+    /// [`energy_pj`](Self::energy_pj).
+    pub ledgers: Vec<EnergyLedger>,
+    /// Per-cycle power traces for the cycle-resolved layers `rtl` and
+    /// `tlm1` (layer 2 prices whole phases and has none).
+    pub power_traces: [Vec<f64>; 2],
+    /// Exact model energy totals in layer order: `rtl`, `tlm1`, `tlm2`.
+    pub energy_pj: [f64; 3],
 }
 
 fn record_layer_metrics(
@@ -85,6 +94,7 @@ fn cumulative_track(obs: &mut TraceCollector, per_cycle_pj: &[f64]) {
 /// the metrics table.
 pub fn run_observed(scenario: &Scenario, db: &CharacterizationDb) -> ObservedRun {
     let mut metrics = MetricsRegistry::new();
+    let slaves = scenario_slave_map();
 
     // Cycle-true reference with the gate-level estimator.
     let mem = SimpleMem::new(scenario_slave(scenario));
@@ -99,6 +109,12 @@ pub fn run_observed(scenario: &Scenario, db: &CharacterizationDb) -> ObservedRun
     let report = rtl.run(MAX_CYCLES);
     let mut rtl_obs = rtl.obs().clone();
     cumulative_track(&mut rtl_obs, rtl.estimator().trace().unwrap_or(&[]));
+    let rtl_ledger = rtl
+        .estimator()
+        .ledger(rtl_obs.spans(), &slaves)
+        .expect("power trace enabled above");
+    let rtl_trace = rtl.estimator().trace().unwrap_or(&[]).to_vec();
+    let rtl_energy = report.energy_pj;
     record_layer_metrics(
         &mut metrics,
         "rtl",
@@ -120,6 +136,11 @@ pub fn run_observed(scenario: &Scenario, db: &CharacterizationDb) -> ObservedRun
     });
     let mut l1_obs = sys.bus().obs().clone();
     cumulative_track(&mut l1_obs, model.trace().unwrap_or(&[]));
+    let l1_ledger = model
+        .ledger(l1_obs.spans(), &slaves)
+        .expect("trace enabled above");
+    let l1_trace = model.trace().unwrap_or(&[]).to_vec();
+    let l1_energy = model.total_energy();
     record_layer_metrics(
         &mut metrics,
         "tlm1",
@@ -136,13 +157,15 @@ pub fn run_observed(scenario: &Scenario, db: &CharacterizationDb) -> ObservedRun
     bus.enable_events();
     let mut sys = TlmSystem::new(bus, scenario.ops.clone());
     let mut model = Layer2EnergyModel::new(db.clone());
+    let mut l2_ledger = EnergyLedger::new("tlm2");
     let mut samples: Vec<(u64, f64)> = Vec::new();
     let report = sys.run(MAX_CYCLES, |bus: &mut Tlm2Bus| {
         for ev in bus.drain_events() {
-            model.on_event(&ev);
+            model.on_event_ledger(&ev, &mut l2_ledger, &slaves);
             samples.push((ev.at_cycle, model.total_energy()));
         }
     });
+    l2_ledger.set_cycles(report.cycles);
     let mut l2_obs = sys.bus().obs().clone();
     for (cycle, total) in samples {
         l2_obs.counter_sample(ENERGY_TRACK, cycle, total);
@@ -159,6 +182,9 @@ pub fn run_observed(scenario: &Scenario, db: &CharacterizationDb) -> ObservedRun
         name: scenario.name.to_string(),
         collectors: vec![rtl_obs, l1_obs, l2_obs],
         metrics,
+        ledgers: vec![rtl_ledger, l1_ledger, l2_ledger],
+        power_traces: [rtl_trace, l1_trace],
+        energy_pj: [rtl_energy, l1_energy, model.total_energy()],
     }
 }
 
@@ -189,6 +215,118 @@ pub fn export(run: &ObservedRun, dir: &Path) -> std::io::Result<(PathBuf, PathBu
 /// The conventional output directory for observability artifacts.
 pub fn default_dir() -> PathBuf {
     PathBuf::from("results/obs")
+}
+
+fn delta_json(d: &Option<hierbus_obs::attribution::BucketDelta>) -> String {
+    match d {
+        None => "null".to_owned(),
+        Some(d) => format!(
+            r#"{{"slave":"{}","phase":"{}","class":"{}","a_pj":{},"b_pj":{}}}"#,
+            d.key.slave,
+            d.key.phase.name(),
+            d.key.class_name(),
+            d.a_pj,
+            d.b_pj
+        ),
+    }
+}
+
+fn trace_div_json(d: &Option<hierbus_obs::TraceDivergence>) -> String {
+    match d {
+        None => "null".to_owned(),
+        Some(d) => {
+            let spans: Vec<String> = d
+                .context
+                .iter()
+                .map(|s| {
+                    format!(
+                        r#"{{"trace_id":{},"phase":"{}","class":"{}","begin":{},"end":{}}}"#,
+                        s.trace_id,
+                        s.phase.name(),
+                        s.class.name(),
+                        s.begin,
+                        s.end
+                    )
+                })
+                .collect();
+            format!(
+                r#"{{"cycle":{},"a_pj":{},"b_pj":{},"context_spans":[{}]}}"#,
+                d.cycle,
+                d.a_pj,
+                d.b_pj,
+                spans.join(",")
+            )
+        }
+    }
+}
+
+fn audit_json(
+    auditor: &DivergenceAuditor,
+    a: &EnergyLedger,
+    b: &EnergyLedger,
+    traces: Option<(&[f64], &[f64], &[hierbus_obs::SpanEvent])>,
+) -> String {
+    let audit = auditor.audit_ledgers(a, b);
+    let trace = traces.and_then(|(ta, tb, spans)| auditor.audit_traces(ta, tb, spans, 8));
+    format!(
+        r#"{{"checked":{},"divergent":{},"first":{},"worst":{},"trace":{}}}"#,
+        audit.checked,
+        audit.divergent,
+        delta_json(&audit.first),
+        delta_json(&audit.worst),
+        trace_div_json(&trace)
+    )
+}
+
+/// Writes `<dir>/attribution_<name>.json` (structured attribution +
+/// divergence report) and `<dir>/attribution_<name>.folded`
+/// (folded-stack "energy flamegraph" lines for all three layers),
+/// creating `dir` as needed. Returns the two paths.
+///
+/// The divergence section audits RTL↔TLM1 at both the bucket and the
+/// per-cycle level (first divergent cycle with a ±8-cycle span context
+/// window, using the TLM1 span record) and TLM1↔TLM2 at the bucket
+/// level. `auditor` sets the tolerance: the layers differ by design
+/// (that is Table 2's point), so pick one matched to the question —
+/// tight to localize any modeling gap, loose to flag only regressions.
+///
+/// # Errors
+///
+/// Any I/O error from creating the directory or writing the files.
+pub fn export_attribution(
+    run: &ObservedRun,
+    dir: &Path,
+    auditor: &DivergenceAuditor,
+) -> std::io::Result<(PathBuf, PathBuf)> {
+    std::fs::create_dir_all(dir)?;
+    let base = slug(&run.name);
+    let [rtl, tlm1, tlm2] = [&run.ledgers[0], &run.ledgers[1], &run.ledgers[2]];
+    let folded_path = dir.join(format!("attribution_{base}.folded"));
+    let folded: String = run.ledgers.iter().map(EnergyLedger::folded).collect();
+    std::fs::write(&folded_path, folded)?;
+    let json_path = dir.join(format!("attribution_{base}.json"));
+    let layers: Vec<String> = run.ledgers.iter().map(EnergyLedger::to_json).collect();
+    let rtl_tlm1 = audit_json(
+        auditor,
+        rtl,
+        tlm1,
+        Some((
+            &run.power_traces[0],
+            &run.power_traces[1],
+            run.collectors[1].spans(),
+        )),
+    );
+    let tlm1_tlm2 = audit_json(auditor, tlm1, tlm2, None);
+    let json = format!(
+        "{{\"schema_version\":1,\"scenario\":\"{}\",\"layers\":[{}],\
+         \"divergence\":{{\"rtl_tlm1\":{},\"tlm1_tlm2\":{}}}}}\n",
+        base,
+        layers.join(","),
+        rtl_tlm1,
+        tlm1_tlm2
+    );
+    std::fs::write(&json_path, json)?;
+    Ok((json_path, folded_path))
 }
 
 #[cfg(test)]
@@ -228,6 +366,50 @@ mod tests {
             .histograms
             .iter()
             .any(|h| h.name == "tlm1.txn_latency_cycles" && h.count == 1));
+    }
+
+    #[test]
+    fn ledgers_decompose_each_layers_total() {
+        let db = harness::standard_db();
+        let run = run_observed(&sequences::write_after_read(), &db);
+        for (i, ledger) in run.ledgers.iter().enumerate() {
+            let total = run.energy_pj[i];
+            let err = (ledger.total_pj() - total).abs();
+            assert!(
+                err <= 1e-9 * total.abs().max(1.0),
+                "layer {} ledger {} vs model {}",
+                ledger.layer(),
+                ledger.total_pj(),
+                total
+            );
+            assert!(ledger.bucket_count() > 0);
+        }
+        assert_eq!(run.ledgers[0].layer(), "rtl");
+        assert_eq!(run.ledgers[2].layer(), "tlm2");
+        // Cycle-resolved layers carry their traces for the auditor.
+        assert_eq!(run.power_traces[1].len() as u64, run.ledgers[1].cycles());
+    }
+
+    #[test]
+    fn export_attribution_writes_json_and_folded() {
+        let db = harness::standard_db();
+        let run = run_observed(&sequences::single_read(false), &db);
+        let dir = std::env::temp_dir().join("hierbus_attr_test");
+        let auditor = DivergenceAuditor::default();
+        let (json_path, folded_path) =
+            export_attribution(&run, &dir, &auditor).expect("export writes");
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        assert!(json.starts_with("{\"schema_version\":1,\"scenario\":\"single_read\""));
+        assert!(json.contains("\"divergence\":{\"rtl_tlm1\":"));
+        let folded = std::fs::read_to_string(&folded_path).unwrap();
+        // One folded block per layer, every line `stack value`.
+        assert!(folded.lines().any(|l| l.starts_with("rtl;")));
+        assert!(folded.lines().any(|l| l.starts_with("tlm1;")));
+        assert!(folded.lines().any(|l| l.starts_with("tlm2;")));
+        for line in folded.lines() {
+            assert_eq!(line.split(' ').count(), 2, "folded line: {line}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
