@@ -51,10 +51,26 @@ echo "==> attribution JSON schema gate"
 # side effect; validate the schema and fail if the rewrite left the
 # committed copies stale.
 cargo run --release -p hierbus-bench --bin check_attribution
-if ! git diff --quiet -- results/obs; then
-  git --no-pager diff --stat -- results/obs >&2
+# Only the attribution artifacts are byte-deterministic; the scaling
+# audit and pool-profile traces next to them are wall-clock based and
+# exempt from the staleness diff.
+if ! git diff --quiet -- 'results/obs/attribution_*'; then
+  git --no-pager diff --stat -- 'results/obs/attribution_*' >&2
   echo "results/obs attribution artifacts are stale — commit the regenerated files" >&2
   exit 1
 fi
+
+echo "==> scaling audit (profiled smoke campaign, 1/2/4 workers)"
+# Runs the bus campaign with the pool profiler on and decomposes the
+# efficiency loss; the checker gates the schema and the arithmetic
+# contract (loss shares sum to the measured gap). The artifact must
+# exist even though its numbers are wall-clock noisy — a missing or
+# malformed file fails the gate.
+if [ ! -f results/obs/scaling_audit.json ]; then
+  echo "results/obs/scaling_audit.json is missing — run the scaling_audit bin and commit it" >&2
+  exit 1
+fi
+cargo run --release -p hierbus-bench --bin scaling_audit -- --smoke
+cargo run --release -p hierbus-bench --bin check_scaling_audit
 
 echo "CI OK"

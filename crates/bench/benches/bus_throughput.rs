@@ -176,6 +176,7 @@ fn main() {
         "old scen/s",
         "speedup (new/old)",
         "scaling (vs 1w)",
+        "busy",
     ]);
     for (p, old) in scaling.iter().zip(&old_scaling) {
         scale_table.row([
@@ -185,6 +186,7 @@ fn main() {
             format!("{:.1}", old.scenarios_per_sec),
             format!("{:.2}x", p.scenarios_per_sec / old.scenarios_per_sec),
             format!("{:.2}x", p.scenarios_per_sec / base),
+            format!("{:.0}%", p.busy_frac * 100.0),
         ]);
     }
     println!(
@@ -214,6 +216,8 @@ fn main() {
                                 Json::Num(p.scenarios_per_sec / old.scenarios_per_sec),
                             ),
                             ("scaling".to_owned(), Json::Num(p.scenarios_per_sec / base)),
+                            ("busy_frac".to_owned(), Json::Num(p.busy_frac)),
+                            ("utilization".to_owned(), Json::Num(p.utilization)),
                         ])
                     })
                     .collect(),

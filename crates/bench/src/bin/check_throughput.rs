@@ -9,8 +9,11 @@
 //! (new-engine vs old-engine throughput at the same worker count) and
 //! `scaling` (new-engine throughput vs its own 1-worker point), and the
 //! `layers` section must carry the Table 3 kT/s numbers including the
-//! hot-path old-vs-new pair. Exits non-zero with a description of the
-//! first violation.
+//! hot-path old-vs-new pair. Worker entries may additionally carry the
+//! profiler-derived `busy_frac` and `utilization` fractions; files
+//! written before the profiler existed omit them, so they are optional —
+//! but when present they must be numeric and in `[0, 1]`. Exits non-zero
+//! with a description of the first violation.
 //!
 //! Run with `cargo run --release -p hierbus-bench --bin check_throughput`.
 
@@ -35,6 +38,11 @@ const WORKER_FIELDS: &[&str] = &[
     "speedup",
     "scaling",
 ];
+
+/// Fields added by the pool profiler: optional for backwards
+/// compatibility with pre-profiler files, but unit-interval fractions
+/// whenever they appear.
+const OPTIONAL_FRACTION_FIELDS: &[&str] = &["busy_frac", "utilization"];
 
 fn check(root: &Json) -> Result<(), String> {
     let layers = root
@@ -65,6 +73,18 @@ fn check(root: &Json) -> Result<(), String> {
                 entry.get(field).and_then(Json::as_f64).ok_or(format!(
                     "{section}: workers[{i}] missing or non-numeric field {field}"
                 ))?;
+            }
+            for field in OPTIONAL_FRACTION_FIELDS {
+                if let Some(value) = entry.get(field) {
+                    let v = value
+                        .as_f64()
+                        .ok_or(format!("{section}: workers[{i}] non-numeric field {field}"))?;
+                    if !(0.0..=1.0).contains(&v) {
+                        return Err(format!(
+                            "{section}: workers[{i}] field {field} = {v} outside [0, 1]"
+                        ));
+                    }
+                }
             }
         }
     }

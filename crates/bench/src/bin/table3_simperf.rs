@@ -214,6 +214,7 @@ fn main() {
         "old scen/s",
         "speedup (new/old)",
         "scaling (vs 1w)",
+        "busy",
     ]);
     for (p, old) in scaling.iter().zip(&old_scaling) {
         scale_table.row([
@@ -223,6 +224,7 @@ fn main() {
             format!("{:.1}", old.scenarios_per_sec),
             format!("{:.2}x", p.scenarios_per_sec / old.scenarios_per_sec),
             format!("{:.2}x", p.scenarios_per_sec / base_sps),
+            format!("{:.0}%", p.busy_frac * 100.0),
         ]);
     }
     println!(
@@ -272,6 +274,8 @@ fn main() {
                                 "scaling".to_owned(),
                                 Json::Num(p.scenarios_per_sec / base_sps),
                             ),
+                            ("busy_frac".to_owned(), Json::Num(p.busy_frac)),
+                            ("utilization".to_owned(), Json::Num(p.utilization)),
                         ])
                     })
                     .collect(),

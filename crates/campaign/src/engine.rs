@@ -14,9 +14,10 @@
 //! merged output is byte-identical for any worker count, chunk size or
 //! completion interleaving.
 
-use crate::manifest::{Manifest, ManifestEntry};
+use crate::manifest::{Manifest, ManifestEntry, RunRecord, WorkerRecord};
 use crate::matrix::{Matrix, ScenarioPoint};
 use crate::Json;
+use hierbus_obs::profiling::{PoolPhase, PoolProfile, Profiler};
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -75,6 +76,12 @@ pub struct CampaignOptions {
     /// Work-claiming policy; [`ClaimStrategy::Chunked`] unless a
     /// benchmark explicitly asks for the legacy comparator.
     pub claim: ClaimStrategy,
+    /// Record per-worker phase timelines and contention counters into
+    /// [`CampaignReport::profile`]. Off by default: a disabled profiler
+    /// reduces every probe to one branch (no clock reads, no
+    /// allocation), and profiling never changes the merged results or
+    /// the manifest's scenario entries either way.
+    pub profile: bool,
 }
 
 impl CampaignOptions {
@@ -87,6 +94,7 @@ impl CampaignOptions {
             manifest_path: None,
             limit: None,
             claim: ClaimStrategy::default(),
+            profile: false,
         }
     }
 
@@ -101,7 +109,8 @@ impl CampaignOptions {
 
 /// Per-worker execution diagnostics. Claim counts and busy time depend
 /// on scheduling, so these describe *this run* — they are surfaced in
-/// run reports (stderr) and never enter the manifest or the merged
+/// run reports and in the manifest's optional `last_run` diagnostics
+/// section, and never enter the scenario entries or the merged
 /// results, which stay byte-identical at any worker count.
 #[derive(Debug, Clone, Default)]
 pub struct WorkerStats {
@@ -111,6 +120,9 @@ pub struct WorkerStats {
     pub completed: u64,
     /// Time spent executing scenarios (measured per claimed chunk).
     pub busy: Duration,
+    /// Failed compare-exchange attempts while claiming from the shared
+    /// cursor — the raw claim-contention signal.
+    pub claim_retries: u64,
 }
 
 impl WorkerStats {
@@ -127,8 +139,9 @@ impl WorkerStats {
     }
 }
 
-/// What a campaign run did (wall-clock lives here, never in the
-/// manifest or the merged results).
+/// What a campaign run did (wall-clock lives here and in the
+/// manifest's `last_run` diagnostics section, never in the scenario
+/// entries or the merged results).
 #[derive(Debug, Clone)]
 pub struct CampaignStats {
     /// Scenarios in the matrix.
@@ -171,6 +184,10 @@ pub struct CampaignReport<R> {
     pub results: Vec<Option<R>>,
     /// Execution statistics.
     pub stats: CampaignStats,
+    /// Per-worker phase timelines and contention counters; `Some` iff
+    /// [`CampaignOptions::profile`] was set. Wall-clock based, so it is
+    /// diagnostics only — never merged into `results`.
+    pub profile: Option<PoolProfile>,
 }
 
 impl<R> CampaignReport<R> {
@@ -276,44 +293,65 @@ where
     let workers = opts.workers.max(1).min(todo.len().max(1));
     let chunk = opts.claim.chunk_size(todo.len(), workers);
 
+    let profiler = Profiler::new(opts.profile);
     let started = Instant::now();
     let cursor = AtomicUsize::new(0);
     // Per-worker result buffers: no shared lock between claim points.
     // Each worker builds its state once and reuses it chunk after chunk.
     let mut executed_results: Vec<(usize, R)> = Vec::with_capacity(todo.len());
     let mut per_worker: Vec<WorkerStats> = Vec::with_capacity(workers);
+    let mut timelines = Vec::with_capacity(workers);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
+            .map(|worker| {
+                let (cursor, todo, points) = (&cursor, &todo[..], &points[..]);
+                let (make_state, runner) = (&make_state, &runner);
+                scope.spawn(move || {
+                    // The profile recorder lives on the worker's own
+                    // thread so the thread-local contention baselines
+                    // (allocations, db accesses) are this thread's.
+                    let mut wp = profiler.worker(worker);
+                    let t = wp.now_ns();
                     let mut state = make_state();
+                    wp.record(PoolPhase::DbAccess, t, 0);
                     let mut mine: Vec<(usize, R)> = Vec::new();
                     let mut wstats = WorkerStats::default();
                     loop {
-                        let lo = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        let t_claim = wp.now_ns();
+                        let (lo, retries) = claim_chunk(cursor, chunk, todo.len());
+                        wstats.claim_retries += retries;
+                        wp.add_claim_retries(retries);
                         if lo >= todo.len() {
                             break;
                         }
                         let hi = (lo + chunk).min(todo.len());
+                        wp.record(PoolPhase::Claim, t_claim, (hi - lo) as u64);
                         wstats.claimed += (hi - lo) as u64;
                         mine.reserve(hi - lo);
                         let chunk_started = Instant::now();
+                        let t_chunk = wp.now_ns();
                         for &index in &todo[lo..hi] {
+                            let t = wp.now_ns();
                             let result = runner(&mut state, &points[index]);
+                            wp.record(PoolPhase::Simulate, t, index as u64);
+                            let t = wp.now_ns();
                             mine.push((index, result));
+                            wp.record(PoolPhase::Serialize, t, index as u64);
                             wstats.completed += 1;
                         }
                         wstats.busy += chunk_started.elapsed();
+                        wp.chunk_done(t_chunk);
                     }
-                    (mine, wstats)
+                    (mine, wstats, wp.finish())
                 })
             })
             .collect();
         for handle in handles {
             match handle.join() {
-                Ok((mine, wstats)) => {
+                Ok((mine, wstats, timeline)) => {
                     executed_results.extend(mine);
                     per_worker.push(wstats);
+                    timelines.push(timeline);
                 }
                 Err(payload) => std::panic::resume_unwind(payload),
             }
@@ -322,7 +360,9 @@ where
     let wall = started.elapsed();
 
     // Deterministic merge: completion interleaving is erased by
-    // slotting each result back at its scenario index.
+    // slotting each result back at its scenario index. Timed (with the
+    // manifest checkpoint) as the profile's serial merge segment.
+    let merge_started = Instant::now();
     let executed = executed_results.len();
     for (index, result) in executed_results {
         results[index] = Some(result);
@@ -341,8 +381,28 @@ where
                 })
             })
             .collect();
+        manifest.last_run = Some(RunRecord {
+            workers,
+            wall_ns: wall.as_nanos() as u64,
+            per_worker: per_worker
+                .iter()
+                .map(|w| WorkerRecord {
+                    claimed: w.claimed,
+                    completed: w.completed,
+                    busy_ns: w.busy.as_nanos() as u64,
+                    utilization: w.utilization(wall),
+                    claim_retries: w.claim_retries,
+                })
+                .collect(),
+        });
         manifest.save(path, matrix)?;
     }
+
+    let profile = profiler.assemble(
+        timelines,
+        wall.as_nanos() as u64,
+        merge_started.elapsed().as_nanos() as u64,
+    );
 
     let pending = results.iter().filter(|r| r.is_none()).count();
     Ok(CampaignReport {
@@ -357,7 +417,32 @@ where
             wall,
             per_worker,
         },
+        profile,
     })
+}
+
+/// Claims `[lo, lo+chunk)` (clamped to `len`) from the shared cursor
+/// with a bounded compare-exchange loop, returning the claimed `lo`
+/// (`len` when the work list is exhausted) and the number of failed
+/// exchange attempts — the per-claim contention sample the profiler
+/// aggregates. Unlike a blind `fetch_add`, the cursor never runs past
+/// `len`.
+fn claim_chunk(cursor: &AtomicUsize, chunk: usize, len: usize) -> (usize, u64) {
+    let mut retries = 0u64;
+    let mut lo = cursor.load(Ordering::Relaxed);
+    loop {
+        if lo >= len {
+            return (len, retries);
+        }
+        let hi = (lo + chunk).min(len);
+        match cursor.compare_exchange_weak(lo, hi, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return (lo, retries),
+            Err(current) => {
+                retries += 1;
+                lo = current;
+            }
+        }
+    }
 }
 
 /// One worker-count measurement of [`measure_scaling`].
@@ -366,6 +451,37 @@ pub struct ScalingPoint {
     pub workers: usize,
     pub wall: Duration,
     pub scenarios_per_sec: f64,
+    /// Fraction of the pool's worker-seconds (`workers × wall`) spent
+    /// executing scenarios — 1.0 means no worker ever waited.
+    pub busy_frac: f64,
+    /// The *least*-utilized worker's busy/wall fraction — the straggler
+    /// signal (1.0 = even the worst worker never waited).
+    pub utilization: f64,
+    /// The best run's pool profile; `Some` iff measured through
+    /// [`measure_scaling_profiled`].
+    pub profile: Option<PoolProfile>,
+}
+
+impl ScalingPoint {
+    fn from_report<R>(workers: usize, report: CampaignReport<R>) -> Self {
+        let stats = &report.stats;
+        let wall_s = stats.wall.as_secs_f64();
+        let busy: f64 = stats.per_worker.iter().map(|w| w.busy.as_secs_f64()).sum();
+        let cap = wall_s * stats.per_worker.len().max(1) as f64;
+        ScalingPoint {
+            workers,
+            wall: stats.wall,
+            scenarios_per_sec: stats.scenarios_per_sec(),
+            busy_frac: if cap > 0.0 { busy / cap } else { 0.0 },
+            utilization: stats
+                .per_worker
+                .iter()
+                .map(|w| w.utilization(stats.wall))
+                .fold(f64::INFINITY, f64::min)
+                .clamp(0.0, 1.0),
+            profile: report.profile,
+        }
+    }
 }
 
 /// How many fresh runs each worker-count measurement takes; the
@@ -420,22 +536,55 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, &ScenarioPoint) -> R + Sync,
 {
+    measure_scaling_profiled(
+        matrix,
+        name,
+        worker_counts,
+        claim,
+        false,
+        make_state,
+        runner,
+    )
+}
+
+/// [`measure_scaling_with`] with the pool profiler optionally enabled:
+/// each [`ScalingPoint`] then carries the *best* rep's
+/// [`PoolProfile`], ready for [`scaling_audit`] — so the audit
+/// decomposes the same run the throughput number came from, not an
+/// average of noisy reps.
+///
+/// [`scaling_audit`]: hierbus_obs::profiling::scaling_audit
+///
+/// # Panics
+///
+/// Propagates runner panics, like [`run`].
+pub fn measure_scaling_profiled<S, R, F, I>(
+    matrix: &Matrix,
+    name: &str,
+    worker_counts: &[usize],
+    claim: ClaimStrategy,
+    profile: bool,
+    make_state: I,
+    runner: F,
+) -> Vec<ScalingPoint>
+where
+    R: CampaignPayload + Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &ScenarioPoint) -> R + Sync,
+{
     worker_counts
         .iter()
         .map(|&workers| {
             let opts = CampaignOptions {
                 claim,
+                profile,
                 ..CampaignOptions::with_workers(name, workers)
             };
             let mut best: Option<ScalingPoint> = None;
             for _ in 0..SCALING_REPS.max(1) {
                 let report = run_with::<S, R, _, _>(matrix, &opts, &make_state, &runner)
                     .expect("manifest-less campaign cannot fail on I/O");
-                let point = ScalingPoint {
-                    workers,
-                    wall: report.stats.wall,
-                    scenarios_per_sec: report.stats.scenarios_per_sec(),
-                };
+                let point = ScalingPoint::from_report(workers, report);
                 if best.as_ref().is_none_or(|b| point.wall < b.wall) {
                     best = Some(point);
                 }
@@ -490,6 +639,14 @@ mod tests {
             .completed()
             .map(|(p, r)| format!("{} {:?}\n", p.key, r))
             .collect()
+    }
+
+    /// Manifest bytes with the wall-clock `last_run` diagnostics
+    /// stripped — the determinism-comparison form.
+    fn manifest_sans_run(path: &std::path::Path) -> String {
+        let mut doc = Json::parse(&std::fs::read_to_string(path).unwrap()).unwrap();
+        doc.remove("last_run");
+        doc.to_string_pretty()
     }
 
     #[test]
@@ -564,10 +721,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(render(&resumed), render(&fresh));
-        assert_eq!(
-            std::fs::read_to_string(&path).unwrap(),
-            std::fs::read_to_string(&fresh_path).unwrap()
-        );
+        assert_eq!(manifest_sans_run(&path), manifest_sans_run(&fresh_path));
 
         // A third run resumes everything and executes nothing.
         let idle = run(&m, &opts(None), toy_runner).unwrap();
@@ -674,6 +828,103 @@ mod tests {
         let claimed: u64 = idle.stats.per_worker.iter().map(|w| w.claimed).sum();
         assert_eq!(claimed, 0);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn claim_chunk_bounds_the_cursor_and_counts_retries() {
+        let cursor = AtomicUsize::new(0);
+        let (lo, r) = claim_chunk(&cursor, 4, 10);
+        assert_eq!((lo, r), (0, 0));
+        let (lo, _) = claim_chunk(&cursor, 4, 10);
+        assert_eq!(lo, 4);
+        // The final chunk clamps to len; the cursor never passes it.
+        let (lo, _) = claim_chunk(&cursor, 4, 10);
+        assert_eq!(lo, 8);
+        assert_eq!(cursor.load(Ordering::Relaxed), 10);
+        let (lo, _) = claim_chunk(&cursor, 4, 10);
+        assert_eq!(lo, 10, "exhausted list claims nothing");
+        assert_eq!(cursor.load(Ordering::Relaxed), 10);
+        // Contended claiming stays exact: every index claimed once.
+        let cursor = AtomicUsize::new(0);
+        let claimed = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| loop {
+                    let (lo, _) = claim_chunk(&cursor, 3, 100);
+                    if lo >= 100 {
+                        break;
+                    }
+                    let hi = (lo + 3).min(100);
+                    claimed.fetch_add(hi - lo, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(claimed.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn profile_is_present_iff_requested_and_never_changes_results() {
+        let m = matrix();
+        let base = run(&m, &CampaignOptions::sequential("toy"), toy_runner).unwrap();
+        assert!(base.profile.is_none(), "profiling is off by default");
+        for workers in [1, 3] {
+            let report = run(
+                &m,
+                &CampaignOptions {
+                    profile: true,
+                    ..CampaignOptions::with_workers("toy", workers)
+                },
+                toy_runner,
+            )
+            .unwrap();
+            assert_eq!(render(&report), render(&base), "{workers} workers");
+            let profile = report.profile.expect("profiling was requested");
+            assert_eq!(profile.workers.len(), report.stats.workers);
+            assert!(profile.wall_ns > 0);
+            // Every executed scenario produced a simulate and a
+            // serialize record.
+            let simulated: usize = profile
+                .workers
+                .iter()
+                .map(|w| {
+                    w.records
+                        .iter()
+                        .filter(|r| r.phase == PoolPhase::Simulate)
+                        .count()
+                })
+                .sum();
+            assert_eq!(simulated, report.stats.executed);
+            // Worker stats and profile agree on claim retries.
+            let stats_retries: u64 = report
+                .stats
+                .per_worker
+                .iter()
+                .map(|w| w.claim_retries)
+                .sum();
+            assert_eq!(profile.claim_retries(), stats_retries);
+        }
+    }
+
+    #[test]
+    fn profiled_scaling_points_carry_profiles_and_fractions() {
+        let points = measure_scaling_profiled::<(), Cell, _, _>(
+            &matrix(),
+            "toy",
+            &[1, 2],
+            ClaimStrategy::Chunked,
+            true,
+            || (),
+            |(), p| toy_runner(p),
+        );
+        for p in &points {
+            let profile = p.profile.as_ref().expect("profiled measurement");
+            assert_eq!(profile.workers.len(), p.workers.min(12));
+            assert!((0.0..=1.0).contains(&p.busy_frac), "{}", p.busy_frac);
+            assert!((0.0..=1.0).contains(&p.utilization), "{}", p.utilization);
+        }
+        // The unprofiled path stays profile-free.
+        let plain = measure_scaling::<Cell, _>(&matrix(), "toy", &[1], toy_runner);
+        assert!(plain[0].profile.is_none());
     }
 
     #[test]

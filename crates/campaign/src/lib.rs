@@ -18,12 +18,19 @@
 //! * [`measure_scaling`] — the throughput trajectory (scenarios/s per
 //!   worker count) behind the campaign rows of `BENCH_throughput.json`.
 //!
-//! Like the rest of the workspace the crate is dependency-free; the
-//! [`json`] module carries the manifest and trajectory formats.
+//! The [`json`] module carries the manifest and trajectory formats
+//! (the workspace is offline — no serde); the only dependency is the
+//! workspace's own `hierbus-obs`, whose
+//! [`profiling`](hierbus_obs::profiling) module backs the engine's
+//! opt-in self-profiler ([`CampaignOptions::profile`]).
 //!
 //! Determinism contract: the engine adds no nondeterminism of its own
-//! (no wall clock in any merged artifact, no iteration-order
-//! dependence). A campaign is exactly as deterministic as its runner.
+//! to merged artifacts (no wall clock in merged results or the
+//! manifest's scenario entries, no iteration-order dependence). A
+//! campaign is exactly as deterministic as its runner; wall-clock
+//! diagnostics live only in [`CampaignStats`], the opt-in
+//! [`CampaignReport::profile`], and the manifest's strippable
+//! `last_run` section.
 
 pub mod engine;
 pub mod json;
@@ -31,11 +38,12 @@ pub mod manifest;
 pub mod matrix;
 
 pub use engine::{
-    measure_scaling, measure_scaling_with, run, run_with, CampaignOptions, CampaignPayload,
-    CampaignReport, CampaignStats, ClaimStrategy, ScalingPoint, WorkerStats, SCALING_REPS,
+    measure_scaling, measure_scaling_profiled, measure_scaling_with, run, run_with,
+    CampaignOptions, CampaignPayload, CampaignReport, CampaignStats, ClaimStrategy, ScalingPoint,
+    WorkerStats, SCALING_REPS,
 };
 pub use json::Json;
-pub use manifest::{Manifest, ManifestEntry, MANIFEST_VERSION};
+pub use manifest::{Manifest, ManifestEntry, RunRecord, WorkerRecord, MANIFEST_VERSION};
 pub use matrix::{Axis, Matrix, ScenarioPoint};
 
 /// Resolves the worker count for experiment binaries: an explicit

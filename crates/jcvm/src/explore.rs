@@ -118,6 +118,9 @@ pub struct ExploreSession {
 impl ExploreSession {
     /// Builds a session over a characterization database.
     pub fn new(db: &CharacterizationDb) -> Self {
+        // Cloning the shared characterization DB is the campaign pool's
+        // per-worker DB touch; the profiler counts it per thread.
+        hierbus_obs::profiling::record_db_access();
         let mut model = Layer1EnergyModel::new(db.clone());
         // Per-cycle trace feeds the row's attribution ledger; reset()
         // keeps the allocation across design points.

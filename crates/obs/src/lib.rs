@@ -18,15 +18,21 @@
 //!   along `layer → slave → phase → access class` (folded-stack, JSON
 //!   and Perfetto-counter exports), and [`DivergenceAuditor`] pinpoints
 //!   the first bucket/cycle where two layers disagree.
+//! * [`profiling`] — the one deliberately wall-clock-based module: the
+//!   campaign pool's self-profiler ([`Profiler`] / [`PoolProfile`])
+//!   with per-worker phase timelines, contention counters, and the
+//!   [`scaling_audit`] efficiency-loss decomposition.
 //!
-//! Everything is deterministic (no wall clock, no randomness, stable
-//! ordering), so exports can be golden-file tested, and everything is
-//! cheap when off: disabled registries and collectors reduce every
-//! probe to one branch on an `enabled` flag with no allocation.
+//! Everything except [`profiling`] is deterministic (no wall clock, no
+//! randomness, stable ordering), so exports can be golden-file tested,
+//! and everything is cheap when off: disabled registries, collectors
+//! and profilers reduce every probe to one branch on an `enabled` flag
+//! with no allocation.
 
 pub mod attribution;
 pub mod metrics;
 pub mod perfetto;
+pub mod profiling;
 pub mod span;
 
 pub use attribution::{
@@ -34,6 +40,10 @@ pub use attribution::{
     SlaveMap, TraceDivergence,
 };
 pub use metrics::{CounterId, GaugeId, Histogram, HistogramId, MetricsRegistry, MetricsSnapshot};
+pub use profiling::{
+    scaling_audit, AuditInput, AuditPoint, PoolPhase, PoolProfile, Profiler, ScalingAudit,
+    WorkerProfile, WorkerTimeline,
+};
 pub use span::{AccessClass, CounterTrack, Phase, SpanEvent, TraceCollector};
 
 /// Writes a CSV metrics dump to `path`, creating parent directories.

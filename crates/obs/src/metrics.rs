@@ -73,6 +73,45 @@ impl Histogram {
         self.bounds.partition_point(|&b| b < v)
     }
 
+    /// The `q`-quantile (`0 < q <= 1`) estimated from the buckets, or
+    /// `None` on an empty histogram.
+    ///
+    /// Walks the cumulative counts to the bucket containing the
+    /// rank-`ceil(q·count)` sample and reports that bucket's inclusive
+    /// upper bound (the tracked `max` for the overflow bucket), clamped
+    /// to the observed `[min, max]` — so the estimate is exact for
+    /// point masses on bucket edges and at worst one bucket wide.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let edge = self.bounds.get(i).copied().unwrap_or(self.max);
+                return Some(edge.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median estimate (see [`percentile`](Self::percentile)).
+    pub fn p50(&self) -> Option<u64> {
+        self.percentile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> Option<u64> {
+        self.percentile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> Option<u64> {
+        self.percentile(0.99)
+    }
+
     fn diff(&self, earlier: &Histogram) -> Histogram {
         Histogram {
             name: self.name.clone(),
@@ -373,6 +412,87 @@ mod tests {
     #[should_panic(expected = "strictly ascending")]
     fn unsorted_bounds_rejected() {
         MetricsRegistry::new().histogram("bad", &[4, 2]);
+    }
+
+    #[test]
+    fn percentiles_match_a_known_uniform_distribution() {
+        let mut m = MetricsRegistry::new();
+        let h = m.histogram("lat", &[10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+        // 1..=100 uniformly: p50 lands in the le_50 bucket, p90 in
+        // le_90, p99 in le_100.
+        for v in 1..=100 {
+            m.observe(h, v);
+        }
+        let d = m.histogram_data(h);
+        assert_eq!(d.p50(), Some(50));
+        assert_eq!(d.p90(), Some(90));
+        assert_eq!(d.p99(), Some(100));
+        assert_eq!(d.percentile(0.01), Some(10));
+        assert_eq!(d.percentile(1.0), Some(100));
+    }
+
+    #[test]
+    fn percentiles_of_a_point_mass_are_the_point() {
+        let mut m = MetricsRegistry::new();
+        let h = m.histogram("lat", &[10, 100, 1000]);
+        for _ in 0..37 {
+            m.observe(h, 64);
+        }
+        let d = m.histogram_data(h);
+        // Every quantile sits in the le_100 bucket, clamped to the
+        // observed max of 64.
+        assert_eq!(d.p50(), Some(64));
+        assert_eq!(d.p90(), Some(64));
+        assert_eq!(d.p99(), Some(64));
+    }
+
+    #[test]
+    fn percentile_uses_tracked_max_for_the_overflow_bucket() {
+        let mut m = MetricsRegistry::new();
+        let h = m.histogram("lat", &[10]);
+        m.observe(h, 5);
+        m.observe(h, 5000);
+        m.observe(h, 7000);
+        let d = m.histogram_data(h);
+        assert_eq!(d.p99(), Some(7000));
+        // p50 is rank 2 of 3: the overflow bucket, reported as max.
+        assert_eq!(d.p50(), Some(7000));
+        // p33 is rank 1: the le_10 bucket, clamped up to min=5.
+        assert_eq!(d.percentile(0.33), Some(10));
+    }
+
+    #[test]
+    fn percentile_of_empty_or_invalid_q_is_none() {
+        let mut m = MetricsRegistry::new();
+        let h = m.histogram("lat", &[10]);
+        assert_eq!(m.histogram_data(h).p50(), None);
+        m.observe(h, 1);
+        assert_eq!(m.histogram_data(h).percentile(1.5), None);
+        assert_eq!(m.histogram_data(h).percentile(-0.1), None);
+    }
+
+    #[test]
+    fn skewed_distribution_percentiles_are_ordered() {
+        let mut m = MetricsRegistry::new();
+        let h = m.histogram("lat", &[1, 2, 4, 8, 16, 32, 64, 128]);
+        // 90 fast samples, 9 medium, 1 slow tail.
+        for _ in 0..90 {
+            m.observe(h, 1);
+        }
+        for _ in 0..9 {
+            m.observe(h, 20);
+        }
+        m.observe(h, 100);
+        let d = m.histogram_data(h);
+        assert_eq!(d.p50(), Some(1));
+        assert_eq!(d.p90(), Some(1));
+        assert_eq!(d.percentile(0.95), Some(32));
+        assert_eq!(d.p99(), Some(32));
+        // The 100th percentile hits the le_128 bucket but clamps to the
+        // observed max.
+        assert_eq!(d.percentile(1.0), Some(100));
+        let (p50, p90, p99) = (d.p50().unwrap(), d.p90().unwrap(), d.p99().unwrap());
+        assert!(p50 <= p90 && p90 <= p99);
     }
 
     #[test]

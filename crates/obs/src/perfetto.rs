@@ -36,65 +36,128 @@ fn phase_tid(phase: Phase) -> u32 {
     }
 }
 
+/// Incremental builder for a trace-event JSON document: the envelope
+/// and per-event formatting used by [`export`], reusable by other
+/// producers (the campaign pool profiler builds its multi-track worker
+/// timelines with it). Events render in push order; [`finish`]
+/// produces the same envelope bytes `export` always emitted.
+///
+/// [`finish`]: TraceEvents::finish
+#[derive(Debug, Default)]
+pub struct TraceEvents {
+    events: Vec<String>,
+}
+
+impl TraceEvents {
+    pub fn new() -> Self {
+        TraceEvents::default()
+    }
+
+    /// `process_name` metadata: names the `pid` track group.
+    pub fn meta_process(&mut self, pid: u32, name: &str) {
+        self.events.push(format!(
+            r#"{{"ph":"M","pid":{pid},"name":"process_name","args":{{"name":"{}"}}}}"#,
+            escape(name)
+        ));
+    }
+
+    /// `thread_name` metadata: names one track inside a process.
+    pub fn meta_thread(&mut self, pid: u32, tid: u32, name: &str) {
+        self.events.push(format!(
+            r#"{{"ph":"M","pid":{pid},"tid":{tid},"name":"thread_name","args":{{"name":"{}"}}}}"#,
+            escape(name)
+        ));
+    }
+
+    /// A `ph:"X"` complete event. `ts`/`dur` are pre-rendered numbers
+    /// (integer cycles or fractional microseconds) and `args` is a
+    /// pre-rendered JSON object.
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete(
+        &mut self,
+        pid: u32,
+        tid: u32,
+        name: &str,
+        cat: &str,
+        ts: &str,
+        dur: &str,
+        args: &str,
+    ) {
+        self.events.push(format!(
+            r#"{{"ph":"X","pid":{pid},"tid":{tid},"name":"{}","cat":"{cat}","ts":{ts},"dur":{dur},"args":{args}}}"#,
+            escape(name)
+        ));
+    }
+
+    /// A `ph:"C"` counter sample.
+    pub fn counter(&mut self, pid: u32, name: &str, ts: u64, value: f64) {
+        let name = escape(name);
+        self.events.push(format!(
+            r#"{{"ph":"C","pid":{pid},"name":"{name}","ts":{ts},"args":{{"{name}":{value}}}}}"#
+        ));
+    }
+
+    /// Number of events pushed so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Wraps the pushed events in the trace-event envelope.
+    pub fn finish(self) -> String {
+        let mut out = String::from("{\"traceEvents\":[\n");
+        for (i, e) in self.events.iter().enumerate() {
+            out.push_str(e);
+            if i + 1 < self.events.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+}
+
 /// Renders one or more per-layer collectors as a single trace-event
 /// JSON document. Accepts owned or borrowed collector slices.
 pub fn export<C: std::borrow::Borrow<TraceCollector>>(collectors: &[C]) -> String {
-    let mut events: Vec<String> = Vec::new();
+    let mut tb = TraceEvents::new();
     for (i, c) in collectors.iter().enumerate() {
         let c = c.borrow();
-        let pid = i + 1;
-        events.push(format!(
-            r#"{{"ph":"M","pid":{pid},"name":"process_name","args":{{"name":"{}"}}}}"#,
-            escape(c.layer())
-        ));
+        let pid = i as u32 + 1;
+        tb.meta_process(pid, c.layer());
         for phase in Phase::ALL {
-            events.push(format!(
-                r#"{{"ph":"M","pid":{pid},"tid":{},"name":"thread_name","args":{{"name":"{}"}}}}"#,
-                phase_tid(phase),
-                phase.name()
-            ));
+            tb.meta_thread(pid, phase_tid(phase), phase.name());
         }
         for s in c.spans() {
-            events.push(format!(
-                concat!(
-                    r#"{{"ph":"X","pid":{pid},"tid":{tid},"name":"{name}","cat":"bus","#,
-                    r#""ts":{ts},"dur":{dur},"#,
-                    r#""args":{{"trace_id":{id},"addr":"0x{addr:x}","error":{err}}}}}"#
+            tb.complete(
+                pid,
+                phase_tid(s.phase),
+                &format!("{} {} #{}", s.class.name(), s.phase.name(), s.trace_id),
+                "bus",
+                &s.begin.to_string(),
+                &s.duration().to_string(),
+                &format!(
+                    r#"{{"trace_id":{},"addr":"0x{:x}","error":{}}}"#,
+                    s.trace_id, s.addr, s.error
                 ),
-                pid = pid,
-                tid = phase_tid(s.phase),
-                name = format_args!("{} {} #{}", s.class.name(), s.phase.name(), s.trace_id),
-                ts = s.begin,
-                dur = s.duration(),
-                id = s.trace_id,
-                addr = s.addr,
-                err = s.error,
-            ));
+            );
         }
         for t in c.counters() {
-            let name = escape(&t.name);
             // Stored samples, then the dedup-dropped end of a trailing
             // plateau (if any) so the counter holds its final value for
             // the full run instead of stopping at the plateau's first
             // cycle.
             let trailing = t.trailing_sample();
             for &(cycle, value) in t.samples.iter().chain(trailing.iter()) {
-                events.push(format!(
-                    r#"{{"ph":"C","pid":{pid},"name":"{name}","ts":{cycle},"args":{{"{name}":{value}}}}}"#,
-                ));
+                tb.counter(pid, &t.name, cycle, value);
             }
         }
     }
-    let mut out = String::from("{\"traceEvents\":[\n");
-    for (i, e) in events.iter().enumerate() {
-        out.push_str(e);
-        if i + 1 < events.len() {
-            out.push(',');
-        }
-        out.push('\n');
-    }
-    out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
-    out
+    tb.finish()
 }
 
 /// Writes [`export`]ed JSON to `path`, creating parent directories.
@@ -178,6 +241,61 @@ mod tests {
         c2.counter_sample("e", 5, 2.0);
         let json2 = export(&[&c2]);
         assert_eq!(json2.matches(r#""ts":5"#).count(), 1);
+    }
+
+    #[test]
+    fn trace_events_builder_matches_export_formatting() {
+        // The builder is the formatting authority behind export(); a
+        // hand-driven builder replay of a collector must be
+        // byte-identical to export() so golden traces never drift.
+        let c = sample_collector();
+        let mut tb = TraceEvents::new();
+        tb.meta_process(1, c.layer());
+        for phase in Phase::ALL {
+            tb.meta_thread(1, phase_tid(phase), phase.name());
+        }
+        for s in c.spans() {
+            tb.complete(
+                1,
+                phase_tid(s.phase),
+                &format!("{} {} #{}", s.class.name(), s.phase.name(), s.trace_id),
+                "bus",
+                &s.begin.to_string(),
+                &s.duration().to_string(),
+                &format!(
+                    r#"{{"trace_id":{},"addr":"0x{:x}","error":{}}}"#,
+                    s.trace_id, s.addr, s.error
+                ),
+            );
+        }
+        for t in c.counters() {
+            let trailing = t.trailing_sample();
+            for &(cycle, value) in t.samples.iter().chain(trailing.iter()) {
+                tb.counter(1, &t.name, cycle, value);
+            }
+        }
+        assert_eq!(tb.finish(), export(&[&c]));
+    }
+
+    #[test]
+    fn trace_events_builder_escapes_names() {
+        let mut tb = TraceEvents::new();
+        tb.meta_process(1, "a\"b");
+        tb.complete(1, 1, "x\ny", "cat", "0", "1", "{}");
+        assert_eq!(tb.len(), 2);
+        let json = tb.finish();
+        assert!(json.contains(r#""name":"a\"b""#));
+        assert!(json.contains(r#""name":"x\ny""#));
+    }
+
+    #[test]
+    fn empty_builder_still_emits_the_envelope() {
+        let tb = TraceEvents::new();
+        assert!(tb.is_empty());
+        assert_eq!(
+            tb.finish(),
+            "{\"traceEvents\":[\n],\"displayTimeUnit\":\"ms\"}\n"
+        );
     }
 
     #[test]

@@ -152,6 +152,7 @@ pub struct Layer1Session {
 impl Layer1Session {
     /// Builds a session over a characterization database.
     pub fn new(db: &CharacterizationDb) -> Self {
+        hierbus_obs::profiling::record_db_access();
         let mut model = Layer1EnergyModel::new(db.clone());
         model.enable_trace();
         Layer1Session { model }
@@ -202,6 +203,7 @@ pub struct Layer1LeanSession {
 impl Layer1LeanSession {
     /// Builds a lean session over a characterization database.
     pub fn new(db: &CharacterizationDb) -> Self {
+        hierbus_obs::profiling::record_db_access();
         Layer1LeanSession {
             model: Layer1EnergyModel::new(db.clone()),
         }
