@@ -25,6 +25,23 @@ echo "==> bench smoke (hot-path differential + scaling regression, release)"
 # not lose throughput (the test skips itself on single-CPU runners).
 cargo test --release -q --test energy_hotpath_diff --test campaign_scaling_regression -- --nocapture
 
+echo "==> serve daemon smoke (cold run, cached replay, drain)"
+# Pipe a tiny session into the daemon binary: the first run must
+# simulate, the identical resubmission must replay from cache, and EOF
+# must drain the session cleanly. A second invocation checks that a
+# shutdown request is acknowledged with a bye event.
+serve_out="$(printf '%s\n' \
+  '{"v":1,"id":"a","op":"run","scenarios":[{"kind":"mix","seed":7,"count":50}]}' \
+  '{"v":1,"id":"b","op":"run","scenarios":[{"kind":"mix","seed":7,"count":50}]}' \
+  | ./target/release/hierbus-serve --workers 2 2>/dev/null)"
+echo "$serve_out" | grep -q '"req":"a".*"cached":false' \
+  || { echo "serve smoke: first run was not simulated" >&2; exit 1; }
+echo "$serve_out" | grep -q '"req":"b".*"cached":true' \
+  || { echo "serve smoke: resubmission was not served from cache" >&2; exit 1; }
+printf '%s\n' '{"v":1,"id":"q","op":"shutdown"}' \
+  | ./target/release/hierbus-serve 2>/dev/null | grep -q '"event":"bye"' \
+  || { echo "serve smoke: shutdown was not acknowledged" >&2; exit 1; }
+
 echo "==> throughput JSON schema gate"
 # BENCH_throughput.json must parse and carry the speedup/scaling fields
 # the regression tracking depends on.

@@ -218,6 +218,7 @@ fn main() {
                             ("scaling".to_owned(), Json::Num(p.scenarios_per_sec / base)),
                             ("busy_frac".to_owned(), Json::Num(p.busy_frac)),
                             ("utilization".to_owned(), Json::Num(p.utilization)),
+                            ("idle_workers".to_owned(), Json::Num(p.idle_workers as f64)),
                         ])
                     })
                     .collect(),

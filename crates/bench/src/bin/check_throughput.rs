@@ -12,8 +12,11 @@
 //! hot-path old-vs-new pair. Worker entries may additionally carry the
 //! profiler-derived `busy_frac` and `utilization` fractions; files
 //! written before the profiler existed omit them, so they are optional —
-//! but when present they must be numeric and in `[0, 1]`. Exits non-zero
-//! with a description of the first violation.
+//! but when present they must be numeric and in `[0, 1]`. The `serve`
+//! section (written by `serve_bench`) must list per-worker cold/warm
+//! request latencies with the warm one strictly below the cold one —
+//! the daemon's result cache earning its keep. Exits non-zero with a
+//! description of the first violation.
 //!
 //! Run with `cargo run --release -p hierbus-bench --bin check_throughput`.
 
@@ -43,6 +46,15 @@ const WORKER_FIELDS: &[&str] = &[
 /// compatibility with pre-profiler files, but unit-interval fractions
 /// whenever they appear.
 const OPTIONAL_FRACTION_FIELDS: &[&str] = &["busy_frac", "utilization"];
+
+/// Per-worker fields of the daemon's steady-state serving section.
+const SERVE_FIELDS: &[&str] = &[
+    "workers",
+    "cold_ms",
+    "warm_ms",
+    "warm_speedup",
+    "requests_per_s",
+];
 
 fn check(root: &Json) -> Result<(), String> {
     let layers = root
@@ -86,6 +98,51 @@ fn check(root: &Json) -> Result<(), String> {
                     }
                 }
             }
+            // Optional like the fractions (pre-daemon files omit it),
+            // but a whole worker count when present.
+            if let Some(value) = entry.get("idle_workers") {
+                value.as_u64().ok_or(format!(
+                    "{section}: workers[{i}] idle_workers must be a non-negative integer"
+                ))?;
+            }
+        }
+    }
+    check_serve(root)
+}
+
+/// The daemon's steady-state serving section: per-worker cold/warm
+/// request latency and sustained request throughput, written by
+/// `serve_bench`. Warm requests replay from the content-addressed
+/// cache, so a warm latency at or above the cold one means the cache
+/// stopped doing its job — gate on it.
+fn check_serve(root: &Json) -> Result<(), String> {
+    let serve = root
+        .get("serve")
+        .ok_or("missing section: serve".to_owned())?;
+    serve
+        .get("scenarios_per_request")
+        .and_then(Json::as_u64)
+        .ok_or("serve: missing scenarios_per_request")?;
+    let workers = serve
+        .get("workers")
+        .and_then(Json::as_arr)
+        .ok_or("serve: missing workers array".to_owned())?;
+    if workers.is_empty() {
+        return Err("serve: empty workers array".to_owned());
+    }
+    for (i, entry) in workers.iter().enumerate() {
+        for field in SERVE_FIELDS {
+            entry.get(field).and_then(Json::as_f64).ok_or(format!(
+                "serve: workers[{i}] missing or non-numeric field {field}"
+            ))?;
+        }
+        let cold = entry.get("cold_ms").unwrap().as_f64().unwrap();
+        let warm = entry.get("warm_ms").unwrap().as_f64().unwrap();
+        if warm >= cold {
+            return Err(format!(
+                "serve: workers[{i}] warm latency {warm} ms is not below cold {cold} ms \
+                 — the result cache is not paying off"
+            ));
         }
     }
     Ok(())

@@ -1,0 +1,148 @@
+//! Steady-state serving benchmark for the `hierbus-serve` daemon.
+//!
+//! Drives in-process protocol sessions against a [`Daemon`] at 1/2/4
+//! workers and measures, per worker count:
+//!
+//! - `cold_ms` — wall-clock of one `run` request whose scenarios all
+//!   miss the result cache (best of a few fresh seed blocks),
+//! - `warm_ms` — the same request resubmitted against the warm cache
+//!   (every scenario replays byte-identically, no worker touched),
+//! - `warm_speedup` — cold over warm,
+//! - `requests_per_s` — sustained throughput over a pipelined session
+//!   of distinct-seed (all-miss) requests.
+//!
+//! The numbers land in the `serve` section of `BENCH_throughput.json`,
+//! where `check_throughput` gates warm latency strictly below cold —
+//! the content-addressed cache visibly paying off.
+//!
+//! Run with `cargo run --release -p hierbus-bench --bin serve_bench`.
+
+use hierbus::harness;
+use hierbus::serve::{Daemon, DaemonOptions, ScenarioSpec};
+use hierbus_bench::{TextTable, THROUGHPUT_JSON};
+use hierbus_campaign::Json;
+use hierbus_ec::MixParams;
+use std::io::Cursor;
+use std::time::{Duration, Instant};
+
+/// Scenarios per `run` request.
+const SCENARIOS: u64 = 16;
+/// Operations per random-mix scenario.
+const OPS: u64 = 200;
+/// Fresh seed blocks tried for the cold measurement (best-of).
+const COLD_REPS: u64 = 3;
+/// Warm resubmissions (best-of).
+const WARM_REPS: usize = 5;
+/// Distinct-seed requests in the sustained-throughput session.
+const SUSTAINED_REQUESTS: u64 = 8;
+
+/// One protocol `run` line over `SCENARIOS` mixes seeded from `base`.
+fn run_line(id: &str, base: u64) -> String {
+    let specs: Vec<Json> = (0..SCENARIOS)
+        .map(|i| {
+            ScenarioSpec::Mix {
+                seed: base + i,
+                params: MixParams {
+                    count: OPS as usize,
+                    ..MixParams::default()
+                },
+                waits: None,
+            }
+            .to_json()
+        })
+        .collect();
+    Json::Obj(vec![
+        ("v".to_owned(), Json::Num(1.0)),
+        ("id".to_owned(), Json::Str(id.to_owned())),
+        ("op".to_owned(), Json::Str("run".to_owned())),
+        ("scenarios".to_owned(), Json::Arr(specs)),
+    ])
+    .to_string_compact()
+}
+
+/// Runs one session over in-memory buffers and returns its wall clock
+/// plus the cache hits it scored.
+fn timed_session(daemon: &Daemon, script: String) -> (Duration, u64) {
+    let mut sink = Vec::new();
+    let t0 = Instant::now();
+    let summary = daemon
+        .serve(Cursor::new(script), &mut sink)
+        .expect("in-memory session");
+    (t0.elapsed(), summary.cache_hits)
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn main() {
+    let db = harness::shared_db();
+    println!(
+        "Daemon serving latency ({SCENARIOS} x {OPS}-op mixes per request, db {})\n",
+        hierbus::serve::db_fingerprint(&db)
+    );
+
+    let mut table = TextTable::new(["workers", "cold ms", "warm ms", "speedup", "req/s"]);
+    let mut entries = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let daemon = Daemon::new(
+            db.clone(),
+            DaemonOptions {
+                workers,
+                ..DaemonOptions::default()
+            },
+        );
+        // Cold: fresh seed blocks, everything misses.
+        let mut cold = Duration::MAX;
+        for rep in 0..COLD_REPS {
+            let (wall, hits) = timed_session(&daemon, run_line("cold", rep * 1000));
+            assert_eq!(hits, 0, "cold request must not hit the cache");
+            cold = cold.min(wall);
+        }
+        // Warm: resubmit the last cold block; pure cache replay.
+        let mut warm = Duration::MAX;
+        for _ in 0..WARM_REPS {
+            let (wall, hits) = timed_session(&daemon, run_line("warm", (COLD_REPS - 1) * 1000));
+            assert_eq!(hits, SCENARIOS, "warm request must replay from cache");
+            warm = warm.min(wall);
+        }
+        // Sustained: one pipelined session of distinct-seed requests.
+        let script: Vec<String> = (0..SUSTAINED_REQUESTS)
+            .map(|r| run_line(&format!("s{r}"), 10_000 + r * 1000))
+            .collect();
+        let (wall, _) = timed_session(&daemon, script.join("\n"));
+        let req_per_s = SUSTAINED_REQUESTS as f64 / wall.as_secs_f64();
+
+        table.row([
+            workers.to_string(),
+            format!("{:.3}", ms(cold)),
+            format!("{:.3}", ms(warm)),
+            format!("{:.1}x", ms(cold) / ms(warm)),
+            format!("{req_per_s:.1}"),
+        ]);
+        entries.push(Json::Obj(vec![
+            ("workers".to_owned(), Json::Num(workers as f64)),
+            ("cold_ms".to_owned(), Json::Num(ms(cold))),
+            ("warm_ms".to_owned(), Json::Num(ms(warm))),
+            ("warm_speedup".to_owned(), Json::Num(ms(cold) / ms(warm))),
+            ("requests_per_s".to_owned(), Json::Num(req_per_s)),
+        ]));
+    }
+    println!("{}", table.render());
+
+    let fields = vec![
+        (
+            "scenarios_per_request".to_owned(),
+            Json::Num(SCENARIOS as f64),
+        ),
+        ("workers".to_owned(), Json::Arr(entries)),
+    ];
+    match hierbus_bench::write_throughput_section(
+        hierbus_bench::throughput_json_path(),
+        "serve",
+        fields,
+    ) {
+        Ok(()) => println!("serving latency appended to {THROUGHPUT_JSON}"),
+        Err(e) => eprintln!("warning: could not write {THROUGHPUT_JSON}: {e}"),
+    }
+}

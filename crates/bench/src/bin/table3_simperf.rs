@@ -276,6 +276,7 @@ fn main() {
                             ),
                             ("busy_frac".to_owned(), Json::Num(p.busy_frac)),
                             ("utilization".to_owned(), Json::Num(p.utilization)),
+                            ("idle_workers".to_owned(), Json::Num(p.idle_workers as f64)),
                         ])
                     })
                     .collect(),

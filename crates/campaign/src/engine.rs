@@ -266,6 +266,43 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, &ScenarioPoint) -> R + Sync,
 {
+    run_with_sink(matrix, opts, make_state, runner, |_, _| {})
+}
+
+/// Like [`run_with`], streaming each result to `sink` the moment its
+/// scenario completes — before the index-order merge, on the worker
+/// thread that produced it. This is the serve daemon's hook for
+/// pushing results to a client incrementally instead of waiting for
+/// the whole campaign.
+///
+/// The sink observes results in *completion* order, which depends on
+/// scheduling; anything that must be deterministic should come from
+/// the merged [`CampaignReport`], not the sink. The sink runs inside
+/// the worker's busy window, so a slow sink shows up as worker busy
+/// time. Resumed scenarios (adopted from a manifest) never reach the
+/// sink — only freshly executed ones do.
+///
+/// # Errors
+///
+/// I/O errors from manifest loading or saving, as for [`run`].
+///
+/// # Panics
+///
+/// A runner, `make_state`, or sink panic on any worker propagates
+/// after the other workers finish their current chunk.
+pub fn run_with_sink<S, R, F, I, K>(
+    matrix: &Matrix,
+    opts: &CampaignOptions,
+    make_state: I,
+    runner: F,
+    sink: K,
+) -> io::Result<CampaignReport<R>>
+where
+    R: CampaignPayload + Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &ScenarioPoint) -> R + Sync,
+    K: Fn(&ScenarioPoint, &R) + Sync,
+{
     let points = matrix.points();
     let total = points.len();
     let mut results: Vec<Option<R>> = (0..total).map(|_| None).collect();
@@ -305,7 +342,7 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|worker| {
                 let (cursor, todo, points) = (&cursor, &todo[..], &points[..]);
-                let (make_state, runner) = (&make_state, &runner);
+                let (make_state, runner, sink) = (&make_state, &runner, &sink);
                 scope.spawn(move || {
                     // The profile recorder lives on the worker's own
                     // thread so the thread-local contention baselines
@@ -335,6 +372,7 @@ where
                             let result = runner(&mut state, &points[index]);
                             wp.record(PoolPhase::Simulate, t, index as u64);
                             let t = wp.now_ns();
+                            sink(&points[index], &result);
                             mine.push((index, result));
                             wp.record(PoolPhase::Serialize, t, index as u64);
                             wstats.completed += 1;
@@ -454,9 +492,16 @@ pub struct ScalingPoint {
     /// Fraction of the pool's worker-seconds (`workers × wall`) spent
     /// executing scenarios — 1.0 means no worker ever waited.
     pub busy_frac: f64,
-    /// The *least*-utilized worker's busy/wall fraction — the straggler
-    /// signal (1.0 = even the worst worker never waited).
+    /// The least-utilized *active* worker's busy/wall fraction — the
+    /// straggler signal among workers that actually completed a
+    /// scenario (1.0 = even the worst active worker never waited).
+    /// Workers that claimed nothing — routine when the matrix is
+    /// smaller than `workers × chunk` — are counted in
+    /// [`idle_workers`](Self::idle_workers) instead of dragging this
+    /// to 0.
     pub utilization: f64,
+    /// Workers that completed no scenario at all during the best run.
+    pub idle_workers: usize,
     /// The best run's pool profile; `Some` iff measured through
     /// [`measure_scaling_profiled`].
     pub profile: Option<PoolProfile>,
@@ -468,17 +513,21 @@ impl ScalingPoint {
         let wall_s = stats.wall.as_secs_f64();
         let busy: f64 = stats.per_worker.iter().map(|w| w.busy.as_secs_f64()).sum();
         let cap = wall_s * stats.per_worker.len().max(1) as f64;
+        let active = || stats.per_worker.iter().filter(|w| w.completed >= 1);
         ScalingPoint {
             workers,
             wall: stats.wall,
             scenarios_per_sec: stats.scenarios_per_sec(),
             busy_frac: if cap > 0.0 { busy / cap } else { 0.0 },
-            utilization: stats
-                .per_worker
-                .iter()
-                .map(|w| w.utilization(stats.wall))
-                .fold(f64::INFINITY, f64::min)
-                .clamp(0.0, 1.0),
+            utilization: if active().count() == 0 {
+                0.0
+            } else {
+                active()
+                    .map(|w| w.utilization(stats.wall))
+                    .fold(f64::INFINITY, f64::min)
+                    .clamp(0.0, 1.0)
+            },
+            idle_workers: stats.per_worker.len() - active().count(),
             profile: report.profile,
         }
     }
@@ -925,6 +974,131 @@ mod tests {
         // The unprofiled path stays profile-free.
         let plain = measure_scaling::<Cell, _>(&matrix(), "toy", &[1], toy_runner);
         assert!(plain[0].profile.is_none());
+    }
+
+    #[test]
+    fn idle_workers_do_not_zero_the_utilization() {
+        // 16 scenarios, chunked claiming, 4 workers: chunk size is 1,
+        // so a fast worker can drain the list and leave a peer with no
+        // completions. Build the report shape directly: one worker
+        // claimed nothing.
+        let mk = |completed: u64, busy_ms: u64| WorkerStats {
+            claimed: completed,
+            completed,
+            busy: Duration::from_millis(busy_ms),
+            claim_retries: 0,
+        };
+        let report: CampaignReport<Cell> = CampaignReport {
+            points: Vec::new(),
+            results: Vec::new(),
+            stats: CampaignStats {
+                total: 16,
+                executed: 16,
+                resumed: 0,
+                pending: 0,
+                workers: 4,
+                wall: Duration::from_millis(100),
+                per_worker: vec![mk(6, 90), mk(5, 85), mk(5, 95), mk(0, 0)],
+            },
+            profile: None,
+        };
+        let point = ScalingPoint::from_report(4, report);
+        assert_eq!(point.idle_workers, 1);
+        assert!(
+            point.utilization >= 0.8,
+            "idle worker dragged utilization to {}",
+            point.utilization
+        );
+        // All workers active: no idle count, min over all of them.
+        let report: CampaignReport<Cell> = CampaignReport {
+            points: Vec::new(),
+            results: Vec::new(),
+            stats: CampaignStats {
+                total: 16,
+                executed: 16,
+                resumed: 0,
+                pending: 0,
+                workers: 2,
+                wall: Duration::from_millis(100),
+                per_worker: vec![mk(8, 90), mk(8, 50)],
+            },
+            profile: None,
+        };
+        let point = ScalingPoint::from_report(2, report);
+        assert_eq!(point.idle_workers, 0);
+        assert!((point.utilization - 0.5).abs() < 1e-9);
+        // Fully resumed run: everything idle, utilization reads 0.
+        let report: CampaignReport<Cell> = CampaignReport {
+            points: Vec::new(),
+            results: Vec::new(),
+            stats: CampaignStats {
+                total: 16,
+                executed: 0,
+                resumed: 16,
+                pending: 0,
+                workers: 2,
+                wall: Duration::from_millis(1),
+                per_worker: vec![mk(0, 0), mk(0, 0)],
+            },
+            profile: None,
+        };
+        let point = ScalingPoint::from_report(2, report);
+        assert_eq!(point.idle_workers, 2);
+        assert_eq!(point.utilization, 0.0);
+    }
+
+    #[test]
+    fn sink_observes_every_executed_scenario_without_changing_the_merge() {
+        use std::sync::Mutex;
+        let m = matrix();
+        let base = run(&m, &CampaignOptions::sequential("toy"), toy_runner).unwrap();
+        for workers in [1, 3] {
+            let seen = Mutex::new(Vec::new());
+            let report = run_with_sink(
+                &m,
+                &CampaignOptions::with_workers("toy", workers),
+                || (),
+                |(), p| toy_runner(p),
+                |point, result: &Cell| {
+                    seen.lock().unwrap().push((point.index, result.clone()));
+                },
+            )
+            .unwrap();
+            assert_eq!(render(&report), render(&base), "{workers} workers");
+            let mut seen = seen.into_inner().unwrap();
+            seen.sort_by_key(|(i, _)| *i);
+            assert_eq!(seen.len(), report.stats.executed);
+            for ((i, cell), (p, r)) in seen.iter().zip(report.completed()) {
+                assert_eq!(*i, p.index);
+                assert_eq!(cell, r, "sink saw a different result than the merge");
+            }
+        }
+    }
+
+    #[test]
+    fn resumed_scenarios_never_reach_the_sink() {
+        let m = matrix();
+        let dir = std::env::temp_dir().join("hierbus_campaign_sink_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = CampaignOptions {
+            manifest_path: Some(dir.join("toy.manifest.json")),
+            ..CampaignOptions::with_workers("toy", 2)
+        };
+        run(&m, &opts, toy_runner).unwrap();
+        let sunk = AtomicUsize::new(0);
+        let report = run_with_sink(
+            &m,
+            &opts,
+            || (),
+            |(), p| toy_runner(p),
+            |_, _: &Cell| {
+                sunk.fetch_add(1, Ordering::Relaxed);
+            },
+        )
+        .unwrap();
+        assert_eq!(report.stats.resumed, 12);
+        assert_eq!(sunk.load(Ordering::Relaxed), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

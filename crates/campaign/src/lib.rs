@@ -33,15 +33,17 @@
 //! `last_run` section.
 
 pub mod engine;
+pub mod fingerprint;
 pub mod json;
 pub mod manifest;
 pub mod matrix;
 
 pub use engine::{
-    measure_scaling, measure_scaling_profiled, measure_scaling_with, run, run_with,
+    measure_scaling, measure_scaling_profiled, measure_scaling_with, run, run_with, run_with_sink,
     CampaignOptions, CampaignPayload, CampaignReport, CampaignStats, ClaimStrategy, ScalingPoint,
     WorkerStats, SCALING_REPS,
 };
+pub use fingerprint::Fingerprint;
 pub use json::Json;
 pub use manifest::{Manifest, ManifestEntry, RunRecord, WorkerRecord, MANIFEST_VERSION};
 pub use matrix::{Axis, Matrix, ScenarioPoint};

@@ -124,20 +124,14 @@ impl Matrix {
     /// values, in order). A manifest written for one fingerprint is
     /// rejected for any other.
     pub fn fingerprint(&self) -> String {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
-        let mut eat = |s: &str| {
-            for b in s.bytes().chain([0xff]) {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x0000_0100_0000_01b3);
-            }
-        };
+        let mut fp = crate::fingerprint::Fingerprint::new();
         for axis in &self.axes {
-            eat(&axis.name);
+            fp.eat(&axis.name);
             for v in &axis.values {
-                eat(v);
+                fp.eat(v);
             }
         }
-        format!("{h:016x}")
+        fp.finish()
     }
 
     /// The matrix definition as JSON (for the manifest header).

@@ -1,0 +1,507 @@
+//! The daemon itself: request queue, batch execution, streaming
+//! responses, graceful drain.
+//!
+//! [`Daemon::serve`] runs one protocol session over any
+//! `BufRead`/`Write` pair — stdin/stdout for the `hierbus-serve`
+//! binary, an accepted Unix-socket stream, or in-process buffers for
+//! tests and the `serve_client` example. A reader thread parses
+//! request lines into a FIFO queue so clients can pipeline requests
+//! while a batch is executing; the serving loop pops requests one at a
+//! time and batches each `run` request's cache misses onto the
+//! campaign worker pool, streaming a `result` event from the worker
+//! thread the moment each scenario completes.
+//!
+//! Shutdown is drain-and-exit: the reader flags a `shutdown` request
+//! out-of-band (it never waits in the queue), the in-flight request
+//! finishes normally, every request still queued behind it is answered
+//! with a retryable `retry` event, the cache index is flushed, and the
+//! session ends with a `bye` event. Input EOF drains the queue fully
+//! (nothing is retried — the client simply stopped talking) and
+//! flushes the index the same way.
+
+use crate::cache::ResultCache;
+use crate::proto::{self, parse_request, Op, Request, PROTOCOL_VERSION};
+use crate::session::{db_fingerprint, LeanResult, ServeSession};
+use hierbus_campaign::{run_with_sink, CampaignOptions, CampaignPayload, Json, Matrix};
+use hierbus_obs::{CounterId, HistogramId, MetricsRegistry};
+use hierbus_power::CharacterizationDb;
+use std::collections::VecDeque;
+use std::io::{self, BufRead, Write};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Default bound on cached results.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+/// Upper bucket edges (µs) of the request latency histogram: cache
+/// hits land in the low buckets, cold multi-scenario batches in the
+/// high ones.
+const LATENCY_BOUNDS_US: &[u64] = &[
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 5_000_000,
+];
+
+/// How a [`Daemon`] is configured.
+#[derive(Debug, Clone)]
+pub struct DaemonOptions {
+    /// Worker threads for batch execution (clamped to at least 1).
+    pub workers: usize,
+    /// Result-cache bound (entries; clamped to at least 1).
+    pub cache_capacity: usize,
+    /// Persisted cache index: loaded (if compatible) on construction,
+    /// flushed on every session drain. `None` keeps the cache purely
+    /// in-memory.
+    pub cache_index: Option<PathBuf>,
+}
+
+impl Default for DaemonOptions {
+    fn default() -> Self {
+        DaemonOptions {
+            workers: 1,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            cache_index: None,
+        }
+    }
+}
+
+/// What one protocol session did — returned by [`Daemon::serve`] so
+/// callers (the binary's socket loop, tests) can see whether the
+/// client asked for shutdown.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Requests handled (run/stats/ping — not counting retried ones).
+    pub requests: usize,
+    /// Result events streamed.
+    pub results: usize,
+    /// Scenario lookups answered from cache.
+    pub cache_hits: u64,
+    /// Scenario lookups that went to a worker.
+    pub cache_misses: u64,
+    /// Requests answered with a `retry` event because they were still
+    /// queued when shutdown arrived.
+    pub retried: usize,
+    /// True when the session ended on a `shutdown` request (false on
+    /// input EOF).
+    pub shutdown: bool,
+}
+
+struct Metrics {
+    registry: MetricsRegistry,
+    requests: CounterId,
+    scenarios: CounterId,
+    hits: CounterId,
+    misses: CounterId,
+    evictions: CounterId,
+    latency: HistogramId,
+}
+
+impl Metrics {
+    fn new() -> Self {
+        let mut registry = MetricsRegistry::new();
+        let requests = registry.counter("serve.requests");
+        let scenarios = registry.counter("serve.scenarios");
+        let hits = registry.counter("serve.cache.hit");
+        let misses = registry.counter("serve.cache.miss");
+        let evictions = registry.counter("serve.cache.eviction");
+        let latency = registry.histogram("serve.request_latency_us", LATENCY_BOUNDS_US);
+        Metrics {
+            registry,
+            requests,
+            scenarios,
+            hits,
+            misses,
+            evictions,
+            latency,
+        }
+    }
+}
+
+/// Serializes response events to the shared output; the first write
+/// error is kept and re-raised when the session ends, later writes are
+/// skipped (the client is gone — finish draining, don't panic a
+/// worker).
+struct Emitter<W: Write> {
+    out: Mutex<W>,
+    error: Mutex<Option<io::Error>>,
+}
+
+impl<W: Write> Emitter<W> {
+    fn new(out: W) -> Self {
+        Emitter {
+            out: Mutex::new(out),
+            error: Mutex::new(None),
+        }
+    }
+
+    fn emit(&self, fields: Vec<(String, Json)>) {
+        let mut error = self.error.lock().unwrap();
+        if error.is_some() {
+            return;
+        }
+        let line = Json::Obj(fields).to_string_compact();
+        let mut out = self.out.lock().unwrap();
+        if let Err(e) = writeln!(out, "{line}").and_then(|()| out.flush()) {
+            *error = Some(e);
+        }
+    }
+
+    fn finish(self) -> io::Result<()> {
+        match self.error.into_inner().unwrap() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// What the reader thread queues for the serving loop.
+enum Item {
+    Req(Request),
+    /// A line that failed to parse — answered with an `error` event in
+    /// arrival order.
+    Bad {
+        id: String,
+        error: String,
+    },
+}
+
+#[derive(Default)]
+struct QueueState {
+    items: VecDeque<Item>,
+    reader_done: bool,
+    /// The id of the shutdown request, set the moment the reader sees
+    /// it — out-of-band, so a long-running batch cannot delay drain
+    /// detection.
+    shutdown: Option<String>,
+}
+
+/// The resident estimation service.
+pub struct Daemon {
+    db: Arc<CharacterizationDb>,
+    db_fp: String,
+    workers: usize,
+    cache_index: Option<PathBuf>,
+    cache: Mutex<ResultCache>,
+    metrics: Mutex<Metrics>,
+}
+
+impl Daemon {
+    /// Builds a daemon over a characterization database. When
+    /// [`DaemonOptions::cache_index`] names a compatible persisted
+    /// index (same format version, same database fingerprint), the
+    /// cache starts warm from it.
+    pub fn new(db: Arc<CharacterizationDb>, opts: DaemonOptions) -> Self {
+        let db_fp = db_fingerprint(&db);
+        let capacity = opts.cache_capacity.max(1);
+        let cache = opts
+            .cache_index
+            .as_deref()
+            .and_then(|path| ResultCache::load(path, capacity, &db_fp).ok().flatten())
+            .unwrap_or_else(|| ResultCache::new(capacity));
+        Daemon {
+            db,
+            db_fp,
+            workers: opts.workers.max(1),
+            cache_index: opts.cache_index,
+            cache: Mutex::new(cache),
+            metrics: Mutex::new(Metrics::new()),
+        }
+    }
+
+    /// The fingerprint of the database this daemon serves.
+    pub fn db_fingerprint(&self) -> &str {
+        &self.db_fp
+    }
+
+    /// Cached entries right now.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().unwrap().len()
+    }
+
+    /// The daemon's metrics (cache counters, request latency
+    /// histogram) as the registry's CSV export.
+    pub fn metrics_csv(&self) -> String {
+        self.metrics.lock().unwrap().registry.to_csv()
+    }
+
+    /// Runs one protocol session: reads request lines from `input`
+    /// until shutdown or EOF, writing response events to `output`.
+    ///
+    /// # Errors
+    ///
+    /// The first write error of the session (the drain still
+    /// completes), or an I/O error flushing the cache index.
+    pub fn serve<R, W>(&self, input: R, output: W) -> io::Result<ServeSummary>
+    where
+        R: BufRead + Send,
+        W: Write + Send,
+    {
+        let emitter = Emitter::new(output);
+        let queue: Mutex<QueueState> = Mutex::new(QueueState::default());
+        let cond = Condvar::new();
+        let mut summary = ServeSummary::default();
+
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for line in input.lines() {
+                    let Ok(line) = line else { break };
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    let mut state = queue.lock().unwrap();
+                    match parse_request(&line) {
+                        Ok(Request {
+                            id,
+                            op: Op::Shutdown,
+                        }) => {
+                            state.shutdown = Some(id);
+                            state.reader_done = true;
+                            cond.notify_all();
+                            return;
+                        }
+                        Ok(req) => state.items.push_back(Item::Req(req)),
+                        Err((id, error)) => state.items.push_back(Item::Bad { id, error }),
+                    }
+                    cond.notify_all();
+                }
+                queue.lock().unwrap().reader_done = true;
+                cond.notify_all();
+            });
+
+            loop {
+                let (item, draining) = {
+                    let mut state = queue.lock().unwrap();
+                    loop {
+                        let draining = state.shutdown.is_some();
+                        if let Some(item) = state.items.pop_front() {
+                            break (Some(item), draining);
+                        }
+                        if state.reader_done {
+                            break (None, draining);
+                        }
+                        state = cond.wait(state).unwrap();
+                    }
+                };
+                match item {
+                    None => break,
+                    Some(item) if draining => {
+                        // Queued behind the shutdown: clean retryable
+                        // status instead of silence.
+                        match item {
+                            Item::Req(req) => {
+                                let mut fields = proto::event(&req.id, "retry");
+                                fields.push((
+                                    "reason".to_owned(),
+                                    Json::Str("shutting-down".to_owned()),
+                                ));
+                                emitter.emit(fields);
+                            }
+                            Item::Bad { id, error } => self.emit_error(&emitter, &id, &error),
+                        }
+                        summary.retried += 1;
+                    }
+                    Some(Item::Bad { id, error }) => self.emit_error(&emitter, &id, &error),
+                    Some(Item::Req(req)) => self.handle(req, &emitter, &mut summary),
+                }
+            }
+        });
+
+        if let Some(path) = &self.cache_index {
+            self.cache.lock().unwrap().save(path, &self.db_fp)?;
+        }
+        let shutdown_id = queue.into_inner().unwrap().shutdown;
+        if let Some(id) = shutdown_id {
+            summary.shutdown = true;
+            emitter.emit(proto::event(&id, "bye"));
+        }
+        emitter.finish()?;
+        Ok(summary)
+    }
+
+    fn emit_error<W: Write>(&self, emitter: &Emitter<W>, id: &str, message: &str) {
+        let mut fields = proto::event(id, "error");
+        fields.push(("message".to_owned(), Json::Str(message.to_owned())));
+        emitter.emit(fields);
+    }
+
+    fn handle<W: Write + Send>(
+        &self,
+        req: Request,
+        emitter: &Emitter<W>,
+        summary: &mut ServeSummary,
+    ) {
+        match req.op {
+            Op::Ping => {
+                emitter.emit(proto::event(&req.id, "pong"));
+                summary.requests += 1;
+            }
+            Op::Stats => {
+                emitter.emit(self.stats_event(&req.id));
+                summary.requests += 1;
+            }
+            Op::Run(specs) => self.handle_run(&req.id, &specs, emitter, summary),
+            // The reader intercepts shutdown before it can be queued.
+            Op::Shutdown => unreachable!("shutdown never reaches the serving loop"),
+        }
+    }
+
+    fn handle_run<W: Write + Send>(
+        &self,
+        id: &str,
+        specs: &[proto::ScenarioSpec],
+        emitter: &Emitter<W>,
+        summary: &mut ServeSummary,
+    ) {
+        let started = Instant::now();
+        let mut scenarios = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.iter().enumerate() {
+            match spec.materialize() {
+                Ok(s) => scenarios.push(s),
+                Err(e) => {
+                    self.emit_error(emitter, id, &format!("scenarios[{i}]: {e}"));
+                    summary.requests += 1;
+                    return;
+                }
+            }
+        }
+        let keys: Vec<String> = specs.iter().map(|s| s.fingerprint(&self.db_fp)).collect();
+
+        // Cache pass: answer hits immediately (in request order),
+        // collect misses deduplicated by fingerprint.
+        let mut miss_keys: Vec<String> = Vec::new();
+        let mut miss_scenarios = Vec::new();
+        let mut miss_targets: Vec<Vec<usize>> = Vec::new();
+        let (hits, misses, evictions_before) = {
+            let mut cache = self.cache.lock().unwrap();
+            let (h0, m0) = (cache.hits(), cache.misses());
+            let evictions_before = cache.evictions();
+            for (i, key) in keys.iter().enumerate() {
+                if let Some(bytes) = cache.get(key) {
+                    self.emit_result(emitter, id, i, key, true, &bytes);
+                } else {
+                    match miss_keys.iter().position(|k| k == key) {
+                        Some(j) => miss_targets[j].push(i),
+                        None => {
+                            miss_keys.push(key.clone());
+                            miss_scenarios.push(scenarios[i].clone());
+                            miss_targets.push(vec![i]);
+                        }
+                    }
+                }
+            }
+            (cache.hits() - h0, cache.misses() - m0, evictions_before)
+        };
+
+        // Batch the misses onto the worker pool, streaming each result
+        // (and filling the cache) from the worker thread that produced
+        // it. One fingerprint axis: the matrix is this request's
+        // deduplicated work list.
+        if !miss_keys.is_empty() {
+            let matrix = Matrix::new().axis("spec", miss_keys.iter().cloned());
+            let opts = CampaignOptions::with_workers("serve", self.workers);
+            run_with_sink(
+                &matrix,
+                &opts,
+                || ServeSession::new(&self.db),
+                |session, point| session.run(&miss_scenarios[point.index]),
+                |point, result: &LeanResult| {
+                    let bytes = result.to_json().to_string_compact();
+                    self.cache
+                        .lock()
+                        .unwrap()
+                        .insert(&miss_keys[point.index], bytes.clone());
+                    for &i in &miss_targets[point.index] {
+                        self.emit_result(emitter, id, i, &miss_keys[point.index], false, &bytes);
+                    }
+                },
+            )
+            .expect("manifest-less campaign cannot fail on I/O");
+        }
+
+        let wall_us = started.elapsed().as_micros() as u64;
+        {
+            let evicted = self.cache.lock().unwrap().evictions() - evictions_before;
+            let m = &mut *self.metrics.lock().unwrap();
+            m.registry.inc(m.requests);
+            m.registry.add(m.scenarios, specs.len() as u64);
+            m.registry.add(m.hits, hits);
+            m.registry.add(m.misses, misses);
+            m.registry.add(m.evictions, evicted);
+            m.registry.observe(m.latency, wall_us);
+        }
+
+        let mut fields = proto::event(id, "done");
+        fields.push(("scenarios".to_owned(), Json::Num(specs.len() as f64)));
+        fields.push(("hits".to_owned(), Json::Num(hits as f64)));
+        fields.push(("misses".to_owned(), Json::Num(misses as f64)));
+        // Wall-clock diagnostics only — comparisons must strip it,
+        // like the manifest's last_run section.
+        fields.push(("wall_us".to_owned(), Json::Num(wall_us as f64)));
+        emitter.emit(fields);
+
+        summary.requests += 1;
+        summary.results += specs.len();
+        summary.cache_hits += hits;
+        summary.cache_misses += misses;
+    }
+
+    fn emit_result<W: Write>(
+        &self,
+        emitter: &Emitter<W>,
+        id: &str,
+        index: usize,
+        key: &str,
+        cached: bool,
+        bytes: &str,
+    ) {
+        let mut fields = proto::event(id, "result");
+        fields.push(("index".to_owned(), Json::Num(index as f64)));
+        fields.push(("key".to_owned(), Json::Str(key.to_owned())));
+        fields.push(("cached".to_owned(), Json::Bool(cached)));
+        // The cached bytes round-trip the serializer unchanged
+        // (shortest-round-trip floats), so a replayed result field is
+        // byte-identical to the fresh one.
+        fields.push((
+            "result".to_owned(),
+            Json::parse(bytes).expect("cache holds serialized results"),
+        ));
+        emitter.emit(fields);
+    }
+
+    fn stats_event(&self, id: &str) -> Vec<(String, Json)> {
+        let cache = self.cache.lock().unwrap();
+        let m = self.metrics.lock().unwrap();
+        let latency = m.registry.histogram_data(m.latency);
+        let quantile = |q: Option<u64>| match q {
+            Some(v) => Json::Num(v as f64),
+            None => Json::Null,
+        };
+        let mut fields = proto::event(id, "stats");
+        fields.push(("protocol".to_owned(), Json::Num(PROTOCOL_VERSION as f64)));
+        fields.push(("workers".to_owned(), Json::Num(self.workers as f64)));
+        fields.push(("db".to_owned(), Json::Str(self.db_fp.clone())));
+        fields.push(("cache_len".to_owned(), Json::Num(cache.len() as f64)));
+        fields.push((
+            "cache_capacity".to_owned(),
+            Json::Num(cache.capacity() as f64),
+        ));
+        fields.push(("cache_hits".to_owned(), Json::Num(cache.hits() as f64)));
+        fields.push(("cache_misses".to_owned(), Json::Num(cache.misses() as f64)));
+        fields.push((
+            "cache_evictions".to_owned(),
+            Json::Num(cache.evictions() as f64),
+        ));
+        fields.push((
+            "requests".to_owned(),
+            Json::Num(m.registry.counter_value(m.requests) as f64),
+        ));
+        fields.push((
+            "scenarios".to_owned(),
+            Json::Num(m.registry.counter_value(m.scenarios) as f64),
+        ));
+        fields.push(("latency_p50_us".to_owned(), quantile(latency.p50())));
+        fields.push(("latency_p90_us".to_owned(), quantile(latency.p90())));
+        fields.push(("latency_p99_us".to_owned(), quantile(latency.p99())));
+        fields
+    }
+}

@@ -1,0 +1,454 @@
+//! The daemon's wire protocol: versioned, line-delimited JSON.
+//!
+//! Every request and every response is one compact-JSON object per
+//! line, carrying the protocol version under `"v"`. Requests name an
+//! operation under `"op"` and echo back under `"req"` in every
+//! response event, so a client can correlate streamed results with the
+//! request that produced them.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"v":1,"id":"r1","op":"run","scenarios":[<spec>, ...]}
+//! {"v":1,"id":"r2","op":"stats"}
+//! {"v":1,"id":"r3","op":"ping"}
+//! {"v":1,"id":"r4","op":"shutdown"}
+//! ```
+//!
+//! A scenario spec is either a named canned scenario or a seeded
+//! random mix (all mix fields beyond `seed` default to
+//! [`MixParams::default`]):
+//!
+//! ```text
+//! {"kind":"named","name":"burst_reads"}
+//! {"kind":"mix","seed":7,"count":200,"read_pct":60,"waits":[1,0,0]}
+//! ```
+//!
+//! Responses to a `run` stream one `result` event per scenario in
+//! completion order (`cached` marks cache replays), then a terminal
+//! `done` event; other operations answer with a single event. The
+//! daemon's farewell after a shutdown is a `bye` event, and requests
+//! still queued when a shutdown arrives get a `retry` event each —
+//! nothing is silently dropped.
+
+use hierbus_campaign::{Fingerprint, Json};
+use hierbus_ec::sequences::{self, DataProfile, MixParams, Scenario};
+use hierbus_ec::WaitProfile;
+
+/// The protocol version this daemon speaks; requests carrying any
+/// other version are rejected with an `error` event.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// One scenario specification of a `run` request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioSpec {
+    /// A canned scenario from [`sequences::all_scenarios`].
+    Named {
+        /// The scenario's name, e.g. `"burst_reads"`.
+        name: String,
+    },
+    /// Seeded random mixed traffic via [`sequences::random_mix`].
+    Mix {
+        /// Generator seed.
+        seed: u64,
+        /// Generation parameters.
+        params: MixParams,
+        /// Slave wait-state override; the generator's default when
+        /// `None`.
+        waits: Option<WaitProfile>,
+    },
+}
+
+impl ScenarioSpec {
+    /// Parses a spec object.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        match json.get("kind").and_then(Json::as_str) {
+            Some("named") => Ok(ScenarioSpec::Named {
+                name: json
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("named spec missing string field name")?
+                    .to_owned(),
+            }),
+            Some("mix") => {
+                let d = MixParams::default();
+                let u = |field: &str, default: u64| -> Result<u64, String> {
+                    match json.get(field) {
+                        None => Ok(default),
+                        Some(v) => v
+                            .as_u64()
+                            .ok_or(format!("mix spec field {field} is not an integer")),
+                    }
+                };
+                let pct = |field: &str, default: u32| -> Result<u32, String> {
+                    let v = u(field, default as u64)?;
+                    if v > 100 {
+                        return Err(format!("mix spec field {field} = {v} outside 0..=100"));
+                    }
+                    Ok(v as u32)
+                };
+                let data_profile = match json.get("data_profile").and_then(Json::as_str) {
+                    None => d.data_profile,
+                    Some("random") => DataProfile::Random,
+                    Some("small_values") => DataProfile::SmallValues,
+                    Some(other) => return Err(format!("unknown data_profile {other:?}")),
+                };
+                let waits = match json.get("waits") {
+                    None => None,
+                    Some(v) => {
+                        let arr = v.as_arr().ok_or("mix spec field waits is not an array")?;
+                        let n = |i: usize| -> Result<u32, String> {
+                            arr.get(i)
+                                .and_then(Json::as_u64)
+                                .map(|v| v as u32)
+                                .ok_or("waits must be three integers".to_owned())
+                        };
+                        if arr.len() != 3 {
+                            return Err("waits must be three integers".to_owned());
+                        }
+                        Some(WaitProfile::new(n(0)?, n(1)?, n(2)?))
+                    }
+                };
+                Ok(ScenarioSpec::Mix {
+                    seed: u("seed", 0)?,
+                    params: MixParams {
+                        count: u("count", d.count as u64)? as usize,
+                        base: u("base", d.base)?,
+                        window: u("window", d.window)?,
+                        read_pct: pct("read_pct", d.read_pct)?,
+                        burst_pct: pct("burst_pct", d.burst_pct)?,
+                        max_idle: u("max_idle", d.max_idle as u64)? as u32,
+                        fetch_pct: pct("fetch_pct", d.fetch_pct)?,
+                        sequential_pct: pct("sequential_pct", d.sequential_pct)?,
+                        data_profile,
+                    },
+                    waits,
+                })
+            }
+            Some(other) => Err(format!("unknown scenario kind {other:?}")),
+            None => Err("scenario spec missing string field kind".to_owned()),
+        }
+    }
+
+    /// The spec as protocol JSON (every field explicit).
+    pub fn to_json(&self) -> Json {
+        match self {
+            ScenarioSpec::Named { name } => Json::Obj(vec![
+                ("kind".to_owned(), Json::Str("named".to_owned())),
+                ("name".to_owned(), Json::Str(name.clone())),
+            ]),
+            ScenarioSpec::Mix {
+                seed,
+                params: p,
+                waits,
+            } => {
+                let mut fields = vec![
+                    ("kind".to_owned(), Json::Str("mix".to_owned())),
+                    ("seed".to_owned(), Json::Num(*seed as f64)),
+                    ("count".to_owned(), Json::Num(p.count as f64)),
+                    ("base".to_owned(), Json::Num(p.base as f64)),
+                    ("window".to_owned(), Json::Num(p.window as f64)),
+                    ("read_pct".to_owned(), Json::Num(p.read_pct as f64)),
+                    ("burst_pct".to_owned(), Json::Num(p.burst_pct as f64)),
+                    ("max_idle".to_owned(), Json::Num(p.max_idle as f64)),
+                    ("fetch_pct".to_owned(), Json::Num(p.fetch_pct as f64)),
+                    (
+                        "sequential_pct".to_owned(),
+                        Json::Num(p.sequential_pct as f64),
+                    ),
+                    (
+                        "data_profile".to_owned(),
+                        Json::Str(
+                            match p.data_profile {
+                                DataProfile::Random => "random",
+                                DataProfile::SmallValues => "small_values",
+                            }
+                            .to_owned(),
+                        ),
+                    ),
+                ];
+                if let Some(w) = waits {
+                    fields.push((
+                        "waits".to_owned(),
+                        Json::Arr(vec![
+                            Json::Num(w.address as f64),
+                            Json::Num(w.read as f64),
+                            Json::Num(w.write as f64),
+                        ]),
+                    ));
+                }
+                Json::Obj(fields)
+            }
+        }
+    }
+
+    /// A canonical one-line rendering of the spec: every parameter
+    /// explicit, in a fixed order — the text the cache fingerprint
+    /// hashes, so two specs collide exactly when they describe the
+    /// same simulation.
+    pub fn canonical(&self) -> String {
+        match self {
+            ScenarioSpec::Named { name } => format!("named/{name}"),
+            ScenarioSpec::Mix {
+                seed,
+                params: p,
+                waits,
+            } => {
+                let data = match p.data_profile {
+                    DataProfile::Random => "random",
+                    DataProfile::SmallValues => "small_values",
+                };
+                let waits = match waits {
+                    None => "default".to_owned(),
+                    Some(w) => format!("{},{},{}", w.address, w.read, w.write),
+                };
+                format!(
+                    "mix/seed={}/count={}/base={}/window={}/read={}/burst={}/idle={}/fetch={}/seq={}/data={}/waits={}",
+                    seed,
+                    p.count,
+                    p.base,
+                    p.window,
+                    p.read_pct,
+                    p.burst_pct,
+                    p.max_idle,
+                    p.fetch_pct,
+                    p.sequential_pct,
+                    data,
+                    waits,
+                )
+            }
+        }
+    }
+
+    /// The content-address of this spec under a protocol version and a
+    /// characterization database: identical fingerprint ⇔ identical
+    /// result bytes.
+    pub fn fingerprint(&self, db_fingerprint: &str) -> String {
+        Fingerprint::new()
+            .field(&format!("hierbus-serve/v{PROTOCOL_VERSION}"))
+            .field(db_fingerprint)
+            .field(&self.canonical())
+            .finish()
+    }
+
+    /// Builds the concrete scenario, or an error for an unknown name.
+    pub fn materialize(&self) -> Result<Scenario, String> {
+        match self {
+            ScenarioSpec::Named { name } => sequences::all_scenarios()
+                .into_iter()
+                .find(|s| s.name == name)
+                .ok_or(format!("unknown scenario name {name:?}")),
+            ScenarioSpec::Mix {
+                seed,
+                params,
+                waits,
+            } => {
+                let mut scenario = sequences::random_mix(*seed, *params);
+                if let Some(w) = waits {
+                    scenario.waits = *w;
+                }
+                Ok(scenario)
+            }
+        }
+    }
+}
+
+/// The operation a request asks for.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Run (or replay from cache) a batch of scenarios.
+    Run(Vec<ScenarioSpec>),
+    /// Report cache and latency statistics.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Drain and exit.
+    Shutdown,
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in every response event.
+    pub id: String,
+    /// The requested operation.
+    pub op: Op,
+}
+
+/// Parses one request line. The error carries the client id when one
+/// could be recovered, so even a malformed request gets a correlated
+/// `error` event.
+pub fn parse_request(line: &str) -> Result<Request, (String, String)> {
+    let json = Json::parse(line)
+        .map_err(|e| (String::new(), format!("request is not valid JSON: {e}")))?;
+    let id = json
+        .get("id")
+        .and_then(Json::as_str)
+        .unwrap_or_default()
+        .to_owned();
+    let fail = |msg: String| Err((id.clone(), msg));
+    match json.get("v").and_then(Json::as_u64) {
+        Some(PROTOCOL_VERSION) => {}
+        Some(v) => {
+            return fail(format!(
+                "unsupported protocol version {v} (this daemon speaks {PROTOCOL_VERSION})"
+            ))
+        }
+        None => return fail("request missing integer field v".to_owned()),
+    }
+    match json.get("op").and_then(Json::as_str) {
+        Some("run") => {
+            let specs = match json.get("scenarios").and_then(Json::as_arr) {
+                Some(arr) if !arr.is_empty() => arr,
+                Some(_) => return fail("run request has an empty scenarios array".to_owned()),
+                None => return fail("run request missing scenarios array".to_owned()),
+            };
+            let mut parsed = Vec::with_capacity(specs.len());
+            for (i, spec) in specs.iter().enumerate() {
+                match ScenarioSpec::from_json(spec) {
+                    Ok(s) => parsed.push(s),
+                    Err(e) => return fail(format!("scenarios[{i}]: {e}")),
+                }
+            }
+            Ok(Request {
+                id,
+                op: Op::Run(parsed),
+            })
+        }
+        Some("stats") => Ok(Request { id, op: Op::Stats }),
+        Some("ping") => Ok(Request { id, op: Op::Ping }),
+        Some("shutdown") => Ok(Request {
+            id,
+            op: Op::Shutdown,
+        }),
+        Some(other) => fail(format!("unknown op {other:?}")),
+        None => fail("request missing string field op".to_owned()),
+    }
+}
+
+/// Starts a response event: version, correlation id, event name.
+pub fn event(id: &str, name: &str) -> Vec<(String, Json)> {
+    vec![
+        ("v".to_owned(), Json::Num(PROTOCOL_VERSION as f64)),
+        ("req".to_owned(), Json::Str(id.to_owned())),
+        ("event".to_owned(), Json::Str(name.to_owned())),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_request_roundtrips() {
+        let specs = vec![
+            ScenarioSpec::Named {
+                name: "burst_reads".to_owned(),
+            },
+            ScenarioSpec::Mix {
+                seed: 7,
+                params: MixParams {
+                    count: 50,
+                    ..MixParams::default()
+                },
+                waits: Some(WaitProfile::new(1, 0, 2)),
+            },
+        ];
+        let line = Json::Obj(vec![
+            ("v".to_owned(), Json::Num(1.0)),
+            ("id".to_owned(), Json::Str("r1".to_owned())),
+            ("op".to_owned(), Json::Str("run".to_owned())),
+            (
+                "scenarios".to_owned(),
+                Json::Arr(specs.iter().map(ScenarioSpec::to_json).collect()),
+            ),
+        ])
+        .to_string_compact();
+        let req = parse_request(&line).unwrap();
+        assert_eq!(req.id, "r1");
+        assert_eq!(req.op, Op::Run(specs));
+    }
+
+    #[test]
+    fn mix_defaults_fill_in() {
+        let req = parse_request(
+            r#"{"v":1,"id":"x","op":"run","scenarios":[{"kind":"mix","seed":3,"count":10}]}"#,
+        )
+        .unwrap();
+        let Op::Run(specs) = req.op else {
+            panic!("not a run")
+        };
+        let ScenarioSpec::Mix {
+            seed,
+            params,
+            waits,
+        } = &specs[0]
+        else {
+            panic!("not a mix")
+        };
+        assert_eq!(*seed, 3);
+        assert_eq!(params.count, 10);
+        assert_eq!(params.read_pct, MixParams::default().read_pct);
+        assert_eq!(*waits, None);
+    }
+
+    #[test]
+    fn version_and_op_are_enforced() {
+        let (id, err) = parse_request(r#"{"v":2,"id":"a","op":"ping"}"#).unwrap_err();
+        assert_eq!(id, "a");
+        assert!(err.contains("unsupported protocol version"), "{err}");
+        let (_, err) = parse_request(r#"{"id":"a","op":"ping"}"#).unwrap_err();
+        assert!(err.contains("missing integer field v"), "{err}");
+        let (_, err) = parse_request(r#"{"v":1,"id":"a","op":"dance"}"#).unwrap_err();
+        assert!(err.contains("unknown op"), "{err}");
+        let (_, err) = parse_request("not json at all").unwrap_err();
+        assert!(err.contains("not valid JSON"), "{err}");
+    }
+
+    #[test]
+    fn fingerprints_separate_distinct_specs() {
+        let named = ScenarioSpec::Named {
+            name: "burst_reads".to_owned(),
+        };
+        let mix = |seed| ScenarioSpec::Mix {
+            seed,
+            params: MixParams::default(),
+            waits: None,
+        };
+        let db = "0123456789abcdef";
+        assert_eq!(named.fingerprint(db), named.fingerprint(db));
+        assert_ne!(named.fingerprint(db), mix(0).fingerprint(db));
+        assert_ne!(mix(0).fingerprint(db), mix(1).fingerprint(db));
+        assert_ne!(mix(0).fingerprint(db), mix(0).fingerprint("another-db00"));
+        // The waits override is part of the identity.
+        let waited = ScenarioSpec::Mix {
+            seed: 0,
+            params: MixParams::default(),
+            waits: Some(WaitProfile::ZERO),
+        };
+        assert_ne!(mix(0).fingerprint(db), waited.fingerprint(db));
+    }
+
+    #[test]
+    fn materialize_finds_named_scenarios_and_rejects_unknown() {
+        let ok = ScenarioSpec::Named {
+            name: "single_read".to_owned(),
+        };
+        assert_eq!(ok.materialize().unwrap().name, "single_read");
+        let bad = ScenarioSpec::Named {
+            name: "no_such_scenario".to_owned(),
+        };
+        assert!(bad.materialize().is_err());
+        let mix = ScenarioSpec::Mix {
+            seed: 9,
+            params: MixParams {
+                count: 25,
+                ..MixParams::default()
+            },
+            waits: Some(WaitProfile::new(2, 1, 0)),
+        };
+        let scenario = mix.materialize().unwrap();
+        assert_eq!(scenario.len(), 25);
+        assert_eq!(scenario.waits, WaitProfile::new(2, 1, 0));
+    }
+}

@@ -1,0 +1,159 @@
+//! The serve-side scenario runner: a reusable lean layer-1 session.
+//!
+//! The daemon serves `(cycles, energy)` scalars, so it runs the same
+//! throughput-mode configuration as the root harness's lean session:
+//! no per-transaction records, no per-cycle trace, one energy model
+//! reset-reused across scenarios. The root crate's
+//! `serve_matches_harness` test pins this runner bit-exact against
+//! `harness::run_layer1` — the daemon must never drift from the batch
+//! tools it replaces.
+
+use hierbus_campaign::{CampaignPayload, Fingerprint, Json};
+use hierbus_core::{MemSlave, Tlm1Bus, TlmSystem};
+use hierbus_ec::sequences::Scenario;
+use hierbus_ec::{AccessRights, Address, AddressRange, SignalClass, SlaveConfig};
+use hierbus_power::{CharacterizationDb, Layer1EnergyModel};
+
+/// Cycle ceiling for served scenarios; hitting it is a deadlock bug.
+pub const MAX_CYCLES: u64 = 50_000_000;
+
+/// The slave window every served scenario runs against (the harness's
+/// standard window).
+fn scenario_slave(scenario: &Scenario) -> SlaveConfig {
+    SlaveConfig::new(
+        AddressRange::new(Address::new(0), 0x2_0000),
+        scenario.waits,
+        AccessRights::RWX,
+    )
+}
+
+/// The scalar outcome of one served scenario — the unit the protocol
+/// streams and the cache stores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeanResult {
+    /// Bus cycles used.
+    pub cycles: u64,
+    /// Estimated energy in pJ.
+    pub energy_pj: f64,
+}
+
+impl CampaignPayload for LeanResult {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("cycles".to_owned(), Json::Num(self.cycles as f64)),
+            ("energy_pj".to_owned(), Json::Num(self.energy_pj)),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Option<Self> {
+        Some(LeanResult {
+            cycles: json.get("cycles")?.as_u64()?,
+            energy_pj: json.get("energy_pj")?.as_f64()?,
+        })
+    }
+}
+
+/// A reusable layer-1 runner for daemon workers: the energy model is
+/// built once per worker and reset between scenarios. Cycles and
+/// energy are bit-identical to a fresh `harness::run_layer1` on the
+/// same scenario.
+#[derive(Debug, Clone)]
+pub struct ServeSession {
+    model: Layer1EnergyModel,
+}
+
+impl ServeSession {
+    /// Builds a session over a characterization database.
+    pub fn new(db: &CharacterizationDb) -> Self {
+        hierbus_obs::profiling::record_db_access();
+        ServeSession {
+            model: Layer1EnergyModel::new(db.clone()),
+        }
+    }
+
+    /// Runs one scenario in throughput mode.
+    pub fn run(&mut self, scenario: &Scenario) -> LeanResult {
+        self.model.reset();
+        let mem = MemSlave::new(scenario_slave(scenario));
+        let mut bus = Tlm1Bus::new(vec![Box::new(mem)]);
+        bus.enable_frames();
+        let mut sys = TlmSystem::new(bus, scenario.ops.clone());
+        sys.disable_records();
+        let model = &mut self.model;
+        let report = sys.run(MAX_CYCLES, |bus: &mut Tlm1Bus| {
+            model.on_frame(bus.last_frame());
+        });
+        LeanResult {
+            cycles: report.cycles,
+            energy_pj: model.total_energy(),
+        }
+    }
+}
+
+/// A bit-exact fingerprint of a characterization database: the raw
+/// IEEE-754 bits of every per-class energy weight and per-phase
+/// average. Cache keys include it, so a persisted cache index built
+/// against one characterization is never replayed against another.
+pub fn db_fingerprint(db: &CharacterizationDb) -> String {
+    let mut fp = Fingerprint::new();
+    for class in SignalClass::ALL {
+        fp.eat_f64(db.energy_per_toggle(class));
+    }
+    fp.eat_f64(db.avg_addr_bus_toggles());
+    fp.eat_f64(db.avg_addr_ctl_toggles());
+    let (data, ctl) = db.avg_read_beat_toggles();
+    fp.eat_f64(data);
+    fp.eat_f64(ctl);
+    let (data, ctl) = db.avg_write_beat_toggles();
+    fp.eat_f64(data);
+    fp.eat_f64(ctl);
+    fp.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hierbus_ec::sequences;
+
+    #[test]
+    fn session_reuse_is_deterministic() {
+        let db = CharacterizationDb::uniform();
+        let scenarios = sequences::all_scenarios();
+        let mut session = ServeSession::new(&db);
+        let first: Vec<LeanResult> = scenarios.iter().map(|s| session.run(s)).collect();
+        let second: Vec<LeanResult> = scenarios.iter().map(|s| session.run(s)).collect();
+        assert_eq!(first, second);
+        // A fresh session agrees with a reused one.
+        let fresh: Vec<LeanResult> = scenarios
+            .iter()
+            .map(|s| ServeSession::new(&db).run(s))
+            .collect();
+        assert_eq!(first, fresh);
+    }
+
+    #[test]
+    fn lean_result_roundtrips_json() {
+        let r = LeanResult {
+            cycles: 12_345,
+            energy_pj: 6789.0625,
+        };
+        let back = LeanResult::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn db_fingerprint_tracks_the_characterization() {
+        let uniform = db_fingerprint(&CharacterizationDb::uniform());
+        assert_eq!(uniform, db_fingerprint(&CharacterizationDb::uniform()));
+        assert_eq!(uniform.len(), 16);
+        let other = CharacterizationDb::from_class_stats(
+            &[(SignalClass::AddrBus, 10.0, 7)],
+            hierbus_power::PhaseCounts {
+                addr_phases: 7,
+                read_beats: 1,
+                write_beats: 1,
+            },
+        );
+        assert_ne!(uniform, db_fingerprint(&other));
+    }
+}

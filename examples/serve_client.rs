@@ -1,0 +1,115 @@
+//! Talk to the estimation daemon over its JSONL protocol — executable
+//! protocol documentation.
+//!
+//! Starts the daemon in-process (same [`Daemon`] the `hierbus-serve`
+//! binary runs, driven over in-memory buffers instead of stdin), then
+//! submits a small campaign twice: the first submission simulates on
+//! the worker pool, the resubmission is answered entirely from the
+//! content-addressed result cache with byte-identical result payloads.
+//! A `stats` request shows the cache counters and latency percentiles,
+//! and a `shutdown` request drains the session.
+//!
+//! ```sh
+//! cargo run --example serve_client
+//! ```
+
+use hierbus::campaign::Json;
+use hierbus::ec::MixParams;
+use hierbus::power::CharacterizationDb;
+use hierbus::serve::{Daemon, DaemonOptions, ScenarioSpec};
+use std::io::Cursor;
+use std::sync::Arc;
+
+/// Builds one protocol request line.
+fn request(id: &str, op: &str, scenarios: Option<&[ScenarioSpec]>) -> String {
+    let mut fields = vec![
+        ("v".to_owned(), Json::Num(1.0)),
+        ("id".to_owned(), Json::Str(id.to_owned())),
+        ("op".to_owned(), Json::Str(op.to_owned())),
+    ];
+    if let Some(specs) = scenarios {
+        fields.push((
+            "scenarios".to_owned(),
+            Json::Arr(specs.iter().map(ScenarioSpec::to_json).collect()),
+        ));
+    }
+    Json::Obj(fields).to_string_compact()
+}
+
+fn main() {
+    let daemon = Daemon::new(
+        Arc::new(CharacterizationDb::uniform()),
+        DaemonOptions {
+            workers: 2,
+            ..DaemonOptions::default()
+        },
+    );
+
+    // The campaign: two canned scenarios plus a seeded random mix.
+    let specs = vec![
+        ScenarioSpec::Named {
+            name: "burst_reads".to_owned(),
+        },
+        ScenarioSpec::Named {
+            name: "write_after_read".to_owned(),
+        },
+        ScenarioSpec::Mix {
+            seed: 42,
+            params: MixParams {
+                count: 200,
+                ..MixParams::default()
+            },
+            waits: None,
+        },
+    ];
+
+    // First session: pipeline the cold run, the warm resubmission and
+    // a stats probe, then hang up (EOF drains the queue completely).
+    let script = [
+        request("cold", "run", Some(&specs)),
+        request("warm", "run", Some(&specs)),
+        request("stats", "stats", None),
+    ]
+    .join("\n");
+
+    println!("--- client sends ---");
+    for line in script.lines() {
+        println!("> {line}");
+    }
+
+    let mut output = Vec::new();
+    let summary = daemon
+        .serve(Cursor::new(script), &mut output)
+        .expect("in-memory session");
+
+    println!("\n--- daemon streams back ---");
+    for line in String::from_utf8(output).expect("utf-8 protocol").lines() {
+        println!("< {line}");
+    }
+
+    println!(
+        "\nsession: {} requests, {} results, {} cache hits, {} misses",
+        summary.requests, summary.results, summary.cache_hits, summary.cache_misses
+    );
+    assert_eq!(
+        summary.cache_hits as usize,
+        specs.len(),
+        "the resubmission must be served from cache"
+    );
+    println!("the \"warm\" run answered every scenario from cache — no worker touched.");
+
+    // Second session, same daemon (the cache survives across
+    // sessions): a lone shutdown request drains and says bye.
+    let script = request("shutdown", "shutdown", None);
+    println!("\n--- client sends ---");
+    println!("> {script}");
+    let mut output = Vec::new();
+    let summary = daemon
+        .serve(Cursor::new(script), &mut output)
+        .expect("shutdown session");
+    println!("--- daemon streams back ---");
+    for line in String::from_utf8(output).expect("utf-8 protocol").lines() {
+        println!("< {line}");
+    }
+    assert!(summary.shutdown, "the daemon acknowledged the shutdown");
+}

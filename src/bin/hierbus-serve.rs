@@ -1,0 +1,147 @@
+//! The resident estimation daemon.
+//!
+//! Characterizes (or rather, loads the process-wide shared
+//! characterization of) the standard database once, then serves
+//! estimation requests over the line-delimited JSON protocol of
+//! `hierbus_serve::proto` until a `shutdown` request or EOF.
+//!
+//! ```text
+//! hierbus-serve [--workers N] [--cache N] [--cache-index PATH] [--socket PATH]
+//! ```
+//!
+//! Without `--socket`, one session runs over stdin/stdout — the mode
+//! `ci.sh` smokes. With `--socket PATH` (Unix only) the daemon binds a
+//! Unix domain socket and serves connections sequentially; a client's
+//! EOF ends its session and the daemon accepts the next connection,
+//! while a `shutdown` request drains, flushes the cache index and
+//! exits the daemon. See the README's "Running the daemon" section and
+//! `examples/serve_client.rs`.
+
+use hierbus::harness;
+use hierbus::serve::{Daemon, DaemonOptions};
+use std::io::BufReader;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    workers: Option<usize>,
+    cache: usize,
+    cache_index: Option<PathBuf>,
+    socket: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workers: None,
+        cache: hierbus::serve::DEFAULT_CACHE_CAPACITY,
+        cache_index: None,
+        socket: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--workers" => {
+                args.workers = Some(
+                    value("--workers")?
+                        .parse()
+                        .map_err(|e| format!("--workers: {e}"))?,
+                )
+            }
+            "--cache" => {
+                args.cache = value("--cache")?
+                    .parse()
+                    .map_err(|e| format!("--cache: {e}"))?
+            }
+            "--cache-index" => args.cache_index = Some(PathBuf::from(value("--cache-index")?)),
+            "--socket" => args.socket = Some(PathBuf::from(value("--socket")?)),
+            "--help" | "-h" => {
+                println!(
+                    "usage: hierbus-serve [--workers N] [--cache N] \
+                     [--cache-index PATH] [--socket PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+#[cfg(unix)]
+fn serve_socket(daemon: &Daemon, path: &std::path::Path) -> std::io::Result<()> {
+    use std::os::unix::net::UnixListener;
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    eprintln!("hierbus-serve: listening on {}", path.display());
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let summary = daemon.serve(reader, stream)?;
+        eprintln!(
+            "hierbus-serve: session done ({} requests, {} hits, {} misses)",
+            summary.requests, summary.cache_hits, summary.cache_misses
+        );
+        if summary.shutdown {
+            break;
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("hierbus-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let workers = hierbus_campaign::worker_count(args.workers);
+    let daemon = Daemon::new(
+        harness::shared_db(),
+        DaemonOptions {
+            workers,
+            cache_capacity: args.cache,
+            cache_index: args.cache_index,
+        },
+    );
+    eprintln!(
+        "hierbus-serve: ready ({workers} workers, cache {} entries, db {})",
+        args.cache,
+        daemon.db_fingerprint()
+    );
+
+    let result = match &args.socket {
+        None => {
+            let stdin = BufReader::new(std::io::stdin());
+            let stdout = std::io::stdout();
+            daemon.serve(stdin, stdout).map(|summary| {
+                eprintln!(
+                    "hierbus-serve: session done ({} requests, {} hits, {} misses, {} retried)",
+                    summary.requests, summary.cache_hits, summary.cache_misses, summary.retried
+                );
+            })
+        }
+        Some(path) => {
+            #[cfg(unix)]
+            {
+                serve_socket(&daemon, path)
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                eprintln!("hierbus-serve: --socket requires a Unix platform");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("hierbus-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

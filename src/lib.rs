@@ -13,11 +13,13 @@
 pub mod harness;
 pub mod observe;
 
+pub use hierbus_campaign as campaign;
 pub use hierbus_core as core;
 pub use hierbus_ec as ec;
 pub use hierbus_jcvm as jcvm;
 pub use hierbus_obs as obs;
 pub use hierbus_power as power;
 pub use hierbus_rtl as rtl;
+pub use hierbus_serve as serve;
 pub use hierbus_sim as sim;
 pub use hierbus_soc as soc;
