@@ -10,8 +10,19 @@ cargo fmt --all -- --check
 echo "==> cargo build --release"
 cargo build --release --workspace --all-targets
 
-echo "==> cargo test"
+echo "==> cargo test (SIMD backends, runtime-detected)"
 cargo test -q --workspace
+
+echo "==> cargo test (scalar backend forced)"
+# The packed layer-1 engine ships a guaranteed-available scalar kernel
+# behind the same trait as the SIMD ones; forcing it keeps the fallback
+# from rotting on machines where the vector path always wins detection.
+HIERBUS_PACKED_BACKEND=scalar cargo test -q --workspace
+
+echo "==> cargo test (simd feature disabled at compile time)"
+# Belt and braces for the portability story: hierbus-power must build
+# and pass its own suite with no intrinsics compiled at all.
+cargo test -q -p hierbus-power --no-default-features
 
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

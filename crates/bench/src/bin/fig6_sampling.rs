@@ -25,7 +25,8 @@ fn fig6_scenario() -> Scenario {
             MasterOp::read(0x100),                          // request 1 (read)
             MasterOp::burst_write(0x200, vec![0xAA, 0x55]), // request 2 (write)
             MasterOp::burst_read(0x300, BurstLen::B2),      // request 3 (read)
-        ],
+        ]
+        .into(),
         waits: WaitProfile::new(1, 2, 2),
     }
 }

@@ -63,6 +63,21 @@ pub trait CycleBus {
         false
     }
 
+    /// True if at least one transaction is waiting in the finish queue.
+    /// Purely an optimisation hint: the master skips per-transaction
+    /// polling on cycles where nothing can have completed, which is
+    /// observationally invisible — a poll only ever succeeds when the
+    /// finish queue is non-empty. The conservative default keeps
+    /// polling every cycle.
+    fn has_finished(&self) -> bool {
+        true
+    }
+
+    /// Hints that the master will discard read data (records disabled),
+    /// so the bus may skip collecting per-beat read results. Purely an
+    /// optimisation hint; buses may ignore it.
+    fn discard_read_data(&mut self) {}
+
     /// Attaches an injected fault to the transaction just issued as
     /// `id`. Called by the master immediately after a successful
     /// [`issue`](CycleBus::issue); buses without fault support ignore
@@ -123,7 +138,7 @@ struct Retry {
 /// [`TxnOutcome`].
 #[derive(Debug)]
 pub struct TlmMaster {
-    ops: Vec<MasterOp>,
+    ops: std::sync::Arc<[MasterOp]>,
     next_op: usize,
     idle_left: u32,
     next_id: TxnId,
@@ -142,12 +157,16 @@ pub struct TlmMaster {
 
 impl TlmMaster {
     /// Creates a master for `ops` with the core's default limits.
-    pub fn new(ops: Vec<MasterOp>) -> Self {
+    pub fn new(ops: impl Into<std::sync::Arc<[MasterOp]>>) -> Self {
         Self::with_limits(ops, OutstandingLimits::CORE_DEFAULT)
     }
 
     /// Creates a master with explicit limits.
-    pub fn with_limits(ops: Vec<MasterOp>, limits: OutstandingLimits) -> Self {
+    pub fn with_limits(
+        ops: impl Into<std::sync::Arc<[MasterOp]>>,
+        limits: OutstandingLimits,
+    ) -> Self {
+        let ops = ops.into();
         let idle_left = ops.first().map_or(0, |op| op.idle_before);
         let outcomes = vec![None; ops.len()];
         TlmMaster {
@@ -265,6 +284,9 @@ impl TlmMaster {
     /// [`TlmSystem`] calls it once more so completions from already
     /// executed cycles are not spuriously aborted.
     pub fn pickup<B: CycleBus>(&mut self, bus: &mut B, cycle: u64) {
+        if self.in_flight.is_empty() || !bus.has_finished() {
+            return;
+        }
         let mut i = 0;
         while i < self.in_flight.len() {
             let f = self.in_flight[i];
@@ -279,7 +301,7 @@ impl TlmMaster {
                         r.done_cycle = Some(done.done_cycle);
                         r.error = done.error;
                         if r.kind != AccessKind::DataWrite {
-                            r.data = done.data.clone();
+                            r.data = done.data;
                         }
                     }
                     self.tracker.complete(f.cat);
@@ -308,9 +330,11 @@ impl TlmMaster {
         let txn = Transaction::new(id, op.kind, op.addr, op.width, op.burst, op.data.clone());
         let status = bus.issue(txn, cycle);
         debug_assert_eq!(status, BusStatus::Request, "bus rejected a legal issue");
-        if let Some(kind) = self.plan.resolve(op_idx, attempt) {
-            self.counters.injected += 1;
-            bus.inject(id, kind);
+        if !self.plan.is_empty() {
+            if let Some(kind) = self.plan.resolve(op_idx, attempt) {
+                self.counters.injected += 1;
+                bus.inject(id, kind);
+            }
         }
         let rec = self.records.len();
         if self.keep_records {
@@ -325,7 +349,7 @@ impl TlmMaster {
                 done_cycle: None,
                 error: None,
                 data: if op.kind == AccessKind::DataWrite {
-                    op.data.clone()
+                    op.data.to_vec()
                 } else {
                     Vec::new()
                 },
@@ -425,11 +449,15 @@ pub struct TlmSystem<B> {
     tear: CycleSchedule<()>,
     torn: bool,
     sampled: FaultCounters,
+    /// True once a fault plan/policy is attached; the per-cycle counter
+    /// sampling is skipped entirely on clean runs.
+    faults_configured: bool,
 }
 
 impl<B: CycleBus> TlmSystem<B> {
     /// Creates a system replaying `ops` on `bus`.
-    pub fn new(mut bus: B, ops: Vec<MasterOp>) -> Self {
+    pub fn new(mut bus: B, ops: impl Into<std::sync::Arc<[MasterOp]>>) -> Self {
+        let ops = ops.into();
         bus.reserve_transactions(ops.len());
         TlmSystem {
             bus,
@@ -439,6 +467,7 @@ impl<B: CycleBus> TlmSystem<B> {
             tear: CycleSchedule::new(),
             torn: false,
             sampled: FaultCounters::default(),
+            faults_configured: false,
         }
     }
 
@@ -450,14 +479,17 @@ impl<B: CycleBus> TlmSystem<B> {
             self.tear.at(tc, ());
         }
         self.master.set_faults(plan, policy);
+        self.faults_configured = true;
         self
     }
 
     /// Disables per-transaction record keeping (throughput measurement
     /// mode); [`TlmReport::records`] will be empty but cycle and
-    /// completion counts stay correct.
+    /// completion counts stay correct. The bus is also told it may
+    /// discard read data, since nothing will keep it.
     pub fn disable_records(&mut self) {
         self.master.disable_records();
+        self.bus.discard_read_data();
     }
 
     /// Transactions completed so far.
@@ -490,7 +522,7 @@ impl<B: CycleBus> TlmSystem<B> {
     pub fn step_cycle(&mut self, hook: &mut impl FnMut(&mut B)) {
         self.master.rising_edge(&mut self.bus, self.cycle);
         self.sample_fault_counters();
-        if !self.bus.is_idle() || self.bus.wants_every_cycle() {
+        if self.bus.wants_every_cycle() || !self.bus.is_idle() {
             self.bus.bus_process(self.cycle);
             self.bus_activations += 1;
             hook(&mut self.bus);
@@ -501,6 +533,9 @@ impl<B: CycleBus> TlmSystem<B> {
     /// Mirrors the master's fault counters into the bus trace whenever
     /// they change.
     fn sample_fault_counters(&mut self) {
+        if !self.faults_configured {
+            return;
+        }
         let c = self.master.fault_counters();
         if c == self.sampled {
             return;
@@ -687,7 +722,7 @@ mod tests {
             addr: Address::new(0x40),
             width: DataWidth::W32,
             burst: BurstLen::B4,
-            data: Vec::new(),
+            data: Vec::new().into(),
         }];
         let mut sys = TlmSystem::new(FixedLatencyBus::<1>::default(), stim);
         let report = sys.run(100, |_| {});

@@ -46,7 +46,7 @@ struct ScWorld<B> {
 /// Panics if the stimulus does not complete within `max_cycles`.
 pub fn run_on_kernel<B>(
     bus: B,
-    ops: Vec<MasterOp>,
+    ops: impl Into<std::sync::Arc<[MasterOp]>>,
     max_cycles: u64,
     hook: impl FnMut(&mut B) + 'static,
 ) -> TlmReport

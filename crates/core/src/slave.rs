@@ -48,6 +48,18 @@ pub trait TlmSlave {
         let _ = cycle;
     }
 
+    /// True when this slave has per-cycle behaviour (a [`tick`] body or
+    /// an interrupt line) the bus must consult every activation. Pure
+    /// memories return `false`, letting the bus skip the per-cycle
+    /// notification loop entirely. Defaults to `true` — the safe answer
+    /// for any peripheral that overrides [`tick`] or [`irq`].
+    ///
+    /// [`tick`]: TlmSlave::tick
+    /// [`irq`]: TlmSlave::irq
+    fn wants_tick(&self) -> bool {
+        true
+    }
+
     /// Opt-in downcasting hook so post-run analyses (e.g. the component
     /// energy models) can read a peripheral's activity counters back out
     /// of the bus. Peripherals that expose counters override this with
@@ -127,27 +139,123 @@ pub trait HasSlaves {
     }
 }
 
-/// A sparse memory slave with the same deterministic fill pattern as the
-/// RTL reference's memory, so both models observe identical data.
+/// Largest address window (bytes) backed by the dense array. A 1 MiB
+/// window costs 1 MiB of values plus a 32 KiB written-bitmap once the
+/// first write lands; larger windows stay on the sparse map.
+const DENSE_LIMIT_BYTES: u64 = 1 << 20;
+
+/// Storage behind a [`MemSlave`]: a flat array indexed by the word
+/// offset within the slave's window (lazily allocated on first write,
+/// with a written-bitmap so untouched words keep the fill pattern), or
+/// the sparse map for windows too large to back densely. Both report
+/// identical contents; dense exists because the layer-1 hot loop pays a
+/// hash probe per data beat otherwise.
+#[derive(Debug, Clone)]
+enum Backing {
+    Dense {
+        /// Word offset of the window base.
+        base_word: u64,
+        /// Window length in words.
+        len_words: u64,
+        /// Current word values; empty until the first write.
+        values: Vec<u32>,
+        /// One bit per word: written at least once.
+        written: Vec<u64>,
+    },
+    Sparse(hierbus_ec::FastIdMap<u64, u32>),
+}
+
+/// A memory slave with the same deterministic fill pattern as the RTL
+/// reference's memory, so both models observe identical data.
 #[derive(Debug, Clone)]
 pub struct MemSlave {
     config: SlaveConfig,
-    words: hierbus_ec::FastIdMap<u64, u32>,
+    backing: Backing,
+}
+
+fn fill_of(word_offset: u64) -> u32 {
+    (word_offset as u32).wrapping_mul(0x9E37_79B9) ^ 0x5A5A_5A5A
 }
 
 impl MemSlave {
     /// Creates a memory slave.
     pub fn new(config: SlaveConfig) -> Self {
-        MemSlave {
-            config,
-            words: hierbus_ec::FastIdMap::default(),
-        }
+        let range = config.range;
+        let backing = if range.size() <= DENSE_LIMIT_BYTES {
+            let base_word = range.base().word_offset();
+            let last_word = (range.base().raw() + range.size() - 1) >> 2;
+            Backing::Dense {
+                base_word,
+                len_words: last_word - base_word + 1,
+                values: Vec::new(),
+                written: Vec::new(),
+            }
+        } else {
+            Backing::Sparse(hierbus_ec::FastIdMap::default())
+        };
+        MemSlave { config, backing }
     }
 
     /// The background pattern of a never-written word (identical to the
     /// RTL reference's `SimpleMem::fill_pattern`).
     pub fn fill_pattern(addr: Address) -> u32 {
-        (addr.word_offset() as u32).wrapping_mul(0x9E37_79B9) ^ 0x5A5A_5A5A
+        fill_of(addr.word_offset())
+    }
+
+    fn get_word(&self, key: u64) -> u32 {
+        match &self.backing {
+            Backing::Dense {
+                base_word,
+                len_words,
+                values,
+                written,
+            } => {
+                let idx = key.wrapping_sub(*base_word);
+                if idx < *len_words && !values.is_empty() {
+                    let i = idx as usize;
+                    if written[i >> 6] & (1u64 << (i & 63)) != 0 {
+                        return values[i];
+                    }
+                }
+                fill_of(key)
+            }
+            Backing::Sparse(map) => *map.get(&key).unwrap_or(&fill_of(key)),
+        }
+    }
+
+    fn set_word(&mut self, key: u64, value: u32) {
+        match &mut self.backing {
+            Backing::Dense {
+                base_word,
+                len_words,
+                values,
+                written,
+            } => {
+                let idx = key.wrapping_sub(*base_word);
+                if idx < *len_words {
+                    if values.is_empty() {
+                        values.resize(*len_words as usize, 0);
+                        written.resize((*len_words as usize).div_ceil(64), 0);
+                    }
+                    let i = idx as usize;
+                    values[i] = value;
+                    written[i >> 6] |= 1u64 << (i & 63);
+                    return;
+                }
+                // A write outside the configured window (possible only
+                // through `load`, never through the decoded bus): fall
+                // back to the sparse map, carrying the dense contents.
+                let mut map = hierbus_ec::FastIdMap::default();
+                for (k, v) in self.snapshot() {
+                    map.insert(k, v);
+                }
+                map.insert(key, value);
+                self.backing = Backing::Sparse(map);
+            }
+            Backing::Sparse(map) => {
+                map.insert(key, value);
+            }
+        }
     }
 
     /// Pre-loads consecutive words starting at `addr`.
@@ -158,30 +266,53 @@ impl MemSlave {
     pub fn load(&mut self, addr: Address, words: &[u32]) {
         assert!(addr.is_aligned(4), "load base {addr} must be word aligned");
         for (i, &w) in words.iter().enumerate() {
-            self.words.insert(addr.word_offset() + i as u64, w);
+            self.set_word(addr.word_offset() + i as u64, w);
         }
     }
 
     /// Reads back a word without bus semantics (test/inspection aid).
     pub fn peek(&self, addr: Address) -> u32 {
-        *self
-            .words
-            .get(&addr.word_offset())
-            .unwrap_or(&Self::fill_pattern(addr))
+        self.get_word(addr.word_offset())
     }
 
     /// All explicitly written words as `(word_offset, value)`, sorted —
     /// the committed-memory fingerprint for cross-layer equality checks.
     pub fn snapshot(&self) -> Vec<(u64, u32)> {
-        let mut v: Vec<(u64, u32)> = self.words.iter().map(|(&k, &w)| (k, w)).collect();
-        v.sort_unstable();
-        v
+        match &self.backing {
+            Backing::Dense {
+                base_word,
+                values,
+                written,
+                ..
+            } => {
+                let mut v = Vec::new();
+                for (w, &bits) in written.iter().enumerate() {
+                    let mut bits = bits;
+                    while bits != 0 {
+                        let bit = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let i = (w << 6) | bit;
+                        v.push((base_word + i as u64, values[i]));
+                    }
+                }
+                v
+            }
+            Backing::Sparse(map) => {
+                let mut v: Vec<(u64, u32)> = map.iter().map(|(&k, &w)| (k, w)).collect();
+                v.sort_unstable();
+                v
+            }
+        }
     }
 }
 
 impl TlmSlave for MemSlave {
     fn config(&self) -> SlaveConfig {
         self.config
+    }
+
+    fn wants_tick(&self) -> bool {
+        false
     }
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
@@ -194,7 +325,7 @@ impl TlmSlave for MemSlave {
 
     fn write_word(&mut self, addr: Address, data: u32, ben: u8) -> SlaveReply<()> {
         let key = addr.word_offset();
-        let old = self.peek(addr);
+        let old = self.get_word(key);
         let mut merged = old;
         for lane in 0..4 {
             if ben & (1 << lane) != 0 {
@@ -202,7 +333,7 @@ impl TlmSlave for MemSlave {
                 merged = (merged & !mask) | (data & mask);
             }
         }
-        self.words.insert(key, merged);
+        self.set_word(key, merged);
         SlaveReply::Ok(())
     }
 }
@@ -264,6 +395,44 @@ mod tests {
         assert_eq!(
             MemSlave::fill_pattern(a),
             (a.word_offset() as u32).wrapping_mul(0x9E37_79B9) ^ 0x5A5A_5A5A
+        );
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_exact_dense_and_sparse() {
+        let dense = SlaveConfig::new(
+            AddressRange::new(Address::new(0x100), 0x1000),
+            WaitProfile::ZERO,
+            AccessRights::RWX,
+        );
+        let sparse = SlaveConfig::new(
+            AddressRange::new(Address::new(0x100), super::DENSE_LIMIT_BYTES * 2),
+            WaitProfile::ZERO,
+            AccessRights::RWX,
+        );
+        for cfg in [dense, sparse] {
+            let mut m = MemSlave::new(cfg);
+            m.write_word(Address::new(0x200), 7, 0b1111);
+            m.write_word(Address::new(0x104), 9, 0b1111);
+            assert_eq!(m.snapshot(), vec![(0x104 >> 2, 9), (0x200 >> 2, 7)]);
+            assert_eq!(
+                m.peek(Address::new(0x108)),
+                MemSlave::fill_pattern(Address::new(0x108))
+            );
+        }
+    }
+
+    #[test]
+    fn load_outside_window_falls_back_to_sparse() {
+        let mut m = mem(); // window [0, 0x1000): dense
+        m.write_word(Address::new(0x10), 1, 0b1111);
+        m.load(Address::new(0x4000), &[5, 6]); // outside the window
+        assert_eq!(m.peek(Address::new(0x10)), 1);
+        assert_eq!(m.peek(Address::new(0x4000)), 5);
+        assert_eq!(m.peek(Address::new(0x4004)), 6);
+        assert_eq!(
+            m.snapshot(),
+            vec![(0x10 >> 2, 1), (0x4000 >> 2, 5), (0x4004 >> 2, 6)]
         );
     }
 

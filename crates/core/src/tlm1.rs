@@ -64,16 +64,27 @@ struct Beat {
 pub struct Tlm1Bus {
     map: AddressMap,
     slaves: Vec<Box<dyn TlmSlave>>,
+    /// Slaves with per-cycle behaviour ([`TlmSlave::wants_tick`]),
+    /// cached at construction so pure-memory systems skip the
+    /// notification loop entirely.
+    ticking: Vec<usize>,
     active: Vec<Active>,
-    by_id: FastIdMap<TxnId, usize>,
+    /// Indices of `active` slots whose transaction was picked up and can
+    /// be reused — keeps the table at outstanding-limit size instead of
+    /// growing one slot per transaction for the whole run.
+    free: Vec<usize>,
     request_q: VecDeque<usize>,
     addr_fsm: AddrFsm,
     read_q: VecDeque<usize>,
     write_q: VecDeque<usize>,
     read_beat: Option<Beat>,
     write_beat: Option<Beat>,
-    finish_q: FastIdMap<TxnId, usize>,
+    /// Completed transactions awaiting master pickup, as `(id, active
+    /// slot)`. Holds at most the outstanding limit, so a flat vector
+    /// beats a hash map on both insert and the poll-side lookup.
+    finish_q: Vec<(TxnId, usize)>,
     faults: FastIdMap<TxnId, FaultKind>,
+    discard_read_data: bool,
     emit_frames: bool,
     frame: SignalFrame,
     irq_mask: u64,
@@ -93,19 +104,27 @@ impl Tlm1Bus {
             map.add_slave(s.config())
                 .expect("slave windows must not overlap");
         }
+        let ticking = slaves
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.wants_tick())
+            .map(|(i, _)| i)
+            .collect();
         Tlm1Bus {
             map,
             slaves,
+            ticking,
             active: Vec::new(),
-            by_id: FastIdMap::default(),
+            free: Vec::new(),
             request_q: VecDeque::new(),
             addr_fsm: AddrFsm::Idle,
             read_q: VecDeque::new(),
             write_q: VecDeque::new(),
             read_beat: None,
             write_beat: None,
-            finish_q: FastIdMap::default(),
+            finish_q: Vec::new(),
             faults: FastIdMap::default(),
+            discard_read_data: false,
             emit_frames: false,
             frame: SignalFrame::default(),
             irq_mask: 0,
@@ -253,7 +272,7 @@ impl Tlm1Bus {
                 let a = &mut self.active[idx];
                 a.done = Some(cycle);
                 a.error = Some(e);
-                self.finish_q.insert(a.txn.id, idx);
+                self.finish_q.push((a.txn.id, idx));
             }
             None => {
                 self.active[idx].addr_done = Some(cycle);
@@ -320,7 +339,7 @@ impl Tlm1Bus {
                 let a = &mut self.active[idx];
                 a.done = Some(cycle);
                 a.error = Some(BusError::SlaveError(addr));
-                self.finish_q.insert(a.txn.id, idx);
+                self.finish_q.push((a.txn.id, idx));
                 self.obs
                     .end(self.active[idx].txn.id.0, Phase::ReadData, cycle, true);
             }
@@ -328,14 +347,15 @@ impl Tlm1Bus {
                 if self.emit_frames {
                     frame.drive_read(word, tag, true, false);
                 }
-                let value = width.extract(addr, word);
                 let a = &mut self.active[idx];
-                a.read_data.push(value);
+                if !self.discard_read_data {
+                    a.read_data.push(width.extract(addr, word));
+                }
                 let last = beat_no + 1 == a.txn.beats();
                 if last {
                     a.done = Some(cycle);
                     let id = a.txn.id;
-                    self.finish_q.insert(id, idx);
+                    self.finish_q.push((id, idx));
                     self.read_beat = None;
                     self.obs.end(id.0, Phase::ReadData, cycle, false);
                 } else {
@@ -409,7 +429,7 @@ impl Tlm1Bus {
                 let a = &mut self.active[idx];
                 a.done = Some(cycle);
                 a.error = Some(BusError::SlaveError(addr));
-                self.finish_q.insert(a.txn.id, idx);
+                self.finish_q.push((a.txn.id, idx));
                 self.obs
                     .end(self.active[idx].txn.id.0, Phase::WriteData, cycle, true);
             }
@@ -422,7 +442,7 @@ impl Tlm1Bus {
                 if last {
                     a.done = Some(cycle);
                     let id = a.txn.id;
-                    self.finish_q.insert(id, idx);
+                    self.finish_q.push((id, idx));
                     self.write_beat = None;
                     self.obs.end(id.0, Phase::WriteData, cycle, false);
                 } else {
@@ -440,14 +460,12 @@ impl Tlm1Bus {
 
 impl CycleBus for Tlm1Bus {
     fn reserve_transactions(&mut self, n: usize) {
-        self.active.reserve(n);
-        self.by_id.reserve(n);
-        self.request_q.reserve(n);
+        // Active slots are recycled through the free list, so the table
+        // peaks near the outstanding limit, not at the stimulus length.
+        self.active.reserve(n.min(64));
     }
 
     fn issue(&mut self, txn: Transaction, cycle: u64) -> BusStatus {
-        let idx = self.active.len();
-        self.by_id.insert(txn.id, idx);
         self.obs.begin(
             txn.id.0,
             Phase::Request,
@@ -455,19 +473,29 @@ impl CycleBus for Tlm1Bus {
             txn.addr.raw(),
             access_class(txn.kind),
         );
-        let read_beats = if txn.kind.is_read() {
+        let read_beats = if txn.kind.is_read() && !self.discard_read_data {
             txn.beats() as usize
         } else {
             0
         };
-        self.active.push(Active {
+        let entry = Active {
             txn,
             slave: None,
             addr_done: None,
             done: None,
             error: None,
             read_data: Vec::with_capacity(read_beats),
-        });
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.active[i] = entry;
+                i
+            }
+            None => {
+                self.active.push(entry);
+                self.active.len() - 1
+            }
+        };
         self.request_q.push_back(idx);
         BusStatus::Request
     }
@@ -481,17 +509,22 @@ impl CycleBus for Tlm1Bus {
     }
 
     fn poll(&mut self, id: TxnId) -> PollStatus {
-        match self.finish_q.remove(&id) {
+        match self.finish_q.iter().position(|&(fid, _)| fid == id) {
             None => PollStatus::Pending,
-            Some(idx) => {
-                self.faults.remove(&id);
+            Some(pos) => {
+                let (_, idx) = self.finish_q.swap_remove(pos);
+                if !self.faults.is_empty() {
+                    self.faults.remove(&id);
+                }
                 let a = &mut self.active[idx];
-                PollStatus::Done(Completed {
+                let done = Completed {
                     addr_done_cycle: a.addr_done,
                     done_cycle: a.done.expect("finished entries have a done cycle"),
                     error: a.error,
                     data: std::mem::take(&mut a.read_data),
-                })
+                };
+                self.free.push(idx);
+                PollStatus::Done(done)
             }
         }
     }
@@ -500,14 +533,17 @@ impl CycleBus for Tlm1Bus {
         // Phase 0, get_slave_state(): slave configurations are consulted
         // through the address map inside each phase below; peripherals
         // get their time notification first.
-        let mut irq = 0u64;
-        for (i, s) in self.slaves.iter_mut().enumerate() {
-            s.tick(cycle);
-            if s.irq() {
-                irq |= 1 << i;
+        if !self.ticking.is_empty() {
+            let mut irq = 0u64;
+            for &i in &self.ticking {
+                let s = &mut self.slaves[i];
+                s.tick(cycle);
+                if s.irq() {
+                    irq |= 1 << i;
+                }
             }
+            self.irq_mask = irq;
         }
-        self.irq_mask = irq;
         let mut frame = if self.emit_frames {
             self.frame.to_idle()
         } else {
@@ -532,6 +568,14 @@ impl CycleBus for Tlm1Bus {
 
     fn wants_every_cycle(&self) -> bool {
         self.emit_frames
+    }
+
+    fn has_finished(&self) -> bool {
+        !self.finish_q.is_empty()
+    }
+
+    fn discard_read_data(&mut self) {
+        self.discard_read_data = true;
     }
 }
 
@@ -573,7 +617,10 @@ mod tests {
         Tlm1Bus::new(vec![Box::new(mem)])
     }
 
-    fn run(ops: Vec<MasterOp>, waits: WaitProfile) -> crate::master::TlmReport {
+    fn run(
+        ops: impl Into<std::sync::Arc<[MasterOp]>>,
+        waits: WaitProfile,
+    ) -> crate::master::TlmReport {
         let mut sys = TlmSystem::new(bus_with_waits(waits), ops);
         sys.run(10_000, |_| {})
     }
@@ -757,7 +804,7 @@ mod tests {
                     addr: Address::new(0x301),
                     width: hierbus_ec::DataWidth::W8,
                     burst: BurstLen::Single,
-                    data: vec![0xEE],
+                    data: vec![0xEE].into(),
                 },
                 MasterOp::read(0x300).after_idle(2),
             ],

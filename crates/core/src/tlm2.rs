@@ -307,7 +307,7 @@ impl Tlm2Bus {
             // payload onto the bus, so the event keeps it for energy.
             error = Some(BusError::SlaveError(addr));
             if !kind.is_read() {
-                words = self.active[idx].txn.data.clone();
+                words = self.active[idx].txn.data.to_vec();
             }
         } else if kind.is_read() {
             if width == DataWidth::W32 {
@@ -336,7 +336,7 @@ impl Tlm2Bus {
                     Err(e) => error = Some(e),
                 }
             }
-            words = payload;
+            words = payload.to_vec();
         }
         let a = &mut self.active[idx];
         a.done = Some(cycle);
@@ -499,6 +499,10 @@ impl CycleBus for Tlm2Bus {
 
     fn obs_counter(&mut self, track: &'static str, cycle: u64, value: f64) {
         self.obs.counter_sample(track, cycle, value);
+    }
+
+    fn has_finished(&self) -> bool {
+        !self.finish_q.is_empty()
     }
 
     fn poll(&mut self, id: TxnId) -> PollStatus {
@@ -705,7 +709,10 @@ mod tests {
         Tlm2Bus::new(vec![Box::new(mem)])
     }
 
-    fn run(ops: Vec<MasterOp>, waits: WaitProfile) -> crate::master::TlmReport {
+    fn run(
+        ops: impl Into<std::sync::Arc<[MasterOp]>>,
+        waits: WaitProfile,
+    ) -> crate::master::TlmReport {
         let mut sys = TlmSystem::new(bus_with_waits(waits), ops);
         sys.run(10_000, |_| {})
     }

@@ -157,6 +157,10 @@ impl CycleBus for Tlm3Bus {
         BusStatus::Request
     }
 
+    fn has_finished(&self) -> bool {
+        !self.finish_q.is_empty()
+    }
+
     fn poll(&mut self, id: TxnId) -> PollStatus {
         match self.finish_q.remove(&id) {
             Some(done) => PollStatus::Done(done),
@@ -283,7 +287,7 @@ mod tests {
                     addr: Address::new(0x201),
                     width: DataWidth::W8,
                     burst: hierbus_ec::BurstLen::Single,
-                    data: Vec::new(),
+                    data: Vec::new().into(),
                 },
             ],
         );

@@ -34,8 +34,11 @@ pub struct MasterOp {
     pub width: DataWidth,
     /// Beat count.
     pub burst: BurstLen,
-    /// Write payload (one word per beat); empty for reads.
-    pub data: Vec<u32>,
+    /// Write payload (one word per beat); empty for reads. Shared for
+    /// the same reason as [`Scenario::ops`]: issuing a transaction
+    /// hands the payload to the bus as a reference-count bump instead
+    /// of an allocation per write.
+    pub data: std::sync::Arc<[u32]>,
 }
 
 impl MasterOp {
@@ -47,7 +50,7 @@ impl MasterOp {
             addr: Address::new(addr),
             width: DataWidth::W32,
             burst: BurstLen::Single,
-            data: Vec::new(),
+            data: Vec::new().into(),
         }
     }
 
@@ -59,7 +62,7 @@ impl MasterOp {
             addr: Address::new(addr),
             width: DataWidth::W32,
             burst: BurstLen::Single,
-            data: vec![value],
+            data: vec![value].into(),
         }
     }
 
@@ -71,7 +74,7 @@ impl MasterOp {
             addr: Address::new(addr),
             width: DataWidth::W32,
             burst,
-            data: Vec::new(),
+            data: Vec::new().into(),
         }
     }
 
@@ -102,7 +105,7 @@ impl MasterOp {
             addr: Address::new(addr),
             width: DataWidth::W32,
             burst,
-            data,
+            data: data.into(),
         }
     }
 
@@ -119,8 +122,12 @@ impl MasterOp {
 pub struct Scenario {
     /// Short identifier, e.g. `"single_read_wait"`.
     pub name: &'static str,
-    /// The stimuli, in issue order.
-    pub ops: Vec<MasterOp>,
+    /// The stimuli, in issue order. Shared so that handing a scenario
+    /// to a system is a reference-count bump, not a deep copy — perf
+    /// arms and campaign workers re-run the same scenario thousands of
+    /// times and the per-run clone/drop of the op list (with its burst
+    /// data vectors) used to dominate setup cost.
+    pub ops: std::sync::Arc<[MasterOp]>,
     /// Wait states the test slave inserts.
     pub waits: WaitProfile,
 }
@@ -194,7 +201,7 @@ pub fn single_read(wait: bool) -> Scenario {
         } else {
             "single_read"
         },
-        ops: vec![MasterOp::read(SCENARIO_BASE)],
+        ops: vec![MasterOp::read(SCENARIO_BASE)].into(),
         waits: if wait {
             WaitProfile::new(1, 2, 2)
         } else {
@@ -212,7 +219,7 @@ pub fn single_write(wait: bool) -> Scenario {
         } else {
             "single_write"
         },
-        ops: vec![MasterOp::write(SCENARIO_BASE, 0xCAFE_F00D)],
+        ops: vec![MasterOp::write(SCENARIO_BASE, 0xCAFE_F00D)].into(),
         waits: if wait {
             WaitProfile::new(1, 0, 3)
         } else {
@@ -250,7 +257,8 @@ pub fn write_after_read() -> Scenario {
         ops: vec![
             MasterOp::read(SCENARIO_BASE),
             MasterOp::write(SCENARIO_BASE + 0x20, 0xAA55_AA55),
-        ],
+        ]
+        .into(),
         waits: WaitProfile::new(0, 2, 0),
     }
 }
@@ -263,7 +271,8 @@ pub fn read_after_write_reordered() -> Scenario {
         ops: vec![
             MasterOp::write(SCENARIO_BASE + 0x40, 0xDEAD_BEEF),
             MasterOp::read(SCENARIO_BASE),
-        ],
+        ]
+        .into(),
         waits: WaitProfile::new(0, 0, 4),
     }
 }
@@ -275,7 +284,8 @@ pub fn burst_reads() -> Scenario {
         ops: vec![
             MasterOp::burst_read(SCENARIO_BASE, BurstLen::B4),
             MasterOp::burst_read(SCENARIO_BASE + 0x40, BurstLen::B8).after_idle(1),
-        ],
+        ]
+        .into(),
         waits: WaitProfile::new(0, 1, 1),
     }
 }
@@ -291,7 +301,8 @@ pub fn burst_writes() -> Scenario {
             ),
             MasterOp::burst_write(SCENARIO_BASE + 0x40, vec![0xF0F0_F0F0, 0x0F0F_0F0F])
                 .after_idle(1),
-        ],
+        ]
+        .into(),
         waits: WaitProfile::new(1, 0, 1),
     }
 }
@@ -418,12 +429,12 @@ pub fn random_mix(seed: u64, params: MixParams) -> Scenario {
             addr: Address::new(addr),
             width: DataWidth::W32,
             burst,
-            data,
+            data: data.into(),
         });
     }
     Scenario {
         name: "random_mix",
-        ops,
+        ops: ops.into(),
         waits: WaitProfile::new(0, 1, 1),
     }
 }
@@ -464,7 +475,7 @@ mod tests {
     #[test]
     fn write_ops_carry_payloads_reads_do_not() {
         for s in all_scenarios() {
-            for op in &s.ops {
+            for op in s.ops.iter() {
                 if op.kind == AccessKind::DataWrite {
                     assert_eq!(op.data.len(), op.burst.beats() as usize, "{}", s.name);
                 } else {
@@ -504,7 +515,7 @@ mod tests {
             window: 0x2000,
             ..MixParams::default()
         };
-        for op in &random_mix(42, p).ops {
+        for op in random_mix(42, p).ops.iter() {
             let span = 4 * op.burst.beats() as u64;
             assert!(op.addr.raw() >= p.base);
             assert!(op.addr.raw() + span <= p.base + p.window);

@@ -168,7 +168,7 @@ pub struct Transaction {
     /// Number of beats.
     pub burst: BurstLen,
     /// Beat payloads (writes: input; reads: filled on completion).
-    pub data: Vec<u32>,
+    pub data: std::sync::Arc<[u32]>,
 }
 
 impl Transaction {
@@ -185,8 +185,9 @@ impl Transaction {
         addr: Address,
         width: DataWidth,
         burst: BurstLen,
-        data: Vec<u32>,
+        data: impl Into<std::sync::Arc<[u32]>>,
     ) -> Self {
+        let data = data.into();
         assert!(
             !burst.is_burst() || width == DataWidth::W32,
             "burst transfers must be word-width"
@@ -322,7 +323,7 @@ mod tests {
     #[test]
     fn single_write_masks_payload() {
         let t = Transaction::single_write(TxnId(0), Address::new(0x3), DataWidth::W8, 0xABCD);
-        assert_eq!(t.data, vec![0xCD]);
+        assert_eq!(&t.data[..], &[0xCD]);
     }
 
     #[test]

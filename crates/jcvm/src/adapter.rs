@@ -338,7 +338,7 @@ impl<B: CycleBus> BusStack<B> {
                 Address::new(self.config.base + regs::WINDOW),
                 DataWidth::W32,
                 burst,
-                chunk.iter().map(|&v| v as u32).collect(),
+                chunk.iter().map(|&v| v as u32).collect::<Vec<u32>>(),
             );
             if self.do_txn(txn).error.is_some() {
                 return Err(JcvmError::StackOverflow);
@@ -360,7 +360,7 @@ impl<B: CycleBus> BusStack<B> {
                 Address::new(self.config.base + regs::WINDOW),
                 DataWidth::W32,
                 burst,
-                Vec::new(),
+                Vec::<u32>::new(),
             );
             let done = self.do_txn(txn);
             if done.error.is_some() {

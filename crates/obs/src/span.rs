@@ -145,6 +145,7 @@ impl TraceCollector {
     }
 
     /// Opens a phase span for a transaction at `cycle`.
+    #[inline]
     pub fn begin(
         &mut self,
         trace_id: u64,
@@ -160,6 +161,7 @@ impl TraceCollector {
 
     /// Closes a phase span at `cycle` (inclusive). Unmatched ends are
     /// ignored so probe sites don't have to track model corner cases.
+    #[inline]
     pub fn end(&mut self, trace_id: u64, phase: Phase, cycle: u64, error: bool) {
         if !self.enabled {
             return;
@@ -184,6 +186,7 @@ impl TraceCollector {
 
     /// Appends a counter-track sample, skipping repeats of the same
     /// value.
+    #[inline]
     pub fn counter_sample(&mut self, track: &str, cycle: u64, value: f64) {
         if !self.enabled {
             return;

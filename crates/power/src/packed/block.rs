@@ -1,0 +1,310 @@
+//! The structure-of-arrays frame block and the batched layer-1 engine.
+
+use super::Backend;
+use crate::layer1::Layer1EnergyModel;
+use hierbus_ec::{SignalFrame, TogglesByClass};
+
+/// Frames buffered per flush. 64 cycles × 6 classes of `u64` columns
+/// plus the count matrix is ~4.6 KiB — deep enough to amortize kernel
+/// dispatch, small enough to live in L1.
+pub const BLOCK: usize = 64;
+
+/// A block of consecutive frames transposed into per-class word
+/// columns (structure-of-arrays).
+///
+/// The AoS view — one [`SignalFrame`] per cycle — is what the bus
+/// produces; transition counting wants the transpose: for each signal
+/// class, the column of packed words across cycles, because
+/// `popcount(col[i+1] ^ col[i])` for all `i` is one lane-parallel
+/// sweep. Index 0 of every column is the *carry*: the class word of
+/// the frame before the block, so blocks chain without a seam and an
+/// empty flush is a no-op.
+#[derive(Debug, Clone)]
+pub struct FrameBlock {
+    /// `cols[class][1 + cycle]` = packed class word; `cols[class][0]`
+    /// is the carry word from before the block.
+    cols: [[u64; BLOCK + 1]; 6],
+    /// Per-class transition counts produced by the kernel sweep.
+    counts: [[u32; BLOCK]; 6],
+    /// Buffered (un-flushed) cycles.
+    len: usize,
+    /// The newest buffered frame, pending [`Layer1EnergyModel`]'s
+    /// `prev` update at flush time.
+    last: SignalFrame,
+}
+
+impl FrameBlock {
+    /// An empty block whose carry is the idle (reset) frame.
+    pub fn new() -> FrameBlock {
+        let last = SignalFrame::default();
+        let w = last.packed();
+        FrameBlock {
+            cols: std::array::from_fn(|c| {
+                let mut col = [0u64; BLOCK + 1];
+                col[0] = w.words()[c];
+                col
+            }),
+            counts: [[0; BLOCK]; 6],
+            len: 0,
+            last,
+        }
+    }
+
+    /// Buffered cycles not yet booked into a model.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no cycles are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drops buffered frames and re-seeds the carry from `prev` (used
+    /// on model reset).
+    fn rewind_to(&mut self, prev: &SignalFrame) {
+        let w = prev.packed();
+        for (c, col) in self.cols.iter_mut().enumerate() {
+            col[0] = w.words()[c];
+        }
+        self.len = 0;
+        self.last = *prev;
+    }
+
+    /// Appends one frame's class words. Returns `true` when the block
+    /// is full and must be flushed.
+    #[inline]
+    fn push(&mut self, frame: &SignalFrame) -> bool {
+        let w = frame.packed();
+        let i = self.len + 1;
+        for (c, col) in self.cols.iter_mut().enumerate() {
+            col[i] = w.words()[c];
+        }
+        self.last = *frame;
+        self.len = i;
+        self.len == BLOCK
+    }
+}
+
+impl Default for FrameBlock {
+    fn default() -> Self {
+        FrameBlock::new()
+    }
+}
+
+/// A [`Layer1EnergyModel`] fed through a [`FrameBlock`]: frames buffer
+/// into the SoA columns, and whole blocks of per-class transition
+/// counts are computed by one packed sweep per class
+/// ([`Backend::adjacent_popcount`]) before being booked cycle-by-cycle
+/// in the scalar engine's exact f64 order.
+///
+/// Queries go through [`model`](Self::model)/[`finish`](Self::finish),
+/// which flush buffered cycles first — the wrapped model is only
+/// current at flush boundaries.
+///
+/// ```
+/// use hierbus_power::{BatchedLayer1, CharacterizationDb, Layer1EnergyModel};
+/// use hierbus_ec::SignalFrame;
+///
+/// let mut batched = BatchedLayer1::new(Layer1EnergyModel::new(CharacterizationDb::uniform()));
+/// let frame = SignalFrame { a_addr: 0xFF, ..SignalFrame::default() };
+/// batched.on_frame(&frame); // buffered, not yet booked
+/// assert_eq!(batched.model().total_energy(), 8.0); // model() flushes
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchedLayer1 {
+    model: Layer1EnergyModel,
+    block: FrameBlock,
+    backend: Backend,
+}
+
+impl BatchedLayer1 {
+    /// Wraps a model with the process-wide [`Backend::active`] kernel.
+    pub fn new(model: Layer1EnergyModel) -> BatchedLayer1 {
+        BatchedLayer1::with_backend(model, Backend::active())
+    }
+
+    /// Wraps a model with an explicit kernel backend (differential
+    /// tests drive every compiled backend through this).
+    pub fn with_backend(model: Layer1EnergyModel, backend: Backend) -> BatchedLayer1 {
+        let mut block = FrameBlock::new();
+        block.rewind_to(model.prev_frame());
+        BatchedLayer1 {
+            model,
+            block,
+            backend,
+        }
+    }
+
+    /// The kernel backend in use.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Feeds the settled frame of one bus cycle (the batched
+    /// counterpart of [`Layer1EnergyModel::on_frame`]).
+    ///
+    /// A fresh block re-seeds its carry from the model's previous
+    /// frame, so interleaving direct [`Layer1EnergyModel::on_frame`]
+    /// calls (via [`model`](Self::model)) with batched feeding stays
+    /// consistent.
+    #[inline]
+    pub fn on_frame(&mut self, frame: &SignalFrame) {
+        if self.block.len == 0 {
+            self.block.rewind_to(self.model.prev_frame());
+        }
+        if self.block.push(frame) {
+            self.flush();
+        }
+    }
+
+    /// Books every buffered cycle into the model: one packed
+    /// transition-count sweep per signal class, then per-cycle weight
+    /// accumulation in `SignalClass::ALL` order — the identical f64
+    /// schedule as the scalar path, so results stay `to_bits`-exact.
+    pub fn flush(&mut self) {
+        let n = self.block.len;
+        if n == 0 {
+            return;
+        }
+        for c in 0..6 {
+            self.backend
+                .adjacent_popcount(&self.block.cols[c][..n + 1], &mut self.block.counts[c][..n]);
+        }
+        let counts = &self.block.counts;
+        // Indexing six parallel columns at once; an iterator would need
+        // a 6-way zip for no clarity gain.
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..n {
+            let diff = TogglesByClass::from_array([
+                counts[0][j],
+                counts[1][j],
+                counts[2][j],
+                counts[3][j],
+                counts[4][j],
+                counts[5][j],
+            ]);
+            self.model.book_cycle(&diff);
+        }
+        self.block.len = 0;
+        self.model.set_prev(&self.block.last);
+    }
+
+    /// Flushes and returns the wrapped model for queries
+    /// (`total_energy`, `energy_since_last_call`, `trace`, ...).
+    pub fn model(&mut self) -> &mut Layer1EnergyModel {
+        self.flush();
+        &mut self.model
+    }
+
+    /// Flushes and unwraps the model.
+    pub fn finish(mut self) -> Layer1EnergyModel {
+        self.flush();
+        self.model
+    }
+
+    /// Resets the wrapped model (see [`Layer1EnergyModel::reset`]) and
+    /// discards buffered frames; replaying a stimulus afterwards is
+    /// bit-identical to a freshly built engine.
+    pub fn reset(&mut self) {
+        self.model.reset();
+        self.block.rewind_to(self.model.prev_frame());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CharacterizationDb;
+    use hierbus_ec::{AccessKind, BurstLen, DataWidth};
+
+    fn stimulus(n: usize, seed: u64) -> Vec<SignalFrame> {
+        let mut s = seed;
+        let mut rng = move || {
+            s = s.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let mut frames = Vec::with_capacity(n);
+        let mut f = SignalFrame::default();
+        for _ in 0..n {
+            f = f.to_idle();
+            match rng() % 4 {
+                0 => f.drive_address(
+                    rng(),
+                    AccessKind::DataRead,
+                    DataWidth::W32,
+                    BurstLen::Single,
+                    true,
+                    false,
+                ),
+                1 => f.drive_read(rng() as u32, (rng() % 8) as u8, true, false),
+                2 => f.drive_write(rng() as u32, 0xF, (rng() % 8) as u8, true, false),
+                _ => {}
+            }
+            frames.push(f);
+        }
+        frames
+    }
+
+    #[test]
+    fn batched_matches_scalar_across_block_boundaries() {
+        // Lengths straddling multiples of BLOCK exercise full blocks,
+        // partial tails, and the empty flush.
+        for n in [0, 1, BLOCK - 1, BLOCK, BLOCK + 1, 3 * BLOCK + 7] {
+            let frames = stimulus(n, 0x5EED ^ n as u64);
+            let mut scalar = Layer1EnergyModel::new(CharacterizationDb::uniform());
+            scalar.enable_trace();
+            let mut model = Layer1EnergyModel::new(CharacterizationDb::uniform());
+            model.enable_trace();
+            let mut batched = BatchedLayer1::new(model);
+            for f in &frames {
+                scalar.on_frame(f);
+                batched.on_frame(f);
+            }
+            let m = batched.model();
+            assert_eq!(m.total_energy().to_bits(), scalar.total_energy().to_bits());
+            assert_eq!(m.toggles(), scalar.toggles());
+            assert_eq!(m.trace(), scalar.trace());
+        }
+    }
+
+    #[test]
+    fn reset_replay_is_bit_exact() {
+        let frames = stimulus(BLOCK + 9, 0xAB);
+        let mut batched = BatchedLayer1::new(Layer1EnergyModel::new(CharacterizationDb::uniform()));
+        for f in &frames {
+            batched.on_frame(f);
+        }
+        let first = batched.model().total_energy();
+        batched.reset();
+        assert_eq!(batched.model().total_energy(), 0.0);
+        for f in &frames {
+            batched.on_frame(f);
+        }
+        assert_eq!(batched.model().total_energy().to_bits(), first.to_bits());
+    }
+
+    #[test]
+    fn mixed_scalar_and_batched_feeding_agrees() {
+        // Flush, feed the inner model directly, then batch again —
+        // the carry must follow the model's previous frame.
+        let frames = stimulus(40, 0xC0DE);
+        let mut scalar = Layer1EnergyModel::new(CharacterizationDb::uniform());
+        let mut batched = BatchedLayer1::new(Layer1EnergyModel::new(CharacterizationDb::uniform()));
+        for (i, f) in frames.iter().enumerate() {
+            scalar.on_frame(f);
+            if i % 3 == 0 {
+                batched.model().on_frame(f);
+            } else {
+                batched.on_frame(f);
+            }
+        }
+        assert_eq!(
+            batched.model().total_energy().to_bits(),
+            scalar.total_energy().to_bits()
+        );
+    }
+}

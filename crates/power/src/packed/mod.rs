@@ -1,0 +1,302 @@
+//! Lane-parallel bit-transition counting for the layer-1 hot loop.
+//!
+//! The layer-1 model spends essentially all of its time computing
+//! `popcount(cur ^ prev)` per signal class per cycle. Those operations
+//! are embarrassingly lane-parallel: consecutive cycles of one class
+//! column are independent words, so N of them can advance per packed
+//! operation. This module provides
+//!
+//! * [`PackedBits`] — the backend trait (plonky2 `packed_field.rs`
+//!   idiom): a guaranteed-available scalar-u64 backend plus x86_64
+//!   intrinsic backends compiled behind the `simd` cargo feature and
+//!   selected by *runtime* CPU detection;
+//! * [`Backend`] — the runtime-dispatched kernel handle, overridable
+//!   with the `HIERBUS_PACKED_BACKEND` environment variable
+//!   (`scalar`, `avx2`, `avx512`, or `auto`);
+//! * [`FrameBlock`] / [`BatchedLayer1`] — the structure-of-arrays
+//!   buffer that turns a stream of [`SignalFrame`]s into six per-class
+//!   word columns and books whole blocks of cycles through
+//!   [`Layer1EnergyModel`] in one packed sweep.
+//!
+//! # Bit-exactness contract
+//!
+//! Every backend returns *integer* transition counts, and integers have
+//! one representation — so any backend that counts correctly is
+//! bit-identical to [`SignalFrame::diff_reference`]'s wire-by-wire
+//! walk. The batched engine then replays the scalar engine's exact f64
+//! schedule: per cycle, per-class weights accumulate in
+//! [`SignalClass::ALL`](hierbus_ec::SignalClass::ALL) order into a
+//! fresh `0.0`, then fold into the running totals in cycle order.
+//! `to_bits`-equality with the scalar and reference paths is therefore
+//! a structural property, pinned (not approximated) by
+//! `tests/packed_differential.rs`.
+//!
+//! [`SignalFrame`]: hierbus_ec::SignalFrame
+//! [`SignalFrame::diff_reference`]: hierbus_ec::SignalFrame::diff_reference
+//! [`Layer1EnergyModel`]: crate::Layer1EnergyModel
+
+mod block;
+mod scalar;
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod x86;
+
+pub use block::{BatchedLayer1, FrameBlock, BLOCK};
+pub use scalar::ScalarBits;
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+pub use x86::{Avx2Bits, Avx512Bits};
+
+use std::sync::OnceLock;
+
+/// A lane-parallel `popcount(a ^ b)` kernel.
+///
+/// Implementations process [`LANES`](Self::LANES) independent `u64`
+/// words per packed operation. The trait is deliberately tiny — XOR and
+/// population count are the only operations the layer-1 hot loop
+/// needs — and every implementation must be exact: the counts it
+/// produces are integers compared bit-for-bit against the wire-by-wire
+/// reference, never approximately.
+pub trait PackedBits: Copy + Send + Sync + 'static {
+    /// Words processed per packed operation.
+    const LANES: usize;
+
+    /// Stable human-readable backend name (`"scalar"`, `"avx2"`, ...).
+    const NAME: &'static str;
+
+    /// Whether the backend's instruction set is present on this CPU.
+    /// The scalar backend always is; intrinsic backends consult runtime
+    /// feature detection, so a binary compiled for baseline x86-64
+    /// still uses them when the hardware allows.
+    fn available() -> bool;
+
+    /// `out[i] = popcount(cur[i] ^ prev[i])` for exactly
+    /// [`LANES`](Self::LANES) lanes. All three slices must be
+    /// `LANES` long.
+    fn xor_popcount(cur: &[u64], prev: &[u64], out: &mut [u32]);
+}
+
+/// The runtime-selected kernel backend.
+///
+/// `Backend` is the dynamic face of [`PackedBits`]: detection happens
+/// once per process ([`Backend::active`]), and the block engine
+/// dispatches through it so one compiled binary serves every CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Portable `u64::count_ones` loop — always available.
+    Scalar,
+    /// AVX2 nibble-table popcount, 4 lanes per operation.
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    Avx2,
+    /// AVX-512 `VPOPCNTQ`, 8 lanes per operation.
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    Avx512,
+}
+
+impl Backend {
+    /// Every backend compiled into this binary, fastest first.
+    pub const COMPILED: &'static [Backend] = &[
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        Backend::Avx512,
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        Backend::Avx2,
+        Backend::Scalar,
+    ];
+
+    /// Stable name, matching the `HIERBUS_PACKED_BACKEND` values.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => ScalarBits::NAME,
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            Backend::Avx2 => Avx2Bits::NAME,
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            Backend::Avx512 => Avx512Bits::NAME,
+        }
+    }
+
+    /// Lane width of the backend's packed operation.
+    pub fn lanes(self) -> usize {
+        match self {
+            Backend::Scalar => ScalarBits::LANES,
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            Backend::Avx2 => Avx2Bits::LANES,
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            Backend::Avx512 => Avx512Bits::LANES,
+        }
+    }
+
+    /// Whether this backend can run on the current CPU.
+    pub fn available(self) -> bool {
+        match self {
+            Backend::Scalar => ScalarBits::available(),
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            Backend::Avx2 => Avx2Bits::available(),
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            Backend::Avx512 => Avx512Bits::available(),
+        }
+    }
+
+    /// Parses a `HIERBUS_PACKED_BACKEND` value. `auto` (or unset)
+    /// means "fastest available"; unknown values are reported so CI
+    /// typos fail loudly instead of silently benchmarking the wrong
+    /// kernel.
+    pub fn from_name(name: &str) -> Option<Backend> {
+        Backend::COMPILED.iter().copied().find(|b| b.name() == name)
+    }
+
+    /// Detects the backend to use: the `HIERBUS_PACKED_BACKEND`
+    /// override if set (panicking on a name that is unknown, not
+    /// compiled in, or not available on this CPU), otherwise the
+    /// fastest compiled backend the CPU supports.
+    pub fn detect() -> Backend {
+        match std::env::var("HIERBUS_PACKED_BACKEND") {
+            Ok(v) if !v.is_empty() && v != "auto" => {
+                let b = Backend::from_name(&v).unwrap_or_else(|| {
+                    panic!(
+                        "HIERBUS_PACKED_BACKEND={v:?} is not a compiled backend \
+                         (have: {:?})",
+                        Backend::COMPILED
+                            .iter()
+                            .map(|b| b.name())
+                            .collect::<Vec<_>>()
+                    )
+                });
+                assert!(
+                    b.available(),
+                    "HIERBUS_PACKED_BACKEND={v:?} is not available on this CPU"
+                );
+                b
+            }
+            _ => Backend::COMPILED
+                .iter()
+                .copied()
+                .find(|b| b.available())
+                .unwrap_or(Backend::Scalar),
+        }
+    }
+
+    /// The process-wide active backend (detection cached after the
+    /// first call). Everything built on [`BatchedLayer1`] uses this,
+    /// so one environment variable flips the whole harness — tests,
+    /// campaigns, the serve daemon — onto a chosen kernel.
+    pub fn active() -> Backend {
+        static ACTIVE: OnceLock<Backend> = OnceLock::new();
+        *ACTIVE.get_or_init(Backend::detect)
+    }
+
+    /// `out[i] = popcount(cur[i] ^ prev[i])` over slices of any equal
+    /// length: whole packed operations first, then a scalar tail for
+    /// the remainder lanes.
+    pub fn xor_popcount(self, cur: &[u64], prev: &[u64], out: &mut [u32]) {
+        assert_eq!(cur.len(), prev.len());
+        assert_eq!(cur.len(), out.len());
+        match self {
+            Backend::Scalar => kernel_loop::<ScalarBits>(cur, prev, out),
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            Backend::Avx2 => kernel_loop::<Avx2Bits>(cur, prev, out),
+            #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+            Backend::Avx512 => kernel_loop::<Avx512Bits>(cur, prev, out),
+        }
+    }
+
+    /// Cycle-adjacent transition counts down one class column:
+    /// `out[i] = popcount(words[i + 1] ^ words[i])`, requiring
+    /// `words.len() == out.len() + 1`. `words[0]` is the carry — the
+    /// class word of the frame *before* the block — so block
+    /// boundaries are seamless. This is the frame-block engine's whole
+    /// inner loop: the shifted-by-one view makes consecutive cycles
+    /// into independent lanes.
+    pub fn adjacent_popcount(self, words: &[u64], out: &mut [u32]) {
+        assert_eq!(words.len(), out.len() + 1);
+        self.xor_popcount(&words[1..], &words[..out.len()], out);
+    }
+}
+
+/// Runs a [`PackedBits`] kernel over full packed operations, then
+/// finishes remainder lanes (fewer than `B::LANES`) through the scalar
+/// backend — the lane-tail path the differential tests pin.
+fn kernel_loop<B: PackedBits>(cur: &[u64], prev: &[u64], out: &mut [u32]) {
+    let n = cur.len();
+    let whole = if B::LANES > 1 { n - n % B::LANES } else { n };
+    let mut i = 0;
+    while i < whole {
+        B::xor_popcount(
+            &cur[i..i + B::LANES],
+            &prev[i..i + B::LANES],
+            &mut out[i..i + B::LANES],
+        );
+        i += B::LANES;
+    }
+    for j in whole..n {
+        out[j] = (cur[j] ^ prev[j]).count_ones();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(seed: u64, n: usize) -> Vec<u64> {
+        // SplitMix64 — deterministic fill without external crates.
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = s;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_compiled_backend_matches_count_ones() {
+        for &b in Backend::COMPILED {
+            if !b.available() {
+                continue;
+            }
+            for n in [0usize, 1, 3, 4, 5, 7, 8, 9, 16, 31, 64, 127] {
+                let cur = words(0xC0FFEE ^ n as u64, n);
+                let prev = words(0xBEEF ^ n as u64, n);
+                let mut out = vec![0u32; n];
+                b.xor_popcount(&cur, &prev, &mut out);
+                for i in 0..n {
+                    assert_eq!(
+                        out[i],
+                        (cur[i] ^ prev[i]).count_ones(),
+                        "backend {} lane {i} of {n}",
+                        b.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_popcount_is_shifted_xor() {
+        for &b in Backend::COMPILED {
+            if !b.available() {
+                continue;
+            }
+            let col = words(0xAB, 33);
+            let mut out = vec![0u32; 32];
+            b.adjacent_popcount(&col, &mut out);
+            for i in 0..32 {
+                assert_eq!(out[i], (col[i + 1] ^ col[i]).count_ones());
+            }
+        }
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for &b in Backend::COMPILED {
+            assert_eq!(Backend::from_name(b.name()), Some(b));
+        }
+        assert_eq!(Backend::from_name("mmx"), None);
+    }
+
+    #[test]
+    fn scalar_is_always_available() {
+        assert!(Backend::Scalar.available());
+        assert!(Backend::COMPILED.contains(&Backend::Scalar));
+    }
+}

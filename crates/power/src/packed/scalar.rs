@@ -1,0 +1,25 @@
+//! The guaranteed-available scalar backend.
+
+use super::PackedBits;
+
+/// Portable one-word-at-a-time backend: `u64::count_ones` on the XOR.
+///
+/// This is the semantics the intrinsic backends are held to, and the
+/// fallback on every target — there is no CPU it cannot run on, so
+/// [`available`](PackedBits::available) is unconditionally `true`.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalarBits;
+
+impl PackedBits for ScalarBits {
+    const LANES: usize = 1;
+    const NAME: &'static str = "scalar";
+
+    fn available() -> bool {
+        true
+    }
+
+    #[inline]
+    fn xor_popcount(cur: &[u64], prev: &[u64], out: &mut [u32]) {
+        out[0] = (cur[0] ^ prev[0]).count_ones();
+    }
+}

@@ -1,0 +1,110 @@
+//! x86_64 intrinsic backends (compiled only with the `simd` feature).
+//!
+//! Both kernels are `#[target_feature]` functions: the crate itself is
+//! compiled for baseline x86-64 (which has no `POPCNT` instruction at
+//! all — `u64::count_ones` lowers to a multiply-shift bit dance), and
+//! the vector instructions are enabled per-function, guarded by the
+//! runtime checks in [`PackedBits::available`]. That is what makes one
+//! binary portable *and* fast: detection picks the widest kernel the
+//! CPU actually has.
+
+use super::PackedBits;
+#[cfg(target_arch = "x86_64")]
+use std::arch::x86_64::*;
+
+/// AVX2 backend: 4 lanes per operation, byte-sliced popcount.
+///
+/// AVX2 has no vector popcount instruction, so the kernel uses the
+/// classic nibble-table method (Muła): split each byte into nibbles,
+/// look both up in an in-register 16-entry table with `PSHUFB`, add,
+/// then horizontally sum bytes per 64-bit lane with `PSADBW`.
+#[derive(Debug, Clone, Copy)]
+pub struct Avx2Bits;
+
+impl PackedBits for Avx2Bits {
+    const LANES: usize = 4;
+    const NAME: &'static str = "avx2";
+
+    fn available() -> bool {
+        is_x86_feature_detected!("avx2")
+    }
+
+    #[inline]
+    fn xor_popcount(cur: &[u64], prev: &[u64], out: &mut [u32]) {
+        debug_assert!(cur.len() >= 4 && prev.len() >= 4 && out.len() >= 4);
+        // SAFETY: construction sites check `available()` before
+        // dispatching here, so AVX2 is present; the slices hold at
+        // least LANES elements per the trait contract.
+        unsafe { avx2_xor_popcount(cur.as_ptr(), prev.as_ptr(), out.as_mut_ptr()) }
+    }
+}
+
+/// One packed AVX2 operation: `out[0..4] = popcount(cur[i] ^ prev[i])`.
+///
+/// # Safety
+/// Requires AVX2 at runtime and 4 readable/writable lanes behind each
+/// pointer.
+#[target_feature(enable = "avx2")]
+unsafe fn avx2_xor_popcount(cur: *const u64, prev: *const u64, out: *mut u32) {
+    let a = _mm256_loadu_si256(cur.cast());
+    let b = _mm256_loadu_si256(prev.cast());
+    let v = _mm256_xor_si256(a, b);
+    // Per-nibble popcount table, replicated across both 128-bit halves.
+    let table = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, //
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+    );
+    let low_mask = _mm256_set1_epi8(0x0f);
+    let lo = _mm256_and_si256(v, low_mask);
+    let hi = _mm256_and_si256(_mm256_srli_epi16::<4>(v), low_mask);
+    let cnt8 = _mm256_add_epi8(
+        _mm256_shuffle_epi8(table, lo),
+        _mm256_shuffle_epi8(table, hi),
+    );
+    // Horizontal byte sums per 64-bit lane land in the low 16 bits.
+    let cnt64 = _mm256_sad_epu8(cnt8, _mm256_setzero_si256());
+    let mut lanes = [0u64; 4];
+    _mm256_storeu_si256(lanes.as_mut_ptr().cast(), cnt64);
+    for (i, lane) in lanes.iter().enumerate() {
+        *out.add(i) = *lane as u32;
+    }
+}
+
+/// AVX-512 backend: 8 lanes per operation via the native `VPOPCNTQ`
+/// instruction (`AVX512VPOPCNTDQ` extension).
+#[derive(Debug, Clone, Copy)]
+pub struct Avx512Bits;
+
+impl PackedBits for Avx512Bits {
+    const LANES: usize = 8;
+    const NAME: &'static str = "avx512";
+
+    fn available() -> bool {
+        is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512vpopcntdq")
+    }
+
+    #[inline]
+    fn xor_popcount(cur: &[u64], prev: &[u64], out: &mut [u32]) {
+        debug_assert!(cur.len() >= 8 && prev.len() >= 8 && out.len() >= 8);
+        // SAFETY: as for AVX2 — gated on `available()`, slices hold
+        // LANES elements.
+        unsafe { avx512_xor_popcount(cur.as_ptr(), prev.as_ptr(), out.as_mut_ptr()) }
+    }
+}
+
+/// One packed AVX-512 operation: `out[0..8] = popcount(cur[i] ^ prev[i])`.
+///
+/// # Safety
+/// Requires AVX-512F + AVX512VPOPCNTDQ at runtime and 8 readable/
+/// writable lanes behind each pointer.
+#[target_feature(enable = "avx512f,avx512vpopcntdq")]
+unsafe fn avx512_xor_popcount(cur: *const u64, prev: *const u64, out: *mut u32) {
+    let a = _mm512_loadu_si512(cur.cast());
+    let b = _mm512_loadu_si512(prev.cast());
+    let cnt = _mm512_popcnt_epi64(_mm512_xor_si512(a, b));
+    let mut lanes = [0u64; 8];
+    _mm512_storeu_si512(lanes.as_mut_ptr().cast(), cnt);
+    for (i, lane) in lanes.iter().enumerate() {
+        *out.add(i) = *lane as u32;
+    }
+}

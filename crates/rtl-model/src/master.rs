@@ -41,7 +41,7 @@ struct Retry {
 /// [`TxnOutcome`].
 #[derive(Debug)]
 pub struct RtlMaster {
-    ops: Vec<MasterOp>,
+    ops: std::sync::Arc<[MasterOp]>,
     next_op: usize,
     idle_left: u32,
     next_id: TxnId,
@@ -60,7 +60,8 @@ pub struct RtlMaster {
 
 impl RtlMaster {
     /// Creates a master that will replay `ops` under the given limits.
-    pub fn new(ops: Vec<MasterOp>, limits: OutstandingLimits) -> Self {
+    pub fn new(ops: impl Into<std::sync::Arc<[MasterOp]>>, limits: OutstandingLimits) -> Self {
+        let ops = ops.into();
         let idle_left = ops.first().map_or(0, |op| op.idle_before);
         let outcomes = vec![None; ops.len()];
         RtlMaster {
@@ -185,7 +186,7 @@ impl RtlMaster {
             done_cycle: None,
             error: None,
             data: if op.kind == AccessKind::DataWrite {
-                op.data.clone()
+                op.data.to_vec()
             } else {
                 Vec::new()
             },

@@ -109,7 +109,7 @@ impl RtlSystem {
     ///
     /// Panics if slave address windows overlap.
     pub fn new(
-        ops: Vec<hierbus_ec::MasterOp>,
+        ops: impl Into<std::sync::Arc<[hierbus_ec::MasterOp]>>,
         slaves: Vec<Box<dyn RtlSlaveModel>>,
         power: PowerConfig,
         glitch: GlitchConfig,
@@ -621,7 +621,10 @@ mod tests {
     use hierbus_ec::sequences::{self, MasterOp};
     use hierbus_ec::{AccessRights, Address, AddressRange, BurstLen, SlaveConfig, WaitProfile};
 
-    fn system_with_waits(ops: Vec<MasterOp>, waits: WaitProfile) -> RtlSystem {
+    fn system_with_waits(
+        ops: impl Into<std::sync::Arc<[MasterOp]>>,
+        waits: WaitProfile,
+    ) -> RtlSystem {
         let mem = SimpleMem::new(SlaveConfig::new(
             AddressRange::new(Address::new(0), 0x1_0000),
             waits,
@@ -751,7 +754,7 @@ mod tests {
             sys.run(100).energy_pj
         };
         let long = {
-            let ops = (0..16).map(|i| MasterOp::read(0x100 + 4 * i)).collect();
+            let ops: Vec<MasterOp> = (0..16).map(|i| MasterOp::read(0x100 + 4 * i)).collect();
             let mut sys = system_with_waits(ops, WaitProfile::ZERO);
             sys.set_glitch(GlitchConfig::default());
             sys.run(1000).energy_pj

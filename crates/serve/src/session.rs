@@ -12,7 +12,7 @@ use hierbus_campaign::{CampaignPayload, Fingerprint, Json};
 use hierbus_core::{MemSlave, Tlm1Bus, TlmSystem};
 use hierbus_ec::sequences::Scenario;
 use hierbus_ec::{AccessRights, Address, AddressRange, SignalClass, SlaveConfig};
-use hierbus_power::{CharacterizationDb, Layer1EnergyModel};
+use hierbus_power::{BatchedLayer1, CharacterizationDb, Layer1EnergyModel};
 
 /// Cycle ceiling for served scenarios; hitting it is a deadlock bug.
 pub const MAX_CYCLES: u64 = 50_000_000;
@@ -59,7 +59,7 @@ impl CampaignPayload for LeanResult {
 /// same scenario.
 #[derive(Debug, Clone)]
 pub struct ServeSession {
-    model: Layer1EnergyModel,
+    engine: BatchedLayer1,
 }
 
 impl ServeSession {
@@ -67,25 +67,28 @@ impl ServeSession {
     pub fn new(db: &CharacterizationDb) -> Self {
         hierbus_obs::profiling::record_db_access();
         ServeSession {
-            model: Layer1EnergyModel::new(db.clone()),
+            engine: BatchedLayer1::new(Layer1EnergyModel::new(db.clone())),
         }
     }
 
-    /// Runs one scenario in throughput mode.
+    /// Runs one scenario in throughput mode through the lane-parallel
+    /// batched engine (process-wide backend, `HIERBUS_PACKED_BACKEND`
+    /// overridable) — bit-identical to the scalar path, so cached
+    /// results stay portable across backends.
     pub fn run(&mut self, scenario: &Scenario) -> LeanResult {
-        self.model.reset();
+        self.engine.reset();
         let mem = MemSlave::new(scenario_slave(scenario));
         let mut bus = Tlm1Bus::new(vec![Box::new(mem)]);
         bus.enable_frames();
         let mut sys = TlmSystem::new(bus, scenario.ops.clone());
         sys.disable_records();
-        let model = &mut self.model;
+        let engine = &mut self.engine;
         let report = sys.run(MAX_CYCLES, |bus: &mut Tlm1Bus| {
-            model.on_frame(bus.last_frame());
+            engine.on_frame(bus.last_frame());
         });
         LeanResult {
             cycles: report.cycles,
-            energy_pj: model.total_energy(),
+            energy_pj: engine.model().total_energy(),
         }
     }
 }

@@ -22,7 +22,8 @@ fn main() {
             MasterOp::write(0x100, 0x1111_1111),
             MasterOp::write(0x104, 0x2222_2222).after_idle(1),
             MasterOp::write(0x108, 0x3333_3333).after_idle(2),
-        ],
+        ]
+        .into(),
         waits: WaitProfile::new(1, 2, 2),
     };
 

@@ -44,7 +44,8 @@ fn faulted_write_scenario() -> Scenario {
             MasterOp::read(SCENARIO_BASE),
             MasterOp::write(SCENARIO_BASE + 4, 0xDEAD_BEEF),
             MasterOp::burst_read(SCENARIO_BASE, BurstLen::B4),
-        ],
+        ]
+        .into(),
         waits: WaitProfile::ZERO,
     }
 }

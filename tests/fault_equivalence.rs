@@ -22,7 +22,8 @@ fn three_writes() -> Scenario {
             MasterOp::write(0x100, 0x1111_1111),
             MasterOp::write(0x104, 0x2222_2222).after_idle(1),
             MasterOp::write(0x108, 0x3333_3333).after_idle(2),
-        ],
+        ]
+        .into(),
         waits: WaitProfile::new(1, 2, 2),
     }
 }
@@ -157,7 +158,8 @@ fn timeout_aborts_but_the_bus_drains_to_idle() {
             MasterOp::write(0x100, 0x1111_1111),
             MasterOp::write(0x104, 0x2222_2222).after_idle(60),
             MasterOp::write(0x108, 0x3333_3333).after_idle(2),
-        ],
+        ]
+        .into(),
         waits: WaitProfile::new(1, 2, 2),
     };
     let plan = FaultPlan::new().with_fault(0, OpFault::always(FaultKind::Stall(40)));

@@ -129,7 +129,7 @@ fn rights_violations_error_identically() {
             addr: Address::new(0x1_0000), // unmapped
             width: DataWidth::W32,
             burst: BurstLen::Single,
-            data: Vec::new(),
+            data: Vec::new().into(),
         },
     ];
     let rtl = run_rtl(ops.clone());

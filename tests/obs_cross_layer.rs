@@ -123,7 +123,8 @@ fn three_txn_scenario() -> Scenario {
             MasterOp::read(SCENARIO_BASE),
             MasterOp::write(SCENARIO_BASE + 4, 0xDEAD_BEEF),
             MasterOp::burst_read(SCENARIO_BASE, BurstLen::B4),
-        ],
+        ]
+        .into(),
         waits: WaitProfile::ZERO,
     }
 }

@@ -1,0 +1,436 @@
+//! The packed differential harness: every [`PackedBits`] backend
+//! compiled into this binary is pinned **bit-for-bit** — `f64::to_bits`
+//! on energies, structural equality on everything else — against two
+//! independent anchors:
+//!
+//! * the wire-by-wire [`SignalFrame::diff_reference`] walk (the paper's
+//!   literal per-wire Hamming distance), and
+//! * the scalar per-frame engine ([`Layer1EnergyModel::on_frame`]) and
+//!   its pre-optimization bit-loop twin
+//!   ([`Layer1EnergyModel::on_frame_reference`]).
+//!
+//! The sweep covers seeded-random traces, fault and tear replays,
+//! lane-tail remainders (stimulus lengths that are not multiples of the
+//! block or of any backend's lane count), and campaign merges at every
+//! worker count. Any platform where a SIMD kernel miscounts a single
+//! bit fails loudly here, with the seed printed in the assert message.
+//!
+//! [`PackedBits`]: hierbus::power::PackedBits
+//! [`SignalFrame::diff_reference`]: hierbus::ec::SignalFrame::diff_reference
+//! [`Layer1EnergyModel::on_frame`]: hierbus::power::Layer1EnergyModel::on_frame
+//! [`Layer1EnergyModel::on_frame_reference`]: hierbus::power::Layer1EnergyModel::on_frame_reference
+
+use hierbus::campaign::{CampaignOptions, CampaignPayload, ClaimStrategy, Json, Matrix};
+use hierbus::core::{MemSlave, Tlm1Bus, TlmSystem};
+use hierbus::ec::sequences::{random_mix, MasterOp, MixParams, Scenario};
+use hierbus::ec::{
+    AccessKind, BurstLen, DataWidth, FaultKind, FaultPlan, OpFault, RetryPolicy, SignalFrame,
+    TogglesByClass, WaitProfile,
+};
+use hierbus::harness::{self, shared_db};
+use hierbus::power::{Backend, BatchedLayer1, CharacterizationDb, Layer1EnergyModel, BLOCK};
+
+/// SplitMix64 — the repo's standard dependency-free deterministic rng.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded-random stream of settled bus frames mixing address, read,
+/// write and idle cycles — denser toggle activity than any real bus
+/// schedule, so every class column and every lane position is stressed.
+fn random_frames(seed: u64, n: usize) -> Vec<SignalFrame> {
+    let mut s = seed;
+    let mut frames = Vec::with_capacity(n);
+    let mut f = SignalFrame::default();
+    for _ in 0..n {
+        f = f.to_idle();
+        match splitmix(&mut s) % 5 {
+            0 => f.drive_address(
+                splitmix(&mut s),
+                AccessKind::DataRead,
+                DataWidth::W32,
+                BurstLen::B4,
+                true,
+                false,
+            ),
+            1 => f.drive_address(
+                splitmix(&mut s),
+                AccessKind::InstrFetch,
+                DataWidth::W16,
+                BurstLen::Single,
+                splitmix(&mut s).is_multiple_of(2),
+                false,
+            ),
+            2 => f.drive_read(
+                splitmix(&mut s) as u32,
+                (splitmix(&mut s) % 8) as u8,
+                true,
+                false,
+            ),
+            3 => f.drive_write(
+                splitmix(&mut s) as u32,
+                0xF,
+                (splitmix(&mut s) % 8) as u8,
+                true,
+                false,
+            ),
+            _ => {}
+        }
+        frames.push(f);
+    }
+    frames
+}
+
+/// Every backend the binary carries that the current CPU can run.
+fn available_backends() -> Vec<Backend> {
+    Backend::COMPILED
+        .iter()
+        .copied()
+        .filter(|b| b.available())
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Kernel level: packed counts vs the wire-by-wire reference walk.
+// ---------------------------------------------------------------------
+
+/// Each backend's `xor_popcount` over the packed class words must equal
+/// [`SignalFrame::diff_reference`]'s per-wire walk on the same frame
+/// pair — exactly, for every seed and every frame position.
+#[test]
+fn kernel_counts_equal_wire_by_wire_reference() {
+    for seed in [0x1u64, 0xDEAD_BEEF, 0xA5A5_5A5A] {
+        let frames = random_frames(seed, 257);
+        for backend in available_backends() {
+            let mut prev = SignalFrame::default();
+            for (i, f) in frames.iter().enumerate() {
+                let mut counts = [0u32; 6];
+                backend.xor_popcount(f.packed().words(), prev.packed().words(), &mut counts);
+                assert_eq!(
+                    TogglesByClass::from_array(counts),
+                    f.diff_reference(&prev),
+                    "backend {} frame {i} seed {seed:#x}",
+                    backend.name()
+                );
+                prev = *f;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine level: batched replay vs scalar vs bit-loop, per backend.
+// ---------------------------------------------------------------------
+
+/// Drives `frames` through a fresh scalar engine, a fresh bit-loop
+/// reference engine, and a fresh batched engine per backend; asserts
+/// the accumulated energy (`to_bits`), the per-class transition
+/// totals and the per-cycle trace are identical everywhere.
+fn assert_engines_agree(tag: &str, frames: &[SignalFrame]) {
+    let mut scalar = Layer1EnergyModel::new(CharacterizationDb::uniform());
+    scalar.enable_trace();
+    let mut reference = Layer1EnergyModel::new(CharacterizationDb::uniform());
+    reference.enable_trace();
+    for f in frames {
+        scalar.on_frame(f);
+        reference.on_frame_reference(f);
+    }
+    assert_eq!(
+        scalar.total_energy().to_bits(),
+        reference.total_energy().to_bits(),
+        "{tag}: scalar vs bit-loop reference"
+    );
+    assert_eq!(scalar.toggles(), reference.toggles(), "{tag}: toggles");
+    assert_eq!(scalar.trace(), reference.trace(), "{tag}: traces");
+
+    for backend in available_backends() {
+        let mut model = Layer1EnergyModel::new(CharacterizationDb::uniform());
+        model.enable_trace();
+        let mut batched = BatchedLayer1::with_backend(model, backend);
+        for f in frames {
+            batched.on_frame(f);
+        }
+        let m = batched.model();
+        assert_eq!(
+            m.total_energy().to_bits(),
+            scalar.total_energy().to_bits(),
+            "{tag}: backend {} energy",
+            backend.name()
+        );
+        assert_eq!(
+            m.toggles(),
+            scalar.toggles(),
+            "{tag}: backend {} toggles",
+            backend.name()
+        );
+        assert_eq!(
+            m.trace(),
+            scalar.trace(),
+            "{tag}: backend {} trace",
+            backend.name()
+        );
+    }
+}
+
+/// Seeded-random traces at bulk lengths.
+#[test]
+fn random_traces_bit_exact_on_every_backend() {
+    for seed in [0x5EEDu64, 0xBE9C, 0xF00D_CAFE] {
+        assert_engines_agree(
+            &format!("seed {seed:#x}"),
+            &random_frames(seed, 4 * BLOCK + 17),
+        );
+    }
+}
+
+/// Degenerate batches: the empty trace, a single frame, and every
+/// length from 1 up past two blocks — which includes, for every
+/// compiled backend, lengths coprime to its lane count, one below and
+/// one above each block boundary, and the exact block multiple. The
+/// remainder (lane-tail) path cannot hide here.
+#[test]
+fn lane_tails_and_degenerate_lengths_bit_exact() {
+    assert_engines_agree("empty", &[]);
+    for n in 1..=9 {
+        assert_engines_agree(&format!("len {n}"), &random_frames(0x7A11 ^ n as u64, n));
+    }
+    for n in [
+        BLOCK - 1,
+        BLOCK,
+        BLOCK + 1,
+        BLOCK + 7,
+        2 * BLOCK - 3,
+        2 * BLOCK,
+        2 * BLOCK + 5,
+    ] {
+        assert_engines_agree(&format!("len {n}"), &random_frames(0x7A11 ^ n as u64, n));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Harness level: full bus runs, clean and faulted.
+// ---------------------------------------------------------------------
+
+fn probe_scenario(seed: u64, count: usize) -> Scenario {
+    random_mix(
+        seed,
+        MixParams {
+            count,
+            read_pct: 50,
+            burst_pct: 40,
+            fetch_pct: 30,
+            max_idle: 2,
+            ..MixParams::default()
+        },
+    )
+}
+
+/// `run_layer1` (the packed engine on the active backend) against
+/// `run_layer1_reference` (a fresh model, the bit-loop diff and
+/// per-toggle lookups): cycles, records, energy bits and trace bits.
+#[test]
+fn full_runs_match_reference_runs() {
+    let db = shared_db();
+    for seed in [0x11u64, 0x2222, 0xBE9C] {
+        let scenario = probe_scenario(seed, 400);
+        let packed = harness::run_layer1(&scenario, &db);
+        let reference = harness::run_layer1_reference(&scenario, &db);
+        assert_eq!(packed.cycles, reference.cycles, "seed {seed:#x}");
+        assert_eq!(packed.records, reference.records, "seed {seed:#x}");
+        assert_eq!(
+            packed.energy_pj.to_bits(),
+            reference.energy_pj.to_bits(),
+            "seed {seed:#x}: energy"
+        );
+        assert_eq!(packed.trace, reference.trace, "seed {seed:#x}: trace");
+    }
+}
+
+/// A faulted layer-1 replay with an explicit backend — the same wiring
+/// as `harness::fault::run_layer1`, parameterized over the kernel.
+fn faulted_run_with_backend(
+    scenario: &Scenario,
+    db: &CharacterizationDb,
+    plan: &FaultPlan,
+    policy: RetryPolicy,
+    backend: Option<Backend>,
+) -> (u64, u64, Vec<(u64, u32)>, f64, bool) {
+    let mem = MemSlave::new(harness::scenario_slave(scenario));
+    let mut bus = Tlm1Bus::new(vec![Box::new(mem)]);
+    bus.enable_frames();
+    let mut sys = TlmSystem::new(bus, scenario.ops.clone()).with_faults(plan.clone(), policy);
+    let mut model = Layer1EnergyModel::new(db.clone());
+    let (energy, cycles) = match backend {
+        Some(b) => {
+            let mut batched = BatchedLayer1::with_backend(model, b);
+            let report = sys.run(harness::MAX_CYCLES, |bus: &mut Tlm1Bus| {
+                batched.on_frame(bus.last_frame());
+            });
+            (batched.finish().total_energy(), report.cycles)
+        }
+        None => {
+            let report = sys.run(harness::MAX_CYCLES, |bus: &mut Tlm1Bus| {
+                model.on_frame_reference(bus.last_frame());
+            });
+            (model.total_energy(), report.cycles)
+        }
+    };
+    use hierbus::core::HasSlaves;
+    let memory = sys
+        .bus()
+        .slave_as::<MemSlave>(hierbus::ec::SlaveId(0))
+        .expect("scenario slave is a MemSlave")
+        .snapshot();
+    (sys.completed(), cycles, memory, energy, sys.torn())
+}
+
+/// Fault and tear replays: for every backend, a plan mixing transient
+/// slave errors, stalls, retries and a mid-run card tear must charge
+/// *exactly* the same energy as the bit-loop reference — torn frames
+/// included — and commit the same memory.
+#[test]
+fn fault_and_tear_replays_bit_exact_on_every_backend() {
+    let db = shared_db();
+    let scenario = Scenario {
+        name: "packed-fault-probe",
+        ops: vec![
+            MasterOp::write(0x100, 0xAAAA_5555),
+            MasterOp::read(0x100).after_idle(1),
+            MasterOp::write(0x104, 0x0F0F_F0F0),
+            MasterOp::write(0x108, 0x1234_5678).after_idle(2),
+            MasterOp::read(0x104),
+            MasterOp::write(0x10C, 0xFFFF_0000),
+        ]
+        .into(),
+        waits: WaitProfile::new(1, 2, 2),
+    };
+    let clean = harness::fault::run_layer1(&scenario, &db, &FaultPlan::new(), RetryPolicy::NONE);
+    let mut plans = vec![FaultPlan::new()
+        .with_fault(1, OpFault::once(FaultKind::SlaveError))
+        .with_fault(3, OpFault::always(FaultKind::Stall(2)))];
+    // Tear sweep over the whole clean run, past the natural end.
+    for t in 0..=clean.cycles + 1 {
+        plans.push(FaultPlan::new().with_tear(t));
+    }
+    for (pi, plan) in plans.iter().enumerate() {
+        let policy = RetryPolicy::retries(2);
+        let reference = faulted_run_with_backend(&scenario, &db, plan, policy, None);
+        for backend in available_backends() {
+            let packed = faulted_run_with_backend(&scenario, &db, plan, policy, Some(backend));
+            assert_eq!(
+                packed.3.to_bits(),
+                reference.3.to_bits(),
+                "plan {pi} backend {}: energy",
+                backend.name()
+            );
+            assert_eq!(
+                (packed.0, packed.1, &packed.2, packed.4),
+                (reference.0, reference.1, &reference.2, reference.4),
+                "plan {pi} backend {}: completion/cycles/memory/torn",
+                backend.name()
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Campaign level: merged results at every worker count.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Cell {
+    cycles: u64,
+    energy_pj: f64,
+}
+
+impl CampaignPayload for Cell {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("cycles".to_owned(), Json::Num(self.cycles as f64)),
+            ("energy_pj".to_owned(), Json::Num(self.energy_pj)),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Option<Self> {
+        Some(Cell {
+            cycles: json.get("cycles")?.as_u64()?,
+            energy_pj: json.get("energy_pj")?.as_f64()?,
+        })
+    }
+}
+
+/// Bit-precise rendering: energies as raw u64 bit patterns, so a
+/// sub-ulp divergence cannot hide behind decimal formatting.
+fn render(cells: &[Cell]) -> String {
+    cells
+        .iter()
+        .map(|c| format!("{} {:#018x}\n", c.cycles, c.energy_pj.to_bits()))
+        .collect()
+}
+
+/// Campaign merges through reset-reused packed lean sessions must be
+/// byte-identical at 1, 2 and 4 workers, under both claim strategies —
+/// and every cell must equal a fresh `run_layer1` *and* a fresh
+/// `run_layer1_reference` on that scenario, bit for bit. This is the
+/// end-to-end determinism statement: the packed engine introduces no
+/// worker-count-, reuse- or scheduling-dependent behavior.
+#[test]
+fn campaign_merges_identical_at_every_worker_count() {
+    let db = shared_db();
+    let seeds: Vec<u64> = (0..6).map(|i| 0x9C00 + i as u64).collect();
+    let scenarios: Vec<Scenario> = seeds.iter().map(|&s| probe_scenario(s, 120)).collect();
+    let matrix = Matrix::new().axis("seed", seeds.iter().map(|s| format!("{s:#x}")));
+
+    let mut outputs = Vec::new();
+    for workers in [1usize, 2, 4] {
+        for strategy in [ClaimStrategy::Chunked, ClaimStrategy::PerScenario] {
+            let opts = CampaignOptions {
+                claim: strategy,
+                ..CampaignOptions::with_workers("packed-differential", workers)
+            };
+            let report = hierbus::campaign::run_with(
+                &matrix,
+                &opts,
+                || harness::Layer1LeanSession::new(&db),
+                |session, point| {
+                    let run = session.run(&scenarios[point.coords[0]]);
+                    Cell {
+                        cycles: run.cycles,
+                        energy_pj: run.energy_pj,
+                    }
+                },
+            )
+            .unwrap();
+            let cells: Vec<Cell> = report.results.into_iter().flatten().collect();
+            assert_eq!(cells.len(), scenarios.len(), "w{workers} {strategy:?}");
+            outputs.push((workers, strategy, render(&cells)));
+        }
+    }
+    let base = &outputs[0].2;
+    for (workers, strategy, rendered) in &outputs[1..] {
+        assert_eq!(
+            rendered, base,
+            "merged cells differ at {workers} workers ({strategy:?})"
+        );
+    }
+
+    // Anchor the merged cells to fresh full runs and the bit-loop path.
+    let anchored: Vec<Cell> = scenarios
+        .iter()
+        .map(|s| {
+            let full = harness::run_layer1(s, &db);
+            let reference = harness::run_layer1_reference(s, &db);
+            assert_eq!(full.energy_pj.to_bits(), reference.energy_pj.to_bits());
+            assert_eq!(full.cycles, reference.cycles);
+            Cell {
+                cycles: full.cycles,
+                energy_pj: full.energy_pj,
+            }
+        })
+        .collect();
+    assert_eq!(&render(&anchored), base, "campaign cells vs fresh runs");
+}

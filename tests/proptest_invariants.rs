@@ -55,7 +55,7 @@ fn arb_op(rng: &mut SplitMix64) -> MasterOp {
             _ => (DataWidth::W32, word * 4),
         }
     };
-    let data = if kind == AccessKind::DataWrite {
+    let data: Vec<u32> = if kind == AccessKind::DataWrite {
         raw_data
             .into_iter()
             .take(burst.beats() as usize)
@@ -70,7 +70,7 @@ fn arb_op(rng: &mut SplitMix64) -> MasterOp {
         addr: Address::new(addr),
         width,
         burst,
-        data,
+        data: data.into(),
     }
 }
 
@@ -116,7 +116,7 @@ fn layer1_cycle_exact_under_arbitrary_traffic() {
         let mut rng = SplitMix64::new(0x1A7E_0000 + case);
         let scenario = Scenario {
             name: "prop",
-            ops: arb_ops(&mut rng, 1, 40),
+            ops: arb_ops(&mut rng, 1, 40).into(),
             waits: arb_waits(&mut rng),
         };
         let rtl = run_rtl(&scenario);
@@ -134,7 +134,7 @@ fn layer2_pessimistic_but_bounded() {
         let mut rng = SplitMix64::new(0x2B0B_0000 + case);
         let scenario = Scenario {
             name: "prop",
-            ops: arb_ops(&mut rng, 1, 40),
+            ops: arb_ops(&mut rng, 1, 40).into(),
             waits: arb_waits(&mut rng),
         };
         let l1 = run_l1(&scenario);
@@ -179,7 +179,7 @@ fn serialized_traffic_data_agrees_across_all_models() {
             .collect();
         let scenario = Scenario {
             name: "serial",
-            ops,
+            ops: ops.into(),
             waits: arb_waits(&mut rng),
         };
         let rtl = run_rtl(&scenario);
@@ -209,7 +209,8 @@ fn write_then_read_returns_written_data() {
             ops: vec![
                 MasterOp::write(addr, value),
                 MasterOp::read(addr).after_idle(16),
-            ],
+            ]
+            .into(),
             waits: arb_waits(&mut rng),
         };
         for records in [
@@ -229,7 +230,7 @@ fn energy_accumulates_monotonically() {
         let mut rng = SplitMix64::new(0x5E4E_0000 + case);
         let scenario = Scenario {
             name: "prop",
-            ops: arb_ops(&mut rng, 1, 30),
+            ops: arb_ops(&mut rng, 1, 30).into(),
             waits: WaitProfile::ZERO,
         };
         let mem = MemSlave::new(slave_config(scenario.waits));
@@ -260,7 +261,7 @@ fn reset_reused_model_replays_bit_exact() {
         let mut rng = SplitMix64::new(0xAE5E_0000 + case);
         let scenario = Scenario {
             name: "reset-prop",
-            ops: arb_ops(&mut rng, 1, 30),
+            ops: arb_ops(&mut rng, 1, 30).into(),
             waits: arb_waits(&mut rng),
         };
         reused.reset();
@@ -307,7 +308,7 @@ fn reset_reused_session_replays_scenarios_bit_exact() {
         let mut rng = SplitMix64::new(0xBE55_0000 + case);
         let scenario = Scenario {
             name: "session-prop",
-            ops: arb_ops(&mut rng, 1, 30),
+            ops: arb_ops(&mut rng, 1, 30).into(),
             waits: arb_waits(&mut rng),
         };
         let reused = session.run(&scenario);
@@ -334,7 +335,7 @@ fn lean_session_matches_full_runner_bit_exact() {
         let mut rng = SplitMix64::new(0x1EA4_0000 + case);
         let scenario = Scenario {
             name: "lean-prop",
-            ops: arb_ops(&mut rng, 1, 30),
+            ops: arb_ops(&mut rng, 1, 30).into(),
             waits: arb_waits(&mut rng),
         };
         let lean = session.run(&scenario);
@@ -358,7 +359,7 @@ fn arb_single_ops(rng: &mut SplitMix64, lo: usize, hi: usize) -> Vec<MasterOp> {
         .map(|mut op| {
             if op.burst.is_burst() {
                 op.burst = BurstLen::Single;
-                op.data.truncate(1);
+                op.data = op.data.iter().copied().take(1).collect();
             }
             op
         })
@@ -375,7 +376,7 @@ fn fault_outcomes_agree_across_all_layers_under_random_plans() {
         let mut rng = SplitMix64::new(seed);
         let scenario = Scenario {
             name: "fault-prop",
-            ops: arb_ops(&mut rng, 1, 30),
+            ops: arb_ops(&mut rng, 1, 30).into(),
             waits: arb_waits(&mut rng),
         };
         let plan = FaultPlan::random(seed, scenario.ops.len(), FaultParams::default());
@@ -418,7 +419,7 @@ fn random_tears_commit_identical_memory_on_single_beat_traffic() {
         let mut rng = SplitMix64::new(seed);
         let scenario = Scenario {
             name: "tear-prop",
-            ops: arb_single_ops(&mut rng, 1, 12),
+            ops: arb_single_ops(&mut rng, 1, 12).into(),
             waits: arb_waits(&mut rng),
         };
         let tear = rng.range_u64(0, 80);
@@ -443,7 +444,7 @@ fn faulted_runs_reproduce_from_their_seed() {
         let mut rng = SplitMix64::new(seed);
         Scenario {
             name: "repro",
-            ops: arb_ops(&mut rng, 5, 25),
+            ops: arb_ops(&mut rng, 5, 25).into(),
             waits: arb_waits(&mut rng),
         }
     };
@@ -466,7 +467,7 @@ fn glitchless_reference_transitions_equal_layer1_toggles() {
         let mut rng = SplitMix64::new(0x6700_0000 + case);
         let scenario = Scenario {
             name: "prop",
-            ops: arb_ops(&mut rng, 1, 25),
+            ops: arb_ops(&mut rng, 1, 25).into(),
             waits: arb_waits(&mut rng),
         };
         let rtl = run_rtl(&scenario); // glitches off
@@ -485,6 +486,141 @@ fn glitchless_reference_transitions_equal_layer1_toggles() {
             rtl.transitions,
             model.toggles().total() as u64,
             "case {case}"
+        );
+    }
+}
+
+#[test]
+fn packed_engines_match_scalar_and_bitloop_under_random_traffic() {
+    // The lane-parallel contract as a property: for random stimulus,
+    // random wait profiles and *random flush cadence* (queries force a
+    // flush, so querying at random points exercises every partial batch
+    // width), each compiled backend's batched engine, the scalar
+    // per-frame engine and the bit-loop reference engine agree on
+    // energy, per-class transition counts and the per-cycle trace — to
+    // the last bit. The seed is in every assert message.
+    use hierbus::power::{Backend, BatchedLayer1, CharacterizationDb, Layer1EnergyModel};
+    let backends: Vec<Backend> = Backend::COMPILED
+        .iter()
+        .copied()
+        .filter(|b| b.available())
+        .collect();
+    for case in 0..CASES {
+        let seed = 0x9ACD_0000 + case;
+        let mut rng = SplitMix64::new(seed);
+        let scenario = Scenario {
+            name: "packed-prop",
+            ops: arb_ops(&mut rng, 1, 40).into(),
+            waits: arb_waits(&mut rng),
+        };
+        let mut scalar = Layer1EnergyModel::new(CharacterizationDb::uniform());
+        scalar.enable_trace();
+        let mut bitloop = Layer1EnergyModel::new(CharacterizationDb::uniform());
+        bitloop.enable_trace();
+        let mut engines: Vec<BatchedLayer1> = backends
+            .iter()
+            .map(|&b| {
+                let mut m = Layer1EnergyModel::new(CharacterizationDb::uniform());
+                m.enable_trace();
+                BatchedLayer1::with_backend(m, b)
+            })
+            .collect();
+        let mem = MemSlave::new(slave_config(scenario.waits));
+        let mut bus = Tlm1Bus::new(vec![Box::new(mem)]);
+        bus.enable_frames();
+        let mut sys = TlmSystem::new(bus, scenario.ops);
+        let mut flush_rng = SplitMix64::new(seed ^ 0xF1A5);
+        sys.run(1_000_000, |bus: &mut Tlm1Bus| {
+            let frame = *bus.last_frame();
+            scalar.on_frame(&frame);
+            bitloop.on_frame_reference(&frame);
+            for (i, engine) in engines.iter_mut().enumerate() {
+                engine.on_frame(&frame);
+                // Distinct cadence per engine: flush with probability
+                // (i + 1) in 32 — ragged, backend-dependent batch widths.
+                if flush_rng.next_u64() % 32 < i as u64 + 1 {
+                    engine.model();
+                }
+            }
+        });
+        assert_eq!(
+            scalar.total_energy().to_bits(),
+            bitloop.total_energy().to_bits(),
+            "seed {seed:#x}: scalar vs bit-loop"
+        );
+        assert_eq!(scalar.toggles(), bitloop.toggles(), "seed {seed:#x}");
+        assert_eq!(scalar.trace(), bitloop.trace(), "seed {seed:#x}");
+        for (engine, &backend) in engines.iter_mut().zip(&backends) {
+            let m = engine.model();
+            assert_eq!(
+                m.total_energy().to_bits(),
+                scalar.total_energy().to_bits(),
+                "seed {seed:#x}: backend {} energy",
+                backend.name()
+            );
+            assert_eq!(
+                m.toggles(),
+                scalar.toggles(),
+                "seed {seed:#x}: backend {} toggles",
+                backend.name()
+            );
+            assert_eq!(
+                m.trace(),
+                scalar.trace(),
+                "seed {seed:#x}: backend {} trace",
+                backend.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn packed_attribution_ledger_matches_bitloop_buckets() {
+    // Attribution rides on the per-cycle trace, so the packed engine
+    // must reproduce the bit-loop reference's EnergyLedger bucket by
+    // bucket — spans, per-slave splits and residual included.
+    use hierbus::power::Layer1EnergyModel;
+    let db = hierbus::harness::shared_db();
+    for case in 0..8u64 {
+        let seed = 0x1ED6_0000 + case;
+        let mut rng = SplitMix64::new(seed);
+        let scenario = Scenario {
+            name: "ledger-prop",
+            ops: arb_ops(&mut rng, 4, 30).into(),
+            waits: arb_waits(&mut rng),
+        };
+        // Packed path (active backend) with spans + trace + ledger.
+        let packed = hierbus::harness::fault::run_layer1_attributed(
+            &scenario,
+            &db,
+            &hierbus::ec::FaultPlan::new(),
+            hierbus::ec::RetryPolicy::NONE,
+        );
+        // Bit-loop path through the same observed bus wiring.
+        let mem = MemSlave::new(slave_config(scenario.waits));
+        let mut bus = Tlm1Bus::new(vec![Box::new(mem)]);
+        bus.enable_obs();
+        bus.enable_frames();
+        let mut sys = TlmSystem::new(bus, scenario.ops.clone());
+        let mut model = Layer1EnergyModel::new((*db).clone());
+        model.enable_trace();
+        sys.run(1_000_000, |bus: &mut Tlm1Bus| {
+            model.on_frame_reference(bus.last_frame());
+        });
+        let spans = sys.bus().obs().spans().to_vec();
+        let ledger = model
+            .ledger(&spans, &hierbus::harness::scenario_slave_map())
+            .expect("trace enabled");
+        assert_eq!(packed.ledger, ledger, "seed {seed:#x}: ledger buckets");
+        assert_eq!(
+            packed.run.energy_pj.to_bits(),
+            model.total_energy().to_bits(),
+            "seed {seed:#x}: total energy"
+        );
+        assert_eq!(
+            packed.trace,
+            model.trace().unwrap_or(&[]).to_vec(),
+            "seed {seed:#x}: cycle trace"
         );
     }
 }
