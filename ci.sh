@@ -30,6 +30,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> campaign smoke (2 workers, tiny matrix)"
 cargo run --release -p hierbus-bench --bin explore_jcvm -- --smoke --workers 2
 
+echo "==> arbitration smoke (both policies, DMA on/off, three layers)"
+# Cross-layer equivalence gate for the multi-master path: per-master
+# outcomes, committed memory, cycle- and grant-exact layer 1, the 1e-9
+# energy pin and the per-master ledger partition — once on the detected
+# SIMD backend and once on the forced scalar kernel.
+cargo run --release -p hierbus-bench --bin arbitration_smoke
+HIERBUS_PACKED_BACKEND=scalar cargo run --release -p hierbus-bench --bin arbitration_smoke
+
 echo "==> bench smoke (hot-path differential + scaling regression, release)"
 # The perf layer's correctness story: the packed diff must stay
 # bit-exact against the bit-loop reference, and 2-worker campaigns must

@@ -492,13 +492,17 @@ pub struct ScalingPoint {
     /// Fraction of the pool's worker-seconds (`workers × wall`) spent
     /// executing scenarios — 1.0 means no worker ever waited.
     pub busy_frac: f64,
-    /// The least-utilized *active* worker's busy/wall fraction — the
-    /// straggler signal among workers that actually completed a
-    /// scenario (1.0 = even the worst active worker never waited).
-    /// Workers that claimed nothing — routine when the matrix is
-    /// smaller than `workers × chunk` — are counted in
-    /// [`idle_workers`](Self::idle_workers) instead of dragging this
-    /// to 0.
+    /// Busy/wall fraction of the pool restricted to *active* workers:
+    /// Σ busy over workers that completed at least one scenario,
+    /// divided by `wall × active` (1.0 = no active worker ever
+    /// waited). Workers that claimed nothing — routine when the matrix
+    /// is smaller than `workers × chunk` — are counted in
+    /// [`idle_workers`](Self::idle_workers) instead of diluting this.
+    /// Deliberately a mean, not a min: one worker that draws a single
+    /// short chunk near the end of the run is scheduling noise, and a
+    /// min-over-workers rule let it collapse the whole pool's number
+    /// (utilization 0.128 against a busy_frac of 0.62 at 4 workers)
+    /// into a fake scaling cliff.
     pub utilization: f64,
     /// Workers that completed no scenario at all during the best run.
     pub idle_workers: usize,
@@ -519,13 +523,14 @@ impl ScalingPoint {
             wall: stats.wall,
             scenarios_per_sec: stats.scenarios_per_sec(),
             busy_frac: if cap > 0.0 { busy / cap } else { 0.0 },
-            utilization: if active().count() == 0 {
-                0.0
-            } else {
-                active()
-                    .map(|w| w.utilization(stats.wall))
-                    .fold(f64::INFINITY, f64::min)
-                    .clamp(0.0, 1.0)
+            utilization: {
+                let n = active().count();
+                if n == 0 || wall_s <= 0.0 {
+                    0.0
+                } else {
+                    let busy_active: f64 = active().map(|w| w.busy.as_secs_f64()).sum();
+                    (busy_active / (wall_s * n as f64)).clamp(0.0, 1.0)
+                }
             },
             idle_workers: stats.per_worker.len() - active().count(),
             profile: report.profile,
@@ -1009,7 +1014,7 @@ mod tests {
             "idle worker dragged utilization to {}",
             point.utilization
         );
-        // All workers active: no idle count, min over all of them.
+        // All workers active: no idle count, mean busy fraction.
         let report: CampaignReport<Cell> = CampaignReport {
             points: Vec::new(),
             results: Vec::new(),
@@ -1026,7 +1031,7 @@ mod tests {
         };
         let point = ScalingPoint::from_report(2, report);
         assert_eq!(point.idle_workers, 0);
-        assert!((point.utilization - 0.5).abs() < 1e-9);
+        assert!((point.utilization - 0.7).abs() < 1e-9);
         // Fully resumed run: everything idle, utilization reads 0.
         let report: CampaignReport<Cell> = CampaignReport {
             points: Vec::new(),
@@ -1045,6 +1050,51 @@ mod tests {
         let point = ScalingPoint::from_report(2, report);
         assert_eq!(point.idle_workers, 2);
         assert_eq!(point.utilization, 0.0);
+    }
+
+    #[test]
+    fn straggler_chunks_do_not_collapse_utilization() {
+        // Regression for the 4-worker collapse in BENCH_throughput.json:
+        // three saturated workers plus one that drew a single short
+        // chunk near the end of the run. The old min-over-active rule
+        // reported that straggler's 0.128 as the pool's utilization —
+        // flagging a pool whose busy_frac was 0.62 as a scaling cliff.
+        let mk = |completed: u64, busy_us: u64| WorkerStats {
+            claimed: completed,
+            completed,
+            busy: Duration::from_micros(busy_us),
+            claim_retries: 0,
+        };
+        let report: CampaignReport<Cell> = CampaignReport {
+            points: Vec::new(),
+            results: Vec::new(),
+            stats: CampaignStats {
+                total: 16,
+                executed: 16,
+                resumed: 0,
+                pending: 0,
+                workers: 4,
+                wall: Duration::from_micros(100_000),
+                per_worker: vec![mk(6, 90_000), mk(5, 85_000), mk(4, 60_200), mk(1, 12_800)],
+            },
+            profile: None,
+        };
+        let point = ScalingPoint::from_report(4, report);
+        assert_eq!(point.idle_workers, 0);
+        // With every worker active the pool-restricted mean equals
+        // busy_frac; the straggler contributes its share, no more.
+        assert!((point.busy_frac - 0.62).abs() < 1e-9, "{}", point.busy_frac);
+        assert!(
+            (point.utilization - point.busy_frac).abs() < 1e-9,
+            "all-active utilization {} must equal busy_frac {}",
+            point.utilization,
+            point.busy_frac
+        );
+        assert!(
+            point.utilization > 0.5,
+            "straggler collapsed utilization to {}",
+            point.utilization
+        );
     }
 
     #[test]

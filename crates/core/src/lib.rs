@@ -44,6 +44,7 @@
 //! ```
 
 pub mod master;
+pub mod multi;
 pub(crate) mod obs_util;
 pub mod sc;
 pub mod slave;
@@ -52,6 +53,7 @@ pub mod tlm2;
 pub mod tlm3;
 
 pub use master::{Completed, CycleBus, PollStatus, TlmMaster, TlmReport, TlmSystem};
+pub use multi::{MasterReport, MultiMasterSystem, MultiReport};
 pub use sc::run_on_kernel;
 pub use slave::{HasSlaves, MemSlave, SlaveReply, TlmSlave};
 pub use tlm1::Tlm1Bus;

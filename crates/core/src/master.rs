@@ -196,6 +196,19 @@ impl TlmMaster {
         self.policy = policy;
     }
 
+    /// Sets the first transaction id this master will use. Multi-master
+    /// systems give each master a disjoint id range (the DMA engine
+    /// counts from [`hierbus_ec::dma::DMA_ID_BASE`]) so every span and
+    /// phase event stays attributable to its master. Must be called
+    /// before the first issue.
+    pub fn set_id_base(&mut self, base: u64) {
+        assert!(
+            self.next_op == 0 && self.records.is_empty(),
+            "id base must be configured before running"
+        );
+        self.next_id = TxnId(base);
+    }
+
     /// The attached fault plan.
     pub fn fault_plan(&self) -> &FaultPlan {
         &self.plan
@@ -230,14 +243,29 @@ impl TlmMaster {
     /// Rising-edge step: picks up finished transactions (freeing limit
     /// slots), applies the timeout, then issues — a due retry first,
     /// else the next op if its idle gap has elapsed and a slot is free.
+    ///
+    /// Single-master form of the split interface: equivalent to
+    /// [`begin_cycle`](Self::begin_cycle), then
+    /// [`issue_granted`](Self::issue_granted) whenever
+    /// [`arbitration_request`](Self::arbitration_request) raises — i.e.
+    /// a bus whose arbiter grants this master unconditionally.
     pub fn rising_edge<B: CycleBus>(&mut self, bus: &mut B, cycle: u64) {
-        // Pick up completions first so a freed slot can be reused in the
-        // same cycle (matching the reference master's bookkeeping).
-        self.pickup(bus, cycle);
+        self.begin_cycle(bus, cycle);
+        if self.arbitration_request(cycle) {
+            self.issue_granted(bus, cycle);
+        }
+    }
 
-        // Timeout: abandon attempts past their deadline. The bus is not
-        // cancelled — it drains the transaction on its own, so the FSM
-        // always returns to idle.
+    /// Rising-edge bookkeeping that happens whether or not this master
+    /// wins the bus: picks up completions first so a freed slot can be
+    /// reused in the same cycle (matching the reference master's
+    /// bookkeeping), then applies the timeout — abandoning attempts
+    /// past their deadline. The bus is not cancelled on timeout; it
+    /// drains the transaction on its own, so the FSM always returns to
+    /// idle. A multi-master system calls this for every master before
+    /// arbitrating.
+    pub fn begin_cycle<B: CycleBus>(&mut self, bus: &mut B, cycle: u64) {
+        self.pickup(bus, cycle);
         if let Some(t) = self.policy.timeout {
             for f in &mut self.in_flight {
                 if !f.abandoned && cycle >= f.issue_cycle + t {
@@ -247,30 +275,60 @@ impl TlmMaster {
                 }
             }
         }
+    }
 
+    /// This master's request line for `cycle`: true when it has a
+    /// transaction ready to issue (a due retry, or fresh stimulus whose
+    /// idle gap has elapsed) *and* a free outstanding-limit slot for it.
+    ///
+    /// Consumes exactly the state an ungranted cycle consumes — an
+    /// elapsed idle cycle is decremented here because the engine idles
+    /// regardless of what the arbiter decides. Call once per cycle,
+    /// after [`begin_cycle`](Self::begin_cycle); when the arbiter
+    /// grants, follow up with [`issue_granted`](Self::issue_granted)
+    /// in the same cycle.
+    pub fn arbitration_request(&mut self, cycle: u64) -> bool {
         // A due retry has priority over fresh stimulus (and, like fresh
         // stimulus, waits head-of-line on a free limit slot).
         if let Some(pos) = self.due_retry(cycle) {
-            let retry = self.retries[pos];
-            let category = TxnCategory::of(self.ops[retry.op].kind);
-            if self.tracker.try_issue(category) {
-                self.retries.remove(pos);
-                self.issue_attempt(bus, cycle, retry.op, retry.attempt, category);
-            }
-            return;
+            let category = TxnCategory::of(self.ops[self.retries[pos].op].kind);
+            return self.tracker.can_issue(category);
         }
-
         if self.next_op >= self.ops.len() {
-            return;
+            return false;
         }
         if self.idle_left > 0 {
             self.idle_left -= 1;
+            return false;
+        }
+        self.tracker
+            .can_issue(TxnCategory::of(self.ops[self.next_op].kind))
+    }
+
+    /// Issues the transaction [`arbitration_request`](Self::arbitration_request)
+    /// raised for — the granted master's drive of the address channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called without a raised request (nothing to issue or
+    /// no limit slot).
+    pub fn issue_granted<B: CycleBus>(&mut self, bus: &mut B, cycle: u64) {
+        if let Some(pos) = self.due_retry(cycle) {
+            let retry = self.retries[pos];
+            let category = TxnCategory::of(self.ops[retry.op].kind);
+            assert!(
+                self.tracker.try_issue(category),
+                "granted retry without a free limit slot"
+            );
+            self.retries.remove(pos);
+            self.issue_attempt(bus, cycle, retry.op, retry.attempt, category);
             return;
         }
         let category = TxnCategory::of(self.ops[self.next_op].kind);
-        if !self.tracker.try_issue(category) {
-            return; // stalled on the outstanding limit
-        }
+        assert!(
+            self.tracker.try_issue(category),
+            "granted issue without a free limit slot"
+        );
         let op = self.next_op;
         self.issue_attempt(bus, cycle, op, 0, category);
         self.next_op += 1;

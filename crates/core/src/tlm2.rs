@@ -84,6 +84,10 @@ pub struct PhaseEvent {
     pub data: Vec<u32>,
     /// Cycle the phase completed.
     pub at_cycle: u64,
+    /// The owning transaction's id (== its span trace id). In a
+    /// multi-master run the issuing master is recoverable from it via
+    /// [`hierbus_ec::dma::master_of_trace`].
+    pub trace_id: u64,
 }
 
 #[derive(Debug)]
@@ -228,6 +232,7 @@ impl Tlm2Bus {
                     completed: false,
                     data: Vec::new(),
                     at_cycle: cycle,
+                    trace_id: a.txn.id.0,
                 });
             }
         }
@@ -250,6 +255,7 @@ impl Tlm2Bus {
                         completed: false,
                         data: Vec::new(),
                         at_cycle: cycle,
+                        trace_id: a.txn.id.0,
                     });
                 }
             }
@@ -372,6 +378,7 @@ impl Tlm2Bus {
                 completed: true,
                 data: words,
                 at_cycle: cycle,
+                trace_id: id.0,
             });
         }
     }
@@ -574,7 +581,7 @@ impl CycleBus for Tlm2Bus {
                     cycle,
                     error.is_some(),
                 );
-                let (addr, kind, width, burst_beats, addr_waits) = {
+                let (addr, kind, width, burst_beats, addr_waits, trace_id) = {
                     let a = &self.active[idx];
                     (
                         a.txn.addr,
@@ -582,6 +589,7 @@ impl CycleBus for Tlm2Bus {
                         a.txn.width,
                         a.txn.beats(),
                         a.waits.address,
+                        a.txn.id.0,
                     )
                 };
                 if self.emit_events {
@@ -596,6 +604,7 @@ impl CycleBus for Tlm2Bus {
                         completed: true,
                         data: Vec::new(),
                         at_cycle: cycle,
+                        trace_id,
                     });
                 }
                 match error {

@@ -1,0 +1,226 @@
+//! Bus arbitration for multi-master configurations.
+//!
+//! The paper's EC interface is single-master, but its successor
+//! architectures (and the AMBA-family buses the TLM literature models)
+//! put an arbiter between several masters and the shared address
+//! channel. This module provides the one shared arbitration kernel used
+//! by **every** layer — the RTL reference grants per clock edge, the
+//! layer-1 TLM grants per modeled cycle, and the layer-2 TLM grants per
+//! issue event — so cross-layer equivalence is a property of the shared
+//! code, not of three parallel reimplementations.
+//!
+//! The protocol is the classic two-wire request/grant handshake:
+//!
+//! 1. At each rising edge every master that wants to issue raises its
+//!    request line.
+//! 2. The arbiter combinationally grants **at most one** requester.
+//! 3. The granted master drives the address channel that same cycle;
+//!    losers keep their request raised and re-arbitrate next cycle
+//!    (they accumulate *grant wait states*).
+//!
+//! Two policies are provided. [`ArbitrationPolicy::FixedPriority`]
+//! always grants the lowest-indexed requester (master 0 — the CPU —
+//! can never be blocked, DMA can starve). [`ArbitrationPolicy::RoundRobin`]
+//! scans from one past the previous grant winner, so continuous
+//! requesters alternate and no master waits more than `n - 1` grants.
+
+/// Which master wins when several request in the same cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArbitrationPolicy {
+    /// Lowest master index wins; master 0 never waits.
+    FixedPriority,
+    /// Rotating priority starting one past the last winner.
+    RoundRobin,
+}
+
+impl ArbitrationPolicy {
+    /// Both policies, in a stable order — for sweeps.
+    pub const ALL: [ArbitrationPolicy; 2] = [
+        ArbitrationPolicy::FixedPriority,
+        ArbitrationPolicy::RoundRobin,
+    ];
+
+    /// Stable lower-case name (used in campaign axes and serve specs).
+    pub fn name(self) -> &'static str {
+        match self {
+            ArbitrationPolicy::FixedPriority => "fixed",
+            ArbitrationPolicy::RoundRobin => "rr",
+        }
+    }
+
+    /// Parses [`name`](Self::name) output.
+    pub fn from_name(s: &str) -> Option<ArbitrationPolicy> {
+        match s {
+            "fixed" => Some(ArbitrationPolicy::FixedPriority),
+            "rr" => Some(ArbitrationPolicy::RoundRobin),
+            _ => None,
+        }
+    }
+}
+
+/// Per-master arbitration statistics, accumulated as the run proceeds.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ArbiterStats {
+    /// Grants won by each master.
+    pub grants: Vec<u64>,
+    /// Cycles each master requested but was **not** granted (its grant
+    /// wait states).
+    pub waits: Vec<u64>,
+    /// Cycles in which two or more masters requested simultaneously.
+    pub contended_cycles: u64,
+}
+
+/// The shared arbitration state machine.
+///
+/// Deterministic: the grant sequence is a pure function of the policy
+/// and the request-line history, so identical request streams at two
+/// model layers produce identical grant lines.
+#[derive(Debug, Clone)]
+pub struct Arbiter {
+    policy: ArbitrationPolicy,
+    /// Last winner, for the round-robin scan start. `None` before the
+    /// first grant (scan starts at master 0).
+    last: Option<usize>,
+    stats: ArbiterStats,
+    /// Grant log: `(cycle, master)` per grant, in cycle order. The RTL
+    /// and TLM1 logs are compared entry-for-entry by the equivalence
+    /// suite ("cycle-exact grant lines").
+    log: Vec<(u64, usize)>,
+    keep_log: bool,
+}
+
+impl Arbiter {
+    /// A fresh arbiter for `masters` request lines.
+    pub fn new(policy: ArbitrationPolicy, masters: usize) -> Self {
+        Arbiter {
+            policy,
+            last: None,
+            stats: ArbiterStats {
+                grants: vec![0; masters],
+                waits: vec![0; masters],
+                contended_cycles: 0,
+            },
+            log: Vec::new(),
+            keep_log: true,
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> ArbitrationPolicy {
+        self.policy
+    }
+
+    /// Disables the grant log (throughput mode); stats stay live.
+    pub fn disable_log(&mut self) {
+        self.keep_log = false;
+    }
+
+    /// Arbitrates one cycle. `requests[i]` is master `i`'s request
+    /// line; returns the granted master, if any.
+    pub fn grant(&mut self, cycle: u64, requests: &[bool]) -> Option<usize> {
+        debug_assert_eq!(requests.len(), self.stats.grants.len());
+        let requesting = requests.iter().filter(|r| **r).count();
+        if requesting == 0 {
+            return None;
+        }
+        if requesting > 1 {
+            self.stats.contended_cycles += 1;
+        }
+        let n = requests.len();
+        let start = match self.policy {
+            ArbitrationPolicy::FixedPriority => 0,
+            ArbitrationPolicy::RoundRobin => self.last.map_or(0, |l| (l + 1) % n),
+        };
+        let winner = (0..n)
+            .map(|k| (start + k) % n)
+            .find(|&i| requests[i])
+            .expect("at least one requester");
+        self.last = Some(winner);
+        self.stats.grants[winner] += 1;
+        for (i, &req) in requests.iter().enumerate() {
+            if req && i != winner {
+                self.stats.waits[i] += 1;
+            }
+        }
+        if self.keep_log {
+            self.log.push((cycle, winner));
+        }
+        Some(winner)
+    }
+
+    /// The statistics so far.
+    pub fn stats(&self) -> &ArbiterStats {
+        &self.stats
+    }
+
+    /// The grant log so far: `(cycle, master)` in cycle order.
+    pub fn log(&self) -> &[(u64, usize)] {
+        &self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_priority_always_grants_lowest_requester() {
+        let mut arb = Arbiter::new(ArbitrationPolicy::FixedPriority, 2);
+        for cycle in 0..10 {
+            assert_eq!(arb.grant(cycle, &[true, true]), Some(0));
+        }
+        assert_eq!(arb.stats().grants, vec![10, 0]);
+        assert_eq!(arb.stats().waits, vec![0, 10]);
+        assert_eq!(arb.stats().contended_cycles, 10);
+    }
+
+    #[test]
+    fn fixed_priority_grants_dma_when_cpu_silent() {
+        let mut arb = Arbiter::new(ArbitrationPolicy::FixedPriority, 2);
+        assert_eq!(arb.grant(0, &[false, true]), Some(1));
+        assert_eq!(arb.stats().waits, vec![0, 0]);
+    }
+
+    #[test]
+    fn round_robin_alternates_under_full_contention() {
+        let mut arb = Arbiter::new(ArbitrationPolicy::RoundRobin, 2);
+        let winners: Vec<_> = (0..6)
+            .map(|c| arb.grant(c, &[true, true]).unwrap())
+            .collect();
+        assert_eq!(winners, vec![0, 1, 0, 1, 0, 1]);
+        assert_eq!(arb.stats().grants, vec![3, 3]);
+    }
+
+    #[test]
+    fn round_robin_skips_silent_masters() {
+        let mut arb = Arbiter::new(ArbitrationPolicy::RoundRobin, 3);
+        assert_eq!(arb.grant(0, &[true, false, true]), Some(0));
+        // Scan resumes at 1, which is silent, so 2 wins.
+        assert_eq!(arb.grant(1, &[true, false, true]), Some(2));
+        assert_eq!(arb.grant(2, &[true, false, false]), Some(0));
+    }
+
+    #[test]
+    fn no_request_no_grant() {
+        let mut arb = Arbiter::new(ArbitrationPolicy::RoundRobin, 2);
+        assert_eq!(arb.grant(0, &[false, false]), None);
+        assert!(arb.log().is_empty());
+        assert_eq!(arb.stats().contended_cycles, 0);
+    }
+
+    #[test]
+    fn grant_log_records_cycle_and_winner() {
+        let mut arb = Arbiter::new(ArbitrationPolicy::FixedPriority, 2);
+        arb.grant(3, &[false, true]);
+        arb.grant(7, &[true, false]);
+        assert_eq!(arb.log(), &[(3, 1), (7, 0)]);
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in ArbitrationPolicy::ALL {
+            assert_eq!(ArbitrationPolicy::from_name(p.name()), Some(p));
+        }
+        assert_eq!(ArbitrationPolicy::from_name("bogus"), None);
+    }
+}

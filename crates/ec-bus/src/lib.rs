@@ -33,8 +33,13 @@
 //! * [`sequences`] — the verification scenarios of §4.1 plus random mixes.
 //! * [`fault`] — deterministic fault plans (error replies, stalls, card
 //!   tear), the master retry/timeout policy and per-op outcomes.
+//! * [`arbiter`], [`dma`] — the multi-master extension: the shared
+//!   request/grant arbitration kernel (fixed-priority and round-robin)
+//!   and the DMA engine's seeded descriptor programs.
 
 pub mod addr;
+pub mod arbiter;
+pub mod dma;
 pub mod error;
 pub mod fault;
 pub mod frame;
@@ -49,6 +54,8 @@ pub mod status;
 pub mod txn;
 
 pub use addr::{Address, AddressRange};
+pub use arbiter::{Arbiter, ArbiterStats, ArbitrationPolicy};
+pub use dma::{DmaParams, DmaProgram, MultiScenario, DMA_ID_BASE};
 pub use error::BusError;
 pub use fault::{
     FaultCounters, FaultKind, FaultParams, FaultPlan, OpFault, RetryPolicy, TxnOutcome,

@@ -3,7 +3,9 @@
 //! The energy models answer *how much*; this module answers *where it
 //! went*. An [`EnergyLedger`] decomposes a model's total energy along
 //! `layer → slave → phase → access class` (plus an optional software
-//! dimension, e.g. a JCVM exploration config), and a
+//! dimension, e.g. a JCVM exploration config, and an optional
+//! per-master dimension so multi-master runs attribute every joule to
+//! CPU vs DMA), and a
 //! [`DivergenceAuditor`] compares two ledgers — or two per-cycle power
 //! traces — and pinpoints the first bucket/cycle where they disagree
 //! beyond a tolerance.
@@ -71,12 +73,19 @@ impl LedgerPhase {
 
 /// One attribution bucket: which slave, which protocol phase, which
 /// access class. The class is `None` for idle energy, which belongs to
-/// no transaction.
+/// no transaction. Multi-master runs additionally tag each bucket with
+/// the issuing master's name (`cpu`/`dma`); single-master ledgers
+/// leave it `None`, keeping their serialized forms byte-identical to
+/// pre-multi-master ones.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BucketKey {
     pub slave: String,
     pub phase: LedgerPhase,
     pub class: Option<AccessClass>,
+    /// The per-master dimension; `None` outside multi-master runs (and
+    /// for idle cycles, which no master owns). Last field so derived
+    /// ordering keeps untagged ledgers in their historical sort order.
+    pub master: Option<String>,
 }
 
 impl BucketKey {
@@ -85,7 +94,14 @@ impl BucketKey {
             slave: slave.into(),
             phase,
             class,
+            master: None,
         }
+    }
+
+    /// Tags (or untags) the bucket with a master name; builder-style.
+    pub fn with_master(mut self, master: Option<impl Into<String>>) -> Self {
+        self.master = master.map(Into::into);
+        self
     }
 
     /// The bucket for energy outside any transaction.
@@ -97,9 +113,24 @@ impl BucketKey {
         self.class.map(AccessClass::name).unwrap_or("-")
     }
 
-    /// The bucket's folded-stack key, `slave;phase;class`.
+    /// The bucket's folded-stack key, `slave;phase;class` — with a
+    /// `@master` suffix on the class component when the bucket carries
+    /// the per-master tag (`mem;read-data;read@dma`). Master names must
+    /// not contain `;` or `@`.
     pub fn folded_key(&self) -> String {
-        format!("{};{};{}", self.slave, self.phase.name(), self.class_name())
+        match &self.master {
+            None => format!("{};{};{}", self.slave, self.phase.name(), self.class_name()),
+            Some(m) => {
+                debug_assert!(!m.contains([';', '@']), "master name {m:?} not foldable");
+                format!(
+                    "{};{};{}@{}",
+                    self.slave,
+                    self.phase.name(),
+                    self.class_name(),
+                    m
+                )
+            }
+        }
     }
 
     /// Inverse of [`folded_key`](Self::folded_key); `None` on any
@@ -107,7 +138,13 @@ impl BucketKey {
     /// parse failures instead of misattributed buckets.
     pub fn from_folded_key(key: &str) -> Option<BucketKey> {
         let mut parts = key.rsplitn(3, ';');
-        let class = match parts.next()? {
+        let class_part = parts.next()?;
+        let (class_name, master) = match class_part.split_once('@') {
+            Some((c, m)) if !m.is_empty() => (c, Some(m.to_string())),
+            Some(_) => return None,
+            None => (class_part, None),
+        };
+        let class = match class_name {
             "-" => None,
             "fetch" => Some(AccessClass::Fetch),
             "read" => Some(AccessClass::Read),
@@ -115,7 +152,9 @@ impl BucketKey {
             _ => return None,
         };
         let phase = LedgerPhase::from_name(parts.next()?)?;
-        Some(BucketKey::new(parts.next()?, phase, class))
+        let mut key = BucketKey::new(parts.next()?, phase, class);
+        key.master = master;
+        Some(key)
     }
 }
 
@@ -263,14 +302,7 @@ impl EnergyLedger {
                 out.push(';');
                 out.push_str(sw);
             }
-            let _ = writeln!(
-                out,
-                ";{};{};{} {:.3}",
-                k.slave,
-                k.phase.name(),
-                k.class_name(),
-                v
-            );
+            let _ = writeln!(out, ";{} {:.3}", k.folded_key(), v);
         }
         out
     }
@@ -295,14 +327,31 @@ impl EnergyLedger {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(
-                out,
-                r#"{{"slave":"{}","phase":"{}","class":"{}","energy_pj":{}}}"#,
-                escape(&k.slave),
-                k.phase.name(),
-                k.class_name(),
-                v
-            );
+            // The master field is emitted only when tagged, so
+            // single-master attribution artifacts stay byte-identical.
+            match &k.master {
+                None => {
+                    let _ = write!(
+                        out,
+                        r#"{{"slave":"{}","phase":"{}","class":"{}","energy_pj":{}}}"#,
+                        escape(&k.slave),
+                        k.phase.name(),
+                        k.class_name(),
+                        v
+                    );
+                }
+                Some(m) => {
+                    let _ = write!(
+                        out,
+                        r#"{{"slave":"{}","phase":"{}","class":"{}","master":"{}","energy_pj":{}}}"#,
+                        escape(&k.slave),
+                        k.phase.name(),
+                        k.class_name(),
+                        escape(m),
+                        v
+                    );
+                }
+            }
         }
         out.push_str("]}");
         out
@@ -324,11 +373,33 @@ impl EnergyLedger {
         let mut c = TraceCollector::for_layer(layer);
         let end = self.cycles.max(1);
         for (k, v) in self.entries() {
-            let track = format!("pJ {};{};{}", k.slave, k.phase.name(), k.class_name());
+            let track = format!("pJ {}", k.folded_key());
             c.counter_sample(&track, 0, 0.0);
             c.counter_sample(&track, end, v);
         }
         c
+    }
+
+    /// Totals along the per-master dimension, in sorted master order
+    /// with the untagged (`None`) slice first. The slice sum equals
+    /// [`total_pj`](Self::total_pj) up to f64 regrouping — every joule
+    /// is attributable.
+    pub fn master_totals(&self) -> Vec<(Option<String>, f64)> {
+        let mut totals: BTreeMap<Option<String>, f64> = BTreeMap::new();
+        for (k, v) in self.entries() {
+            *totals.entry(k.master.clone()).or_insert(0.0) += v;
+        }
+        totals.into_iter().map(|(m, v)| (m, v + 0.0)).collect()
+    }
+
+    /// The total booked against one master tag (`None` = untagged).
+    pub fn master_total(&self, master: Option<&str>) -> f64 {
+        self.entries
+            .iter()
+            .filter(|(k, _)| k.master.as_deref() == master)
+            .map(|(_, v)| v)
+            .sum::<f64>()
+            + 0.0
     }
 }
 
@@ -365,6 +436,23 @@ pub fn attribute_cycles(
     trace: &[f64],
     slaves: &SlaveMap,
 ) -> EnergyLedger {
+    attribute_cycles_by_master(layer, spans, trace, slaves, |_| None)
+}
+
+/// [`attribute_cycles`] with the per-master dimension: each owned
+/// cycle's bucket is additionally tagged with the issuing master's
+/// name, resolved from the owning span's trace id by `master_of`
+/// (multi-master runs pass `hierbus_ec::dma::master_of_trace`; this
+/// crate stays dependency-free, hence the closure). Idle cycles stay
+/// untagged — no master owns them. Resolving everything to `None`
+/// reproduces [`attribute_cycles`] exactly.
+pub fn attribute_cycles_by_master(
+    layer: &str,
+    spans: &[SpanEvent],
+    trace: &[f64],
+    slaves: &SlaveMap,
+    master_of: impl Fn(u64) -> Option<&'static str>,
+) -> EnergyLedger {
     let mut ledger = EnergyLedger::new(layer);
     ledger.set_cycles(trace.len() as u64);
     // owner[c] = (priority rank, span begin, trace id, span index): the
@@ -398,6 +486,7 @@ pub fn attribute_cycles(
                 let s = &spans[idx];
                 let phase = LedgerPhase::from_span_phase(s.phase).unwrap();
                 BucketKey::new(slaves.resolve(s.addr), phase, Some(s.class))
+                    .with_master(master_of(s.trace_id))
             }
             None => BucketKey::idle(),
         };
@@ -711,12 +800,46 @@ mod tests {
             BucketKey::idle(),
             BucketKey::new("ram", LedgerPhase::Address, Some(AccessClass::Fetch)),
             BucketKey::new("a;b", LedgerPhase::WriteData, Some(AccessClass::Write)),
+            BucketKey::new("ram", LedgerPhase::ReadData, Some(AccessClass::Read))
+                .with_master(Some("dma")),
+            BucketKey::new("ram", LedgerPhase::Address, None).with_master(Some("cpu")),
         ] {
             assert_eq!(BucketKey::from_folded_key(&key.folded_key()), Some(key));
         }
         assert_eq!(BucketKey::from_folded_key("ram;address;bogus"), None);
         assert_eq!(BucketKey::from_folded_key("ram;bogus;read"), None);
+        assert_eq!(BucketKey::from_folded_key("ram;address;read@"), None);
         assert_eq!(BucketKey::from_folded_key(""), None);
+    }
+
+    #[test]
+    fn master_dimension_partitions_the_trace() {
+        // Two masters' spans, disjoint in time; master resolved by an
+        // id threshold like the DMA id base.
+        let spans = [
+            span(0, Phase::Address, 0, 0, 0x10, AccessClass::Read),
+            span(1 << 8, Phase::WriteData, 1, 2, 0x110, AccessClass::Write),
+        ];
+        let trace = [1.0, 2.0, 4.0, 8.0];
+        let master_of = |id: u64| Some(if id >= 1 << 8 { "dma" } else { "cpu" });
+        let ledger = attribute_cycles_by_master("tlm1", &spans, &trace, &mem_map(), master_of);
+        // Untagged run over the same inputs books the same totals.
+        let untagged = attribute_cycles("tlm1", &spans, &trace, &mem_map());
+        assert_eq!(ledger.total_pj(), untagged.total_pj());
+        assert_eq!(ledger.master_total(Some("cpu")), 1.0);
+        assert_eq!(ledger.master_total(Some("dma")), 6.0);
+        assert_eq!(ledger.master_total(None), 8.0); // idle stays untagged
+        let totals = ledger.master_totals();
+        assert_eq!(totals.len(), 3);
+        assert_eq!(totals[0].0, None); // None sorts first
+        let sum: f64 = totals.iter().map(|(_, v)| v).sum();
+        assert_eq!(sum, ledger.total_pj());
+        // The tagged ledger's folded form carries the master suffix.
+        assert!(ledger.folded().contains("write@dma"));
+        // The master field shows up in JSON only on tagged buckets.
+        let json = ledger.to_json();
+        assert!(json.contains(r#""master":"dma""#));
+        assert!(untagged.to_json().find("master").is_none());
     }
 
     #[test]

@@ -36,8 +36,8 @@ pub mod profiling;
 pub mod span;
 
 pub use attribution::{
-    attribute_cycles, BucketKey, DivergenceAuditor, EnergyLedger, LedgerAudit, LedgerPhase,
-    SlaveMap, TraceDivergence,
+    attribute_cycles, attribute_cycles_by_master, BucketKey, DivergenceAuditor, EnergyLedger,
+    LedgerAudit, LedgerPhase, SlaveMap, TraceDivergence,
 };
 pub use metrics::{CounterId, GaugeId, Histogram, HistogramId, MetricsRegistry, MetricsSnapshot};
 pub use profiling::{

@@ -158,6 +158,23 @@ impl Layer2EnergyModel {
         ledger: &mut hierbus_obs::EnergyLedger,
         slaves: &hierbus_obs::SlaveMap,
     ) {
+        self.on_event_ledger_by_master(ev, ledger, slaves, |_| None);
+    }
+
+    /// [`on_event_ledger`](Self::on_event_ledger) with the per-master
+    /// dimension: the bucket is additionally tagged with the name of
+    /// the master owning the event's transaction, resolved from the
+    /// event's trace id by `master_of` (multi-master runs pass
+    /// [`hierbus_ec::dma::master_of_trace`]). A `None` resolution
+    /// books into the untagged bucket, so single-master ledgers are
+    /// unchanged.
+    pub fn on_event_ledger_by_master(
+        &mut self,
+        ev: &PhaseEvent,
+        ledger: &mut hierbus_obs::EnergyLedger,
+        slaves: &hierbus_obs::SlaveMap,
+        master_of: impl Fn(u64) -> Option<&'static str>,
+    ) {
         use hierbus_obs::{AccessClass, BucketKey, LedgerPhase};
         let energy = self.on_event(ev);
         let phase = match ev.kind {
@@ -170,10 +187,9 @@ impl Layer2EnergyModel {
             hierbus_ec::AccessKind::DataRead => AccessClass::Read,
             hierbus_ec::AccessKind::DataWrite => AccessClass::Write,
         };
-        ledger.book(
-            BucketKey::new(slaves.resolve(ev.addr.raw()), phase, Some(class)),
-            energy,
-        );
+        let key = BucketKey::new(slaves.resolve(ev.addr.raw()), phase, Some(class))
+            .with_master(master_of(ev.trace_id));
+        ledger.book(key, energy);
     }
 
     /// Data-bus toggle estimate for a whole data phase: first beat at the
@@ -242,6 +258,7 @@ mod tests {
             completed: true,
             data: Vec::new(),
             at_cycle: 0,
+            trace_id: 0,
         }
     }
 
@@ -257,6 +274,7 @@ mod tests {
             completed: true,
             data,
             at_cycle: 0,
+            trace_id: 0,
         }
     }
 

@@ -89,6 +89,18 @@ impl RtlMaster {
         self.policy = policy;
     }
 
+    /// Sets the base transaction id. In a multi-master system each
+    /// master gets a disjoint id window (e.g. the DMA engine starts at
+    /// `DMA_ID_BASE`) so any trace id resolves to its master. Must be
+    /// called before the first issue.
+    pub fn set_id_base(&mut self, base: u64) {
+        assert!(
+            self.next_op == 0 && self.records.is_empty(),
+            "id base must be set before the first issue"
+        );
+        self.next_id = TxnId(base);
+    }
+
     /// The attached fault plan.
     pub fn fault_plan(&self) -> &FaultPlan {
         &self.plan
@@ -109,7 +121,25 @@ impl RtlMaster {
     /// next op. Returns the transaction to place on the bus together
     /// with the fault resolved from the plan for this attempt, if one
     /// issues this cycle.
+    ///
+    /// Equivalent to [`begin_cycle`](Self::begin_cycle) +
+    /// [`arbitration_request`](Self::arbitration_request) + (on a true
+    /// request line) [`issue_granted`](Self::issue_granted) — the
+    /// single-master fast path where the grant is unconditional.
     pub fn rising_edge(&mut self, cycle: u64) -> Option<(usize, Transaction, Option<FaultKind>)> {
+        self.begin_cycle(cycle);
+        if self.arbitration_request(cycle) {
+            Some(self.issue_granted(cycle))
+        } else {
+            None
+        }
+    }
+
+    /// Rising-edge bookkeeping shared by granted and ungranted cycles:
+    /// frees limit slots of last cycle's completions and applies the
+    /// timeout. A multi-master system runs this on every master each
+    /// cycle before arbitration.
+    pub fn begin_cycle(&mut self, cycle: u64) {
         for cat in self.pending_frees.drain(..) {
             self.tracker.complete(cat);
         }
@@ -125,38 +155,59 @@ impl RtlMaster {
                 }
             }
         }
+    }
 
+    /// Drives the request line for this cycle: true when the master has
+    /// an issuable attempt — a due retry or fresh stimulus with a free
+    /// limit slot. A fresh op's idle countdown is consumed here, on the
+    /// request evaluation, so a lost arbitration costs the same idle
+    /// budget as a single-master stall would.
+    pub fn arbitration_request(&mut self, cycle: u64) -> bool {
         // A due retry has priority over fresh stimulus (and, like fresh
         // stimulus, waits head-of-line on a free limit slot). The fresh
         // op's idle countdown does not advance on a retry cycle —
         // matching the TLM masters.
         if let Some(pos) = self.due_retry(cycle) {
-            let retry = self.retries[pos];
-            let category = TxnCategory::of(self.ops[retry.op].kind);
-            if !self.tracker.try_issue(category) {
-                return None;
-            }
-            self.retries.remove(pos);
-            return Some(self.issue_attempt(cycle, retry.op, retry.attempt));
+            let category = TxnCategory::of(self.ops[self.retries[pos].op].kind);
+            return self.tracker.can_issue(category);
         }
-
         if self.next_op >= self.ops.len() {
-            return None;
+            return false;
         }
         if self.idle_left > 0 {
             self.idle_left -= 1;
-            return None;
+            return false;
+        }
+        let category = TxnCategory::of(self.ops[self.next_op].kind);
+        self.tracker.can_issue(category)
+    }
+
+    /// Issues the attempt whose request line won arbitration this
+    /// cycle. Must follow an [`arbitration_request`]
+    /// (Self::arbitration_request) that returned true in the same
+    /// cycle. Returns the record index, the transaction to place on
+    /// the bus, and the fault resolved for this attempt.
+    pub fn issue_granted(&mut self, cycle: u64) -> (usize, Transaction, Option<FaultKind>) {
+        if let Some(pos) = self.due_retry(cycle) {
+            let retry = self.retries[pos];
+            let category = TxnCategory::of(self.ops[retry.op].kind);
+            assert!(
+                self.tracker.try_issue(category),
+                "granted retry without a free limit slot"
+            );
+            self.retries.remove(pos);
+            return self.issue_attempt(cycle, retry.op, retry.attempt);
         }
         let op = self.next_op;
         let category = TxnCategory::of(self.ops[op].kind);
-        if !self.tracker.try_issue(category) {
-            // Stalled on the outstanding limit; retry next cycle.
-            return None;
-        }
+        assert!(
+            self.tracker.try_issue(category),
+            "granted issue without a free limit slot"
+        );
         let issued = self.issue_attempt(cycle, op, 0);
         self.next_op += 1;
         self.idle_left = self.ops.get(self.next_op).map_or(0, |op| op.idle_before);
-        Some(issued)
+        issued
     }
 
     /// Builds the record and metadata of attempt `attempt` of `op_idx`.

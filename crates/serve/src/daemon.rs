@@ -403,7 +403,7 @@ impl Daemon {
                 &matrix,
                 &opts,
                 || ServeSession::new(&self.db),
-                |session, point| session.run(&miss_scenarios[point.index]),
+                |session, point| session.run_materialized(&miss_scenarios[point.index]),
                 |point, result: &LeanResult| {
                     let bytes = result.to_json().to_string_compact();
                     self.cache

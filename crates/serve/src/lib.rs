@@ -33,5 +33,5 @@ pub mod session;
 
 pub use cache::{ResultCache, CACHE_INDEX_VERSION};
 pub use daemon::{Daemon, DaemonOptions, ServeSummary, DEFAULT_CACHE_CAPACITY};
-pub use proto::{parse_request, Op, Request, ScenarioSpec, PROTOCOL_VERSION};
+pub use proto::{parse_request, Materialized, Op, Request, ScenarioSpec, PROTOCOL_VERSION};
 pub use session::{db_fingerprint, LeanResult, ServeSession};

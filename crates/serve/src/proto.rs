@@ -15,13 +15,16 @@
 //! {"v":1,"id":"r4","op":"shutdown"}
 //! ```
 //!
-//! A scenario spec is either a named canned scenario or a seeded
-//! random mix (all mix fields beyond `seed` default to
-//! [`MixParams::default`]):
+//! A scenario spec is a named canned scenario, a seeded random mix
+//! (all mix fields beyond `seed` default to [`MixParams::default`]),
+//! or a seeded CPU+DMA contention workload behind a bus arbiter (DMA
+//! fields default to [`DmaParams::default`], `policy` to `"fixed"`;
+//! `dma_burst` is in beats):
 //!
 //! ```text
 //! {"kind":"named","name":"burst_reads"}
 //! {"kind":"mix","seed":7,"count":200,"read_pct":60,"waits":[1,0,0]}
+//! {"kind":"multi","seed":7,"policy":"rr","cpu_count":200,"dma_burst":8}
 //! ```
 //!
 //! Responses to a `run` stream one `result` event per scenario in
@@ -33,7 +36,7 @@
 
 use hierbus_campaign::{Fingerprint, Json};
 use hierbus_ec::sequences::{self, DataProfile, MixParams, Scenario};
-use hierbus_ec::WaitProfile;
+use hierbus_ec::{ArbitrationPolicy, BurstLen, DmaParams, DmaProgram, MultiScenario, WaitProfile};
 
 /// The protocol version this daemon speaks; requests carrying any
 /// other version are rejected with an `error` event.
@@ -57,6 +60,31 @@ pub enum ScenarioSpec {
         /// `None`.
         waits: Option<WaitProfile>,
     },
+    /// A seeded CPU+DMA contention workload behind a bus arbiter: a
+    /// default-parameter CPU mix of `cpu_count` ops and a
+    /// [`DmaProgram`] derived from the same seed, exactly as the
+    /// multi-master harness builds them.
+    Multi {
+        /// Generator seed; the DMA program uses `seed ^ 0xD31A`.
+        seed: u64,
+        /// Who wins contended cycles.
+        policy: ArbitrationPolicy,
+        /// CPU stimulus length (ops).
+        cpu_count: usize,
+        /// DMA program parameters (window fields stay at their
+        /// defaults so the masters never race on memory).
+        dma: DmaParams,
+    },
+}
+
+/// A materialized spec, ready to run: the daemon's single-master and
+/// multi-master execution paths take different system types.
+#[derive(Debug, Clone)]
+pub enum Materialized {
+    /// A single-master scenario.
+    Single(Scenario),
+    /// A CPU+DMA workload behind an arbiter.
+    Multi(MultiScenario),
 }
 
 impl ScenarioSpec {
@@ -125,6 +153,51 @@ impl ScenarioSpec {
                     waits,
                 })
             }
+            Some("multi") => {
+                let d = DmaParams::default();
+                let u = |field: &str, default: u64| -> Result<u64, String> {
+                    match json.get(field) {
+                        None => Ok(default),
+                        Some(v) => v
+                            .as_u64()
+                            .ok_or(format!("multi spec field {field} is not an integer")),
+                    }
+                };
+                let policy = match json.get("policy").and_then(Json::as_str) {
+                    None => ArbitrationPolicy::FixedPriority,
+                    Some(name) => ArbitrationPolicy::from_name(name)
+                        .ok_or(format!("unknown arbitration policy {name:?}"))?,
+                };
+                let burst = match u("dma_burst", u64::from(d.burst.beats()))? {
+                    1 => BurstLen::Single,
+                    2 => BurstLen::B2,
+                    4 => BurstLen::B4,
+                    8 => BurstLen::B8,
+                    other => {
+                        return Err(format!(
+                            "dma_burst = {other} is not a burst length (1|2|4|8)"
+                        ))
+                    }
+                };
+                let read_pct = u("dma_read_pct", u64::from(d.read_pct))?;
+                if read_pct > 100 {
+                    return Err(format!(
+                        "multi spec field dma_read_pct = {read_pct} outside 0..=100"
+                    ));
+                }
+                Ok(ScenarioSpec::Multi {
+                    seed: u("seed", 0)?,
+                    policy,
+                    cpu_count: u("cpu_count", MixParams::default().count as u64)? as usize,
+                    dma: DmaParams {
+                        descriptors: u("dma_descriptors", d.descriptors as u64)? as usize,
+                        burst,
+                        read_pct: read_pct as u32,
+                        max_gap: u("dma_gap", u64::from(d.max_gap))? as u32,
+                        ..d
+                    },
+                })
+            }
             Some(other) => Err(format!("unknown scenario kind {other:?}")),
             None => Err("scenario spec missing string field kind".to_owned()),
         }
@@ -179,6 +252,24 @@ impl ScenarioSpec {
                 }
                 Json::Obj(fields)
             }
+            ScenarioSpec::Multi {
+                seed,
+                policy,
+                cpu_count,
+                dma,
+            } => Json::Obj(vec![
+                ("kind".to_owned(), Json::Str("multi".to_owned())),
+                ("seed".to_owned(), Json::Num(*seed as f64)),
+                ("policy".to_owned(), Json::Str(policy.name().to_owned())),
+                ("cpu_count".to_owned(), Json::Num(*cpu_count as f64)),
+                (
+                    "dma_descriptors".to_owned(),
+                    Json::Num(dma.descriptors as f64),
+                ),
+                ("dma_burst".to_owned(), Json::Num(dma.burst.beats() as f64)),
+                ("dma_read_pct".to_owned(), Json::Num(dma.read_pct as f64)),
+                ("dma_gap".to_owned(), Json::Num(dma.max_gap as f64)),
+            ]),
         }
     }
 
@@ -217,6 +308,21 @@ impl ScenarioSpec {
                     waits,
                 )
             }
+            ScenarioSpec::Multi {
+                seed,
+                policy,
+                cpu_count,
+                dma,
+            } => format!(
+                "multi/seed={}/policy={}/cpu={}/desc={}/burst={}/read={}/gap={}",
+                seed,
+                policy.name(),
+                cpu_count,
+                dma.descriptors,
+                dma.burst.beats(),
+                dma.read_pct,
+                dma.max_gap,
+            ),
         }
     }
 
@@ -231,12 +337,13 @@ impl ScenarioSpec {
             .finish()
     }
 
-    /// Builds the concrete scenario, or an error for an unknown name.
-    pub fn materialize(&self) -> Result<Scenario, String> {
+    /// Builds the concrete workload, or an error for an unknown name.
+    pub fn materialize(&self) -> Result<Materialized, String> {
         match self {
             ScenarioSpec::Named { name } => sequences::all_scenarios()
                 .into_iter()
                 .find(|s| s.name == name)
+                .map(Materialized::Single)
                 .ok_or(format!("unknown scenario name {name:?}")),
             ScenarioSpec::Mix {
                 seed,
@@ -247,7 +354,30 @@ impl ScenarioSpec {
                 if let Some(w) = waits {
                     scenario.waits = *w;
                 }
-                Ok(scenario)
+                Ok(Materialized::Single(scenario))
+            }
+            ScenarioSpec::Multi {
+                seed,
+                policy,
+                cpu_count,
+                dma,
+            } => {
+                let cpu = sequences::random_mix(
+                    *seed,
+                    MixParams {
+                        count: *cpu_count,
+                        ..MixParams::default()
+                    },
+                );
+                // The same derivation the equivalence harness uses, so
+                // a served multi result is reproducible offline.
+                let program = DmaProgram::seeded(*seed ^ 0xD31A, *dma);
+                Ok(Materialized::Multi(MultiScenario::new(
+                    "serve-multi",
+                    cpu,
+                    &program,
+                    *policy,
+                )))
             }
         }
     }
@@ -434,7 +564,10 @@ mod tests {
         let ok = ScenarioSpec::Named {
             name: "single_read".to_owned(),
         };
-        assert_eq!(ok.materialize().unwrap().name, "single_read");
+        let Materialized::Single(s) = ok.materialize().unwrap() else {
+            panic!("named specs are single-master")
+        };
+        assert_eq!(s.name, "single_read");
         let bad = ScenarioSpec::Named {
             name: "no_such_scenario".to_owned(),
         };
@@ -447,8 +580,91 @@ mod tests {
             },
             waits: Some(WaitProfile::new(2, 1, 0)),
         };
-        let scenario = mix.materialize().unwrap();
+        let Materialized::Single(scenario) = mix.materialize().unwrap() else {
+            panic!("mix specs are single-master")
+        };
         assert_eq!(scenario.len(), 25);
         assert_eq!(scenario.waits, WaitProfile::new(2, 1, 0));
+    }
+
+    #[test]
+    fn multi_specs_roundtrip_and_default() {
+        let spec = ScenarioSpec::Multi {
+            seed: 11,
+            policy: ArbitrationPolicy::RoundRobin,
+            cpu_count: 40,
+            dma: DmaParams {
+                descriptors: 8,
+                burst: BurstLen::B8,
+                read_pct: 25,
+                max_gap: 1,
+                ..DmaParams::default()
+            },
+        };
+        let line = spec.to_json().to_string_compact();
+        assert_eq!(
+            ScenarioSpec::from_json(&Json::parse(&line).unwrap()),
+            Ok(spec.clone())
+        );
+        // Defaults: bare seed gets the fixed-priority harness defaults.
+        let bare =
+            ScenarioSpec::from_json(&Json::parse(r#"{"kind":"multi","seed":3}"#).unwrap()).unwrap();
+        let ScenarioSpec::Multi {
+            seed,
+            policy,
+            cpu_count,
+            dma,
+        } = &bare
+        else {
+            panic!("not a multi")
+        };
+        assert_eq!(*seed, 3);
+        assert_eq!(*policy, ArbitrationPolicy::FixedPriority);
+        assert_eq!(*cpu_count, MixParams::default().count);
+        assert_eq!(*dma, DmaParams::default());
+        // Bad fields are rejected with field-specific errors.
+        for (line, needle) in [
+            (r#"{"kind":"multi","policy":"lifo"}"#, "arbitration policy"),
+            (r#"{"kind":"multi","dma_burst":3}"#, "burst length"),
+            (r#"{"kind":"multi","dma_read_pct":101}"#, "0..=100"),
+        ] {
+            let err = ScenarioSpec::from_json(&Json::parse(line).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn multi_specs_materialize_and_fingerprint_distinctly() {
+        let multi = |seed, policy| ScenarioSpec::Multi {
+            seed,
+            policy,
+            cpu_count: 30,
+            dma: DmaParams::default(),
+        };
+        let spec = multi(5, ArbitrationPolicy::FixedPriority);
+        let Materialized::Multi(ms) = spec.materialize().unwrap() else {
+            panic!("multi specs are multi-master")
+        };
+        assert_eq!(ms.cpu.len(), 30);
+        assert_eq!(ms.dma_ops.len(), DmaParams::default().descriptors);
+        assert_eq!(ms.policy, ArbitrationPolicy::FixedPriority);
+        let db = "0123456789abcdef";
+        assert_eq!(spec.fingerprint(db), spec.fingerprint(db));
+        // The policy and the seed are part of the identity, and a multi
+        // spec never collides with a mix of the same seed.
+        assert_ne!(
+            spec.fingerprint(db),
+            multi(5, ArbitrationPolicy::RoundRobin).fingerprint(db)
+        );
+        assert_ne!(
+            spec.fingerprint(db),
+            multi(6, ArbitrationPolicy::FixedPriority).fingerprint(db)
+        );
+        let mix = ScenarioSpec::Mix {
+            seed: 5,
+            params: MixParams::default(),
+            waits: None,
+        };
+        assert_ne!(spec.fingerprint(db), mix.fingerprint(db));
     }
 }

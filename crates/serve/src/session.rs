@@ -8,10 +8,11 @@
 //! `harness::run_layer1` — the daemon must never drift from the batch
 //! tools it replaces.
 
+use crate::proto::Materialized;
 use hierbus_campaign::{CampaignPayload, Fingerprint, Json};
-use hierbus_core::{MemSlave, Tlm1Bus, TlmSystem};
+use hierbus_core::{MemSlave, MultiMasterSystem, Tlm1Bus, TlmSystem};
 use hierbus_ec::sequences::Scenario;
-use hierbus_ec::{AccessRights, Address, AddressRange, SignalClass, SlaveConfig};
+use hierbus_ec::{AccessRights, Address, AddressRange, MultiScenario, SignalClass, SlaveConfig};
 use hierbus_power::{BatchedLayer1, CharacterizationDb, Layer1EnergyModel};
 
 /// Cycle ceiling for served scenarios; hitting it is a deadlock bug.
@@ -89,6 +90,35 @@ impl ServeSession {
         LeanResult {
             cycles: report.cycles,
             energy_pj: engine.model().total_energy(),
+        }
+    }
+
+    /// Runs one CPU+DMA workload in the same throughput mode: the
+    /// arbiter-merged frame stream through the batched engine, records
+    /// off. Cycles and energy are bit-identical to the multi-master
+    /// harness's layer-1 run of the same workload.
+    pub fn run_multi(&mut self, ms: &MultiScenario) -> LeanResult {
+        self.engine.reset();
+        let mem = MemSlave::new(scenario_slave(&ms.cpu));
+        let mut bus = Tlm1Bus::new(vec![Box::new(mem)]);
+        bus.enable_frames();
+        let mut sys = MultiMasterSystem::for_multi(bus, ms);
+        sys.disable_records();
+        let engine = &mut self.engine;
+        let report = sys.run(MAX_CYCLES, |bus: &mut Tlm1Bus| {
+            engine.on_frame(bus.last_frame());
+        });
+        LeanResult {
+            cycles: report.cycles,
+            energy_pj: engine.model().total_energy(),
+        }
+    }
+
+    /// Runs either shape of materialized workload.
+    pub fn run_materialized(&mut self, m: &Materialized) -> LeanResult {
+        match m {
+            Materialized::Single(s) => self.run(s),
+            Materialized::Multi(ms) => self.run_multi(ms),
         }
     }
 }

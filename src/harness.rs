@@ -615,6 +615,251 @@ pub mod fault {
     }
 }
 
+/// Multi-master runners: a CPU scenario and a DMA descriptor program
+/// behind one arbiter, replayed at every abstraction level with
+/// master-tagged energy attribution — the workhorse behind the
+/// arbitration-equivalence suite and multi-master campaigns.
+pub mod multi {
+    use super::*;
+    use hierbus_core::{HasSlaves, MultiMasterSystem};
+    use hierbus_ec::dma::master_of_trace;
+    use hierbus_ec::{
+        ArbiterStats, FaultCounters, FaultPlan, MultiScenario, RetryPolicy, SlaveId, TxnOutcome,
+    };
+    use hierbus_obs::EnergyLedger;
+
+    /// Trace-id → master-name resolution for CPU+DMA scenarios.
+    fn master_of(id: u64) -> Option<&'static str> {
+        Some(master_of_trace(id))
+    }
+
+    /// Per-master fault attachment for a multi-master run.
+    #[derive(Debug, Clone)]
+    pub struct MasterFaults {
+        /// Master index (0 = CPU, 1 = DMA).
+        pub master: usize,
+        pub plan: FaultPlan,
+        pub policy: RetryPolicy,
+    }
+
+    /// Per-master slice of a multi-master run, layer-agnostic so the
+    /// equivalence suite compares slices across layers directly.
+    #[derive(Debug, Clone)]
+    pub struct MasterSlice {
+        /// Per-attempt records, in issue order.
+        pub records: Vec<TxnRecord>,
+        /// Final per-stimulus-op outcomes.
+        pub outcomes: Vec<TxnOutcome>,
+        /// Fault counters for this master alone.
+        pub fault: FaultCounters,
+    }
+
+    /// Result of a multi-master run at any layer.
+    #[derive(Debug, Clone)]
+    pub struct MultiRun {
+        /// Bus cycles from cycle 0 through the last completion.
+        pub cycles: u64,
+        /// The layer's own energy number: gate-level for the
+        /// reference, the characterized model's total for the TLM
+        /// layers.
+        pub energy_pj: f64,
+        /// Reference runs only: the layer-1 characterized model's
+        /// total over the settled RTL frame log — the number a layer-1
+        /// run of the same scenario must reproduce.
+        pub l1_frames_energy_pj: Option<f64>,
+        /// One slice per master, in master order.
+        pub masters: Vec<MasterSlice>,
+        /// Grant lines `(cycle, master)` in cycle order.
+        pub grants: Vec<(u64, usize)>,
+        /// Arbitration statistics.
+        pub stats: ArbiterStats,
+        /// Committed memory: `(word_offset, value)` pairs, sorted.
+        pub memory: Vec<(u64, u32)>,
+        /// The run ended in a card tear.
+        pub torn: bool,
+        /// Master-tagged energy ledger; its untagged + per-master
+        /// slices sum to the layer's attributed total.
+        pub ledger: EnergyLedger,
+    }
+
+    impl MultiRun {
+        /// Outcome lists per master — the layer-invariant contract.
+        pub fn outcomes(&self) -> Vec<Vec<TxnOutcome>> {
+            self.masters.iter().map(|m| m.outcomes.clone()).collect()
+        }
+    }
+
+    /// The gate-level reference over a CPU+DMA scenario (glitches off,
+    /// like the fault harness, so energy is the deterministic settled
+    /// cost). The settled frame log is replayed through the layer-1
+    /// characterized model for the cross-layer energy pin, and the
+    /// span record is attributed per master.
+    pub fn run_reference(
+        ms: &MultiScenario,
+        db: &CharacterizationDb,
+        faults: &[MasterFaults],
+    ) -> MultiRun {
+        let mut sys = RtlSystem::for_multi_scenario(ms);
+        sys.set_glitch(GlitchConfig::off());
+        sys.enable_frame_log();
+        sys.enable_obs();
+        for f in faults {
+            sys.set_master_faults(f.master, f.plan.clone(), f.policy);
+        }
+        let report = sys.run(MAX_CYCLES);
+        let mut model = Layer1EnergyModel::new(db.clone());
+        model.enable_trace();
+        let mut batched = BatchedLayer1::new(model);
+        for frame in sys.frames().expect("frame log enabled above") {
+            batched.on_frame(frame);
+        }
+        let model = batched.finish();
+        let spans = sys.obs().spans().to_vec();
+        let ledger = hierbus_obs::attribute_cycles_by_master(
+            "rtl",
+            &spans,
+            model.trace().unwrap_or(&[]),
+            &scenario_slave_map(),
+            master_of,
+        );
+        let memory = sys
+            .slave_as::<SimpleMem>(0)
+            .expect("scenario slave is a SimpleMem")
+            .snapshot();
+        MultiRun {
+            cycles: report.cycles,
+            energy_pj: report.energy_pj,
+            l1_frames_energy_pj: Some(model.total_energy()),
+            masters: report
+                .masters
+                .iter()
+                .map(|m| MasterSlice {
+                    records: m.records.clone(),
+                    outcomes: m.outcomes.clone(),
+                    fault: m.fault,
+                })
+                .collect(),
+            grants: report.grants,
+            stats: report.stats,
+            memory,
+            torn: sys.torn(),
+            ledger,
+        }
+    }
+
+    /// Layer 1 over a CPU+DMA scenario: per-cycle arbitration in front
+    /// of the cycle-accurate bus, energy through the lane-parallel
+    /// batched engine, spans attributed per master.
+    pub fn run_layer1(
+        ms: &MultiScenario,
+        db: &CharacterizationDb,
+        faults: &[MasterFaults],
+    ) -> MultiRun {
+        let mem = MemSlave::new(scenario_slave(&ms.cpu));
+        let mut bus = Tlm1Bus::new(vec![Box::new(mem)]);
+        bus.enable_frames();
+        bus.enable_obs();
+        let mut sys = MultiMasterSystem::for_multi(bus, ms);
+        for f in faults {
+            sys.set_master_faults(f.master, f.plan.clone(), f.policy);
+        }
+        let mut model = Layer1EnergyModel::new(db.clone());
+        model.enable_trace();
+        let mut batched = BatchedLayer1::new(model);
+        let report = sys.run(MAX_CYCLES, |bus: &mut Tlm1Bus| {
+            batched.on_frame(bus.last_frame());
+        });
+        let model = batched.finish();
+        let spans = sys.bus().obs().spans().to_vec();
+        let ledger = hierbus_obs::attribute_cycles_by_master(
+            "tlm1",
+            &spans,
+            model.trace().unwrap_or(&[]),
+            &scenario_slave_map(),
+            master_of,
+        );
+        let memory = sys
+            .bus()
+            .slave_as::<MemSlave>(SlaveId(0))
+            .expect("scenario slave is a MemSlave")
+            .snapshot();
+        MultiRun {
+            cycles: report.cycles,
+            energy_pj: model.total_energy(),
+            l1_frames_energy_pj: None,
+            masters: slices(&report.masters),
+            grants: report.grants,
+            stats: report.stats,
+            memory,
+            torn: sys.torn(),
+            ledger,
+        }
+    }
+
+    /// Layer 2 over a CPU+DMA scenario: the same per-cycle arbitration
+    /// discipline in front of the event-level bus, so contention is
+    /// priced at event granularity; every event is booked into the
+    /// master-tagged ledger.
+    pub fn run_layer2(
+        ms: &MultiScenario,
+        db: &CharacterizationDb,
+        faults: &[MasterFaults],
+    ) -> MultiRun {
+        let mem = MemSlave::new(scenario_slave(&ms.cpu));
+        let mut bus = Tlm2Bus::new(vec![Box::new(mem)]);
+        bus.enable_events();
+        let mut sys = MultiMasterSystem::for_multi(bus, ms);
+        let mut tear_cycle = None;
+        for f in faults {
+            tear_cycle = tear_cycle.or(f.plan.tear_cycle);
+            sys.set_master_faults(f.master, f.plan.clone(), f.policy);
+        }
+        let mut model = Layer2EnergyModel::new(db.clone());
+        let mut ledger = EnergyLedger::new("tlm2");
+        let map = scenario_slave_map();
+        let report = sys.run(MAX_CYCLES, |bus: &mut Tlm2Bus| {
+            for ev in bus.drain_events() {
+                model.on_event_ledger_by_master(&ev, &mut ledger, &map, master_of);
+            }
+        });
+        if sys.torn() {
+            let at = tear_cycle.expect("torn runs come from a tear plan");
+            sys.bus_mut().flush_partial_phases(at);
+            for ev in sys.bus_mut().drain_events() {
+                model.on_event_ledger_by_master(&ev, &mut ledger, &map, master_of);
+            }
+        }
+        ledger.set_cycles(report.cycles);
+        let memory = sys
+            .bus()
+            .slave_as::<MemSlave>(SlaveId(0))
+            .expect("scenario slave is a MemSlave")
+            .snapshot();
+        MultiRun {
+            cycles: report.cycles,
+            energy_pj: model.total_energy(),
+            l1_frames_energy_pj: None,
+            masters: slices(&report.masters),
+            grants: report.grants,
+            stats: report.stats,
+            memory,
+            torn: sys.torn(),
+            ledger,
+        }
+    }
+
+    fn slices(masters: &[hierbus_core::MasterReport]) -> Vec<MasterSlice> {
+        masters
+            .iter()
+            .map(|m| MasterSlice {
+                records: m.records.clone(),
+                outcomes: m.outcomes.clone(),
+                fault: m.fault,
+            })
+            .collect()
+    }
+}
+
 /// Counts phases/beats from a record set (characterization input).
 pub fn phase_counts(records: &[TxnRecord]) -> PhaseCounts {
     let mut counts = PhaseCounts::default();

@@ -338,6 +338,44 @@ fn fault_and_tear_replays_bit_exact_on_every_backend() {
 }
 
 // ---------------------------------------------------------------------
+// Multi-master level: arbiter-merged frame streams.
+// ---------------------------------------------------------------------
+
+/// The arbiter-merged CPU+DMA frame stream is shaped unlike any
+/// single-master schedule — back-to-back issues from alternating
+/// masters, DMA bursts splicing into CPU traffic — and the packed
+/// engine must treat it as just another stream: bit-exact against the
+/// scalar and bit-loop engines on every backend, for both policies.
+#[test]
+fn multi_master_merged_streams_bit_exact_on_every_backend() {
+    use hierbus::core::MultiMasterSystem;
+    use hierbus::ec::{ArbitrationPolicy, DmaParams, DmaProgram, MultiScenario};
+    for policy in ArbitrationPolicy::ALL {
+        for seed in [0x3A5Au64, 0xC0DE] {
+            let cpu = probe_scenario(seed, 64);
+            let dma = DmaProgram::seeded(
+                seed ^ 0xD31A,
+                DmaParams {
+                    descriptors: 12,
+                    ..DmaParams::default()
+                },
+            );
+            let ms = MultiScenario::new("packed-multi", cpu, &dma, policy);
+            let mem = MemSlave::new(harness::scenario_slave(&ms.cpu));
+            let mut bus = Tlm1Bus::new(vec![Box::new(mem)]);
+            bus.enable_frames();
+            let mut sys = MultiMasterSystem::for_multi(bus, &ms);
+            let mut frames: Vec<SignalFrame> = Vec::new();
+            sys.run(harness::MAX_CYCLES, |bus: &mut Tlm1Bus| {
+                frames.push(*bus.last_frame());
+            });
+            assert!(frames.len() > 64, "merged stream too short to stress lanes");
+            assert_engines_agree(&format!("{}/seed {seed:#x}", policy.name()), &frames);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Campaign level: merged results at every worker count.
 // ---------------------------------------------------------------------
 

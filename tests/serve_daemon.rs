@@ -314,7 +314,11 @@ fn served_results_match_the_batch_harness_bit_exactly() {
     let (events, _) = session(&d, &line);
     for event in events.iter().filter(|e| event_name(e) == "result") {
         let index = field(event, "index").as_u64().unwrap() as usize;
-        let expected = harness::run_layer1(&specs[index].materialize().unwrap(), &db);
+        let hierbus::serve::Materialized::Single(scenario) = specs[index].materialize().unwrap()
+        else {
+            panic!("these specs are single-master")
+        };
+        let expected = harness::run_layer1(&scenario, &db);
         let payload = field(event, "result");
         assert_eq!(
             payload.get("cycles").unwrap().as_u64(),
@@ -327,6 +331,173 @@ fn served_results_match_the_batch_harness_bit_exactly() {
             "served energy differs from run_layer1 at spec {index}"
         );
     }
+}
+
+#[test]
+fn drain_under_load_retries_every_queued_request_without_interleaving() {
+    let d = daemon(1);
+    // A run with a large trailing scenario is in flight; the moment its
+    // first result streams, a pipelined burst lands at once: two more
+    // runs, a malformed line, a ping, and the shutdown. Everything
+    // queued when the shutdown flag is raised must get a deterministic
+    // answer — `retry`/`error`, in submission order, never silence —
+    // and none of it may interleave into the in-flight request's
+    // result stream.
+    let out = SharedOut::default();
+    let input = BufReader::new(GatedReader::new(
+        vec![
+            (
+                None,
+                concat!(
+                    r#"{"v":1,"id":"inflight","op":"run","scenarios":"#,
+                    r#"[{"kind":"mix","seed":1,"count":50},{"kind":"mix","seed":2,"count":20000}]}"#,
+                    "\n"
+                )
+                .to_owned(),
+            ),
+            (
+                Some(r#""event":"result""#),
+                concat!(
+                    r#"{"v":1,"id":"q1","op":"run","scenarios":[{"kind":"named","name":"single_read"}]}"#,
+                    "\n",
+                    r#"{"v":1,"id":"q2","op":"run","scenarios":[{"kind":"multi","seed":3,"cpu_count":10}]}"#,
+                    "\n",
+                    "this is not json\n",
+                    r#"{"v":1,"id":"q3","op":"ping"}"#,
+                    "\n",
+                    r#"{"v":1,"id":"bye","op":"shutdown"}"#,
+                    "\n"
+                )
+                .to_owned(),
+            ),
+        ],
+        out.clone(),
+    ));
+    let summary = d.serve(input, out.clone()).expect("in-memory session");
+    let events: Vec<Json> = out
+        .take()
+        .lines()
+        .map(|l| Json::parse(l).expect("every response line is JSON"))
+        .collect();
+    assert!(summary.shutdown);
+    assert_eq!(summary.retried, 4, "q1, q2, the bad line and q3");
+    // The in-flight request finished uncorrupted: both results (indices
+    // 0 and 1, in order) and its done event, contiguously.
+    let inflight: Vec<usize> = events
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| field(e, "req").as_str() == Some("inflight"))
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(inflight, vec![0, 1, 2], "in-flight stream was interleaved");
+    assert_eq!(event_name(&events[2]), "done");
+    for (slot, index) in inflight[..2].iter().zip([0u64, 1]) {
+        assert_eq!(event_name(&events[*slot]), "result");
+        assert_eq!(field(&events[*slot], "index").as_u64(), Some(index));
+    }
+    // The queued requests were answered in submission order with
+    // deterministic statuses: retry, retry, error, retry.
+    let expected = [
+        ("q1", "retry"),
+        ("q2", "retry"),
+        ("", "error"),
+        ("q3", "retry"),
+    ];
+    for (event, (id, name)) in events[3..7].iter().zip(expected) {
+        assert_eq!(event_name(event), name);
+        assert_eq!(field(event, "req").as_str(), Some(id));
+        if name == "retry" {
+            assert_eq!(field(event, "reason").as_str(), Some("shutting-down"));
+        }
+    }
+    assert_eq!(event_name(events.last().unwrap()), "bye");
+    assert_eq!(events.len(), 8);
+}
+
+#[test]
+fn served_multi_results_match_the_multi_harness_bit_exactly() {
+    use hierbus::serve::Materialized;
+    use hierbus_ec::{ArbitrationPolicy, BurstLen, DmaParams};
+
+    let db = harness::standard_db();
+    let d = Daemon::new(
+        Arc::new(db.clone()),
+        DaemonOptions {
+            workers: 2,
+            ..DaemonOptions::default()
+        },
+    );
+    let specs = [
+        ScenarioSpec::Multi {
+            seed: 21,
+            policy: ArbitrationPolicy::FixedPriority,
+            cpu_count: 60,
+            dma: DmaParams::default(),
+        },
+        ScenarioSpec::Multi {
+            seed: 21,
+            policy: ArbitrationPolicy::RoundRobin,
+            cpu_count: 60,
+            dma: DmaParams {
+                burst: BurstLen::B8,
+                ..DmaParams::default()
+            },
+        },
+    ];
+    let line = Json::Obj(vec![
+        ("v".to_owned(), Json::Num(1.0)),
+        ("id".to_owned(), Json::Str("m".to_owned())),
+        ("op".to_owned(), Json::Str("run".to_owned())),
+        (
+            "scenarios".to_owned(),
+            Json::Arr(specs.iter().map(ScenarioSpec::to_json).collect()),
+        ),
+    ])
+    .to_string_compact();
+    let (events, summary) = session(&d, &line);
+    assert_eq!(summary.cache_misses, 2);
+    let mut seen = 0;
+    for event in events.iter().filter(|e| event_name(e) == "result") {
+        let index = field(event, "index").as_u64().unwrap() as usize;
+        let Materialized::Multi(ms) = specs[index].materialize().unwrap() else {
+            panic!("multi specs are multi-master")
+        };
+        let expected = harness::multi::run_layer1(&ms, &db, &[]);
+        let payload = field(event, "result");
+        assert_eq!(
+            payload.get("cycles").unwrap().as_u64(),
+            Some(expected.cycles),
+            "spec {index}"
+        );
+        let served = payload.get("energy_pj").unwrap().as_f64().unwrap();
+        assert_eq!(
+            served.to_bits(),
+            expected.energy_pj.to_bits(),
+            "served multi energy differs from the multi harness at spec {index}"
+        );
+        seen += 1;
+    }
+    assert_eq!(seen, 2);
+    // Resubmission replays the identical bytes from cache. Both
+    // sessions stream results in completion order, which two workers
+    // make nondeterministic — so pair the payloads by scenario index.
+    let (replay, summary) = session(&d, &line);
+    assert_eq!((summary.cache_hits, summary.cache_misses), (2, 0));
+    let payload_of = |evs: &[Json], index: u64| {
+        evs.iter()
+            .filter(|e| event_name(e) == "result")
+            .find(|e| field(e, "index").as_u64() == Some(index))
+            .map(|e| field(e, "result").clone())
+            .expect("one result per scenario index")
+    };
+    let mut replayed = 0;
+    for event in replay.iter().filter(|e| event_name(e) == "result") {
+        assert_eq!(field(event, "cached").as_bool(), Some(true));
+        let index = field(event, "index").as_u64().unwrap();
+        assert_eq!(field(event, "result"), &payload_of(&events, index));
+        replayed += 1;
+    }
+    assert_eq!(replayed, 2);
 }
 
 #[test]
