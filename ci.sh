@@ -61,6 +61,33 @@ printf '%s\n' '{"v":1,"id":"q","op":"shutdown"}' \
   | ./target/release/hierbus-serve 2>/dev/null | grep -q '"event":"bye"' \
   || { echo "serve smoke: shutdown was not acknowledged" >&2; exit 1; }
 
+echo "==> serve telemetry smoke (health, snapshot, request trace)"
+# The v2 telemetry surface through the real binary: an idle daemon's
+# health probe answers ok, a subscription acks with a snapshot, and a
+# traced run dumps a non-empty Perfetto trace connected by its trace id.
+trace_tmp="$(mktemp -d)"
+tel_out="$(printf '%s\n' \
+  '{"v":2,"id":"h","op":"health"}' \
+  '{"v":2,"id":"sub","op":"subscribe","every_ms":60000}' \
+  '{"v":2,"id":"r","op":"run","scenarios":[{"kind":"mix","seed":9,"count":50}]}' \
+  '{"v":2,"id":"d","op":"dump-trace"}' \
+  | ./target/release/hierbus-serve --workers 2 --trace-dir "$trace_tmp" 2>/dev/null)"
+echo "$tel_out" | grep -q '"event":"health".*"status":"ok"' \
+  || { echo "serve telemetry smoke: health did not answer ok" >&2; exit 1; }
+echo "$tel_out" | grep -q '"event":"snapshot"' \
+  || { echo "serve telemetry smoke: subscribe did not ack with a snapshot" >&2; exit 1; }
+echo "$tel_out" | grep -q '"event":"done".*"trace":"t1"' \
+  || { echo "serve telemetry smoke: run was not traced" >&2; exit 1; }
+grep -q '"trace":"t1"' "$trace_tmp"/t1.trace.json \
+  || { echo "serve telemetry smoke: dumped trace is empty or disconnected" >&2; exit 1; }
+rm -rf "$trace_tmp"
+
+echo "==> serve telemetry gate (traces, event log, exposition)"
+# In-process end-to-end validation of the telemetry plane's external
+# surfaces: Perfetto trace connectivity, JSONL event-log schema, and the
+# Prometheus text exposition's cumulative-bucket arithmetic.
+cargo run --release -p hierbus-bench --bin check_telemetry
+
 echo "==> throughput JSON schema gate"
 # BENCH_throughput.json must parse and carry the speedup/scaling fields
 # the regression tracking depends on.

@@ -1,0 +1,248 @@
+//! Schema gate for the serve telemetry plane — part of the `ci.sh`
+//! checks.
+//!
+//! Drives one fully-armed in-process daemon session (request tracing,
+//! debug-level event log, subscription, watchdog, metrics file) through
+//! the v2 protocol and validates every externally-consumed surface:
+//!
+//! - the Prometheus text exposition (`--metrics-file` content): every
+//!   family declared with `# TYPE`, histogram bucket series cumulative
+//!   and ending at the `+Inf` bucket equal to `_count`,
+//! - the structured event log: every line JSON with `schema_version` 1
+//!   and strictly monotone `seq`,
+//! - the protocol events: `done` carrying its trace id, the `subscribe`
+//!   ack snapshot with health and rolling-window fields, `health`
+//!   answering `ok`, and `dump-trace` writing non-empty trace files
+//!   whose spans carry the request's trace id.
+//!
+//! Exits non-zero with a description of the first violation. Run with
+//! `cargo run --release -p hierbus-bench --bin check_telemetry`.
+
+use hierbus::harness;
+use hierbus::serve::{Daemon, DaemonOptions};
+use hierbus_campaign::Json;
+use hierbus_obs::telemetry::Level;
+use std::io::Cursor;
+use std::process::ExitCode;
+
+fn field<'a>(event: &'a Json, name: &str) -> Result<&'a Json, String> {
+    event
+        .get(name)
+        .ok_or_else(|| format!("event missing field {name}: {}", event.to_string_compact()))
+}
+
+fn find<'a>(events: &'a [Json], name: &str) -> Result<&'a Json, String> {
+    events
+        .iter()
+        .find(|e| e.get("event").and_then(Json::as_str) == Some(name))
+        .ok_or_else(|| format!("no {name} event in the session output"))
+}
+
+/// One histogram family of the exposition must be cumulative and
+/// consistent: bucket counts nondecreasing, `+Inf` bucket == `_count`.
+fn check_histogram(text: &str, name: &str) -> Result<(), String> {
+    if !text.contains(&format!("# TYPE {name} histogram")) {
+        return Err(format!("exposition missing '# TYPE {name} histogram'"));
+    }
+    let mut last = 0u64;
+    let mut inf = None;
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix(&format!("{name}_bucket{{le=\"")) else {
+            continue;
+        };
+        let (le, count) = rest
+            .split_once("\"} ")
+            .ok_or_else(|| format!("malformed bucket line: {line}"))?;
+        let count: u64 = count
+            .parse()
+            .map_err(|e| format!("bucket count in {line:?}: {e}"))?;
+        if count < last {
+            return Err(format!("{name} buckets are not cumulative at le={le}"));
+        }
+        last = count;
+        if le == "+Inf" {
+            inf = Some(count);
+        }
+    }
+    let inf = inf.ok_or_else(|| format!("{name} has no +Inf bucket"))?;
+    let count_line = format!("{name}_count ");
+    let total: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix(&count_line))
+        .ok_or_else(|| format!("{name} has no _count sample"))?
+        .parse()
+        .map_err(|e| format!("{name}_count: {e}"))?;
+    if total != inf {
+        return Err(format!(
+            "{name}_count {total} disagrees with its +Inf bucket {inf}"
+        ));
+    }
+    if !text.contains(&format!("{name}_sum ")) {
+        return Err(format!("{name} has no _sum sample"));
+    }
+    Ok(())
+}
+
+fn check(dir: &std::path::Path) -> Result<(), String> {
+    let metrics_file = dir.join("serve.prom");
+    let daemon = Daemon::new(
+        harness::shared_db(),
+        DaemonOptions {
+            workers: 2,
+            trace_requests: 8,
+            trace_dir: Some(dir.to_path_buf()),
+            log_level: Some(Level::Debug),
+            metrics_file: Some(metrics_file.clone()),
+            deadline_ms: 30_000,
+            ..DaemonOptions::default()
+        },
+    );
+    let script = [
+        r#"{"v":2,"id":"sub","op":"subscribe","every_ms":60000}"#,
+        r#"{"v":2,"id":"r1","op":"run","scenarios":[{"kind":"named","name":"burst_reads"},{"kind":"mix","seed":7,"count":60}]}"#,
+        r#"{"v":2,"id":"h","op":"health"}"#,
+        r#"{"v":2,"id":"d","op":"dump-trace"}"#,
+        r#"{"v":2,"id":"s","op":"stats"}"#,
+    ]
+    .join("\n");
+    let mut output = Vec::new();
+    daemon
+        .serve(Cursor::new(script), &mut output)
+        .map_err(|e| format!("session failed: {e}"))?;
+    let events: Vec<Json> = String::from_utf8(output)
+        .map_err(|e| format!("non-utf8 output: {e}"))?
+        .lines()
+        .map(|l| Json::parse(l).map_err(|e| format!("response line is not JSON: {e}: {l}")))
+        .collect::<Result<_, _>>()?;
+
+    // Protocol surface: trace-tagged done, snapshot, health, stats.
+    let done = find(&events, "done")?;
+    let trace_id = field(done, "trace")?
+        .as_str()
+        .ok_or("done trace id is not a string")?
+        .to_owned();
+    let snapshot = find(&events, "snapshot")?;
+    for name in ["health", "win_requests", "cache_occupancy", "queue_depth"] {
+        field(snapshot, name)?;
+    }
+    let health = find(&events, "health")?;
+    if field(health, "status")?.as_str() != Some("ok") {
+        return Err(format!(
+            "idle daemon reports unhealthy: {}",
+            health.to_string_compact()
+        ));
+    }
+    let stats = find(&events, "stats")?;
+    for name in [
+        "cache_hits",
+        "cache_misses",
+        "cache_evictions",
+        "cache_occupancy",
+        "single_scenarios",
+        "multi_scenarios",
+        "watchdog_stalls",
+        "watchdog_idle",
+        "flush_failures",
+        "win_hit_ratio",
+        "win_total_p99_us",
+        "health_reasons",
+    ] {
+        field(stats, name)?;
+    }
+
+    // The dumped trace: non-empty, request-connected.
+    let traces = find(&events, "traces")?;
+    let files = field(traces, "files")?
+        .as_arr()
+        .ok_or("traces files is not an array")?;
+    if files.is_empty() {
+        return Err("dump-trace wrote no files".to_owned());
+    }
+    for file in files {
+        let path = file.as_str().ok_or("trace file path is not a string")?;
+        let contents = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        if !contents.contains(&format!(r#""trace":"{trace_id}""#)) {
+            return Err(format!("{path} has no spans tagged with {trace_id}"));
+        }
+        for span in ["queued", "cache-check", "execute", "serialize"] {
+            if !contents.contains(&format!(r#""name":"{span}""#)) {
+                return Err(format!("{path} is missing the daemon {span} span"));
+            }
+        }
+        if !contents.contains(r#""cat":"bus""#) {
+            return Err(format!("{path} has no model-layer spans"));
+        }
+    }
+
+    // The event log: schema-versioned JSONL with monotone sequencing.
+    let jsonl = daemon.telemetry_jsonl();
+    if jsonl.is_empty() {
+        return Err("event log captured nothing at debug level".to_owned());
+    }
+    let mut last_seq = None;
+    for line in jsonl.lines() {
+        let event = Json::parse(line).map_err(|e| format!("event log line not JSON: {e}"))?;
+        if field(&event, "schema_version")?.as_u64() != Some(1) {
+            return Err(format!("event log schema_version is not 1: {line}"));
+        }
+        let seq = field(&event, "seq")?
+            .as_u64()
+            .ok_or_else(|| format!("non-integer seq: {line}"))?;
+        if last_seq.is_some_and(|prev| seq <= prev) {
+            return Err(format!("event log seq not strictly monotone at {line}"));
+        }
+        last_seq = Some(seq);
+        for name in ["ts_us", "level", "event", "fields"] {
+            field(&event, name)?;
+        }
+    }
+    for needle in ["session.start", "request.done", "session.end"] {
+        if !jsonl.contains(&format!(r#""event":"{needle}""#)) {
+            return Err(format!("event log is missing the {needle} event"));
+        }
+    }
+
+    // The Prometheus exposition: final session-end rewrite on disk
+    // matches the in-memory registry and is structurally sound.
+    let text = std::fs::read_to_string(&metrics_file)
+        .map_err(|e| format!("reading {}: {e}", metrics_file.display()))?;
+    if text != daemon.metrics_prometheus() {
+        return Err("metrics file is stale against the registry".to_owned());
+    }
+    for family in ["serve_requests", "serve_cache_hit", "serve_cache_miss"] {
+        if !text.contains(&format!("# TYPE {family} counter")) {
+            return Err(format!("exposition missing '# TYPE {family} counter'"));
+        }
+    }
+    if !text.contains("# TYPE serve_queue_depth gauge") {
+        return Err("exposition missing the queue-depth gauge".to_owned());
+    }
+    for hist in [
+        "serve_request_latency_us",
+        "serve_queue_wait_us",
+        "serve_execute_us",
+    ] {
+        check_histogram(&text, hist)?;
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let dir = std::env::temp_dir().join(format!("hierbus_check_telemetry_{}", std::process::id()));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("check_telemetry: creating {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let result = check(&dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    match result {
+        Ok(()) => {
+            println!("check_telemetry: traces, event log and exposition OK");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("check_telemetry: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

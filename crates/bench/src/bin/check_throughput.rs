@@ -64,9 +64,19 @@ const SERVE_FIELDS: &[&str] = &[
     "workers",
     "cold_ms",
     "warm_ms",
+    "warm_telemetry_ms",
     "warm_speedup",
     "requests_per_s",
 ];
+
+/// Relative headroom the telemetry-armed warm latency gets over the
+/// plain one: the plane must stay within 2% of the request path.
+const TELEMETRY_OVERHEAD_FRAC: f64 = 0.02;
+
+/// Absolute timer-noise allowance (ms) on top of the relative bound —
+/// best-of-N warm latencies are single-digit milliseconds, where 2%
+/// is within scheduler jitter.
+const TELEMETRY_SLACK_MS: f64 = 0.25;
 
 fn check(root: &Json) -> Result<(), String> {
     let layers = root
@@ -165,6 +175,16 @@ fn check_serve(root: &Json) -> Result<(), String> {
             return Err(format!(
                 "serve: workers[{i}] warm latency {warm} ms is not below cold {cold} ms \
                  — the result cache is not paying off"
+            ));
+        }
+        let warm_telemetry = entry.get("warm_telemetry_ms").unwrap().as_f64().unwrap();
+        let bound = warm * (1.0 + TELEMETRY_OVERHEAD_FRAC) + TELEMETRY_SLACK_MS;
+        if warm_telemetry > bound {
+            return Err(format!(
+                "serve: workers[{i}] telemetry-armed warm latency {warm_telemetry} ms exceeds \
+                 {bound:.3} ms (plain warm {warm} ms + {:.0}% + {TELEMETRY_SLACK_MS} ms slack) \
+                 — the telemetry plane is no longer near-free on the request path",
+                TELEMETRY_OVERHEAD_FRAC * 100.0
             ));
         }
     }

@@ -7,13 +7,18 @@
 //!   miss the result cache (best of a few fresh seed blocks),
 //! - `warm_ms` — the same request resubmitted against the warm cache
 //!   (every scenario replays byte-identically, no worker touched),
+//! - `warm_telemetry_ms` — the same warm request against a daemon with
+//!   the full telemetry plane armed (request tracing, info-level event
+//!   log, SLO window, watchdog),
 //! - `warm_speedup` — cold over warm,
 //! - `requests_per_s` — sustained throughput over a pipelined session
 //!   of distinct-seed (all-miss) requests.
 //!
 //! The numbers land in the `serve` section of `BENCH_throughput.json`,
 //! where `check_throughput` gates warm latency strictly below cold —
-//! the content-addressed cache visibly paying off.
+//! the content-addressed cache visibly paying off — and the telemetry
+//! warm latency within a few percent of the plain one, pinning the
+//! telemetry plane's request-path overhead.
 //!
 //! Run with `cargo run --release -p hierbus-bench --bin serve_bench`.
 
@@ -22,6 +27,7 @@ use hierbus::serve::{Daemon, DaemonOptions, ScenarioSpec};
 use hierbus_bench::{TextTable, THROUGHPUT_JSON};
 use hierbus_campaign::Json;
 use hierbus_ec::MixParams;
+use hierbus_obs::telemetry::Level;
 use std::io::Cursor;
 use std::time::{Duration, Instant};
 
@@ -82,7 +88,14 @@ fn main() {
         hierbus::serve::db_fingerprint(&db)
     );
 
-    let mut table = TextTable::new(["workers", "cold ms", "warm ms", "speedup", "req/s"]);
+    let mut table = TextTable::new([
+        "workers",
+        "cold ms",
+        "warm ms",
+        "warm+tel ms",
+        "speedup",
+        "req/s",
+    ]);
     let mut entries = Vec::new();
     for workers in [1usize, 2, 4] {
         let daemon = Daemon::new(
@@ -106,6 +119,30 @@ fn main() {
             assert_eq!(hits, SCENARIOS, "warm request must replay from cache");
             warm = warm.min(wall);
         }
+        // The same warm replay with every telemetry subsystem armed:
+        // request tracing, info-level structured log, SLO window, and
+        // the watchdog monitor ticking. Tracing is the plane's most
+        // expensive piece on the request path, so this is the
+        // worst-case per-request cost the check gates.
+        let telemetry_daemon = Daemon::new(
+            db.clone(),
+            DaemonOptions {
+                workers,
+                trace_requests: 8,
+                log_level: Some(Level::Info),
+                deadline_ms: 30_000,
+                ..DaemonOptions::default()
+            },
+        );
+        let (_, hits) = timed_session(&telemetry_daemon, run_line("fill", (COLD_REPS - 1) * 1000));
+        assert_eq!(hits, 0, "fill request populates the telemetry daemon");
+        let mut warm_telemetry = Duration::MAX;
+        for _ in 0..WARM_REPS {
+            let (wall, hits) =
+                timed_session(&telemetry_daemon, run_line("warm", (COLD_REPS - 1) * 1000));
+            assert_eq!(hits, SCENARIOS, "warm request must replay from cache");
+            warm_telemetry = warm_telemetry.min(wall);
+        }
         // Sustained: one pipelined session of distinct-seed requests.
         let script: Vec<String> = (0..SUSTAINED_REQUESTS)
             .map(|r| run_line(&format!("s{r}"), 10_000 + r * 1000))
@@ -117,6 +154,7 @@ fn main() {
             workers.to_string(),
             format!("{:.3}", ms(cold)),
             format!("{:.3}", ms(warm)),
+            format!("{:.3}", ms(warm_telemetry)),
             format!("{:.1}x", ms(cold) / ms(warm)),
             format!("{req_per_s:.1}"),
         ]);
@@ -124,6 +162,10 @@ fn main() {
             ("workers".to_owned(), Json::Num(workers as f64)),
             ("cold_ms".to_owned(), Json::Num(ms(cold))),
             ("warm_ms".to_owned(), Json::Num(ms(warm))),
+            (
+                "warm_telemetry_ms".to_owned(),
+                Json::Num(ms(warm_telemetry)),
+            ),
             ("warm_speedup".to_owned(), Json::Num(ms(cold) / ms(warm))),
             ("requests_per_s".to_owned(), Json::Num(req_per_s)),
         ]));

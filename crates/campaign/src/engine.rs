@@ -82,6 +82,17 @@ pub struct CampaignOptions {
     /// allocation), and profiling never changes the merged results or
     /// the manifest's scenario entries either way.
     pub profile: bool,
+    /// Opaque trace id stamped on every [`SinkScope`] this run hands to
+    /// its sink — the serve daemon threads its per-request trace id
+    /// through here so worker-side events correlate with the request.
+    /// Never enters the manifest or the merged results.
+    pub trace_id: Option<String>,
+    /// Time origin for [`SinkScope::started_us`] /
+    /// [`SinkScope::finished_us`]. A caller stitching worker spans into
+    /// a larger trace (the serve daemon's per-request Perfetto track)
+    /// passes its own epoch so every span shares one µs axis; `None`
+    /// uses the campaign's own start instant.
+    pub epoch: Option<Instant>,
 }
 
 impl CampaignOptions {
@@ -95,6 +106,8 @@ impl CampaignOptions {
             limit: None,
             claim: ClaimStrategy::default(),
             profile: false,
+            trace_id: None,
+            epoch: None,
         }
     }
 
@@ -255,6 +268,25 @@ where
 ///
 /// A runner (or `make_state`) panic on any worker propagates after the
 /// other workers finish their current chunk.
+/// Execution context handed to a [`run_with_sink`] sink with each
+/// result: which point finished, on which worker, when (µs since
+/// [`CampaignOptions::epoch`] or the campaign start), and under which
+/// [`CampaignOptions::trace_id`]. Everything here is diagnostic — none
+/// of it enters the manifest or the merged results.
+#[derive(Debug, Clone, Copy)]
+pub struct SinkScope<'a> {
+    /// The scenario point that just completed.
+    pub point: &'a ScenarioPoint,
+    /// Index of the worker thread that ran it (`0..workers`).
+    pub worker: usize,
+    /// The run's [`CampaignOptions::trace_id`], if any.
+    pub trace_id: Option<&'a str>,
+    /// When the runner started on this point, µs since the epoch.
+    pub started_us: u64,
+    /// When the runner finished, µs since the epoch.
+    pub finished_us: u64,
+}
+
 pub fn run_with<S, R, F, I>(
     matrix: &Matrix,
     opts: &CampaignOptions,
@@ -301,7 +333,7 @@ where
     R: CampaignPayload + Send,
     I: Fn() -> S + Sync,
     F: Fn(&mut S, &ScenarioPoint) -> R + Sync,
-    K: Fn(&ScenarioPoint, &R) + Sync,
+    K: Fn(&SinkScope, &R) + Sync,
 {
     let points = matrix.points();
     let total = points.len();
@@ -332,6 +364,8 @@ where
 
     let profiler = Profiler::new(opts.profile);
     let started = Instant::now();
+    let epoch = opts.epoch.unwrap_or(started);
+    let trace_id = opts.trace_id.as_deref();
     let cursor = AtomicUsize::new(0);
     // Per-worker result buffers: no shared lock between claim points.
     // Each worker builds its state once and reuses it chunk after chunk.
@@ -369,10 +403,21 @@ where
                         let t_chunk = wp.now_ns();
                         for &index in &todo[lo..hi] {
                             let t = wp.now_ns();
+                            let started_us = epoch.elapsed().as_micros() as u64;
                             let result = runner(&mut state, &points[index]);
+                            let finished_us = epoch.elapsed().as_micros() as u64;
                             wp.record(PoolPhase::Simulate, t, index as u64);
                             let t = wp.now_ns();
-                            sink(&points[index], &result);
+                            sink(
+                                &SinkScope {
+                                    point: &points[index],
+                                    worker,
+                                    trace_id,
+                                    started_us,
+                                    finished_us,
+                                },
+                                &result,
+                            );
                             mine.push((index, result));
                             wp.record(PoolPhase::Serialize, t, index as u64);
                             wstats.completed += 1;
@@ -1104,13 +1149,29 @@ mod tests {
         let base = run(&m, &CampaignOptions::sequential("toy"), toy_runner).unwrap();
         for workers in [1, 3] {
             let seen = Mutex::new(Vec::new());
+            let opts = CampaignOptions {
+                trace_id: Some("t42".to_owned()),
+                ..CampaignOptions::with_workers("toy", workers)
+            };
             let report = run_with_sink(
                 &m,
-                &CampaignOptions::with_workers("toy", workers),
+                &opts,
                 || (),
                 |(), p| toy_runner(p),
-                |point, result: &Cell| {
-                    seen.lock().unwrap().push((point.index, result.clone()));
+                |scope: &SinkScope, result: &Cell| {
+                    assert_eq!(scope.trace_id, Some("t42"));
+                    assert!(
+                        scope.worker < workers,
+                        "worker {} of {workers}",
+                        scope.worker
+                    );
+                    assert!(
+                        scope.started_us <= scope.finished_us,
+                        "span ends before it starts"
+                    );
+                    seen.lock()
+                        .unwrap()
+                        .push((scope.point.index, result.clone()));
                 },
             )
             .unwrap();

@@ -41,7 +41,7 @@ pub mod matrix;
 pub use engine::{
     measure_scaling, measure_scaling_profiled, measure_scaling_with, run, run_with, run_with_sink,
     CampaignOptions, CampaignPayload, CampaignReport, CampaignStats, ClaimStrategy, ScalingPoint,
-    WorkerStats, SCALING_REPS,
+    SinkScope, WorkerStats, SCALING_REPS,
 };
 pub use fingerprint::Fingerprint;
 pub use json::Json;

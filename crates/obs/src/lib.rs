@@ -22,18 +22,23 @@
 //!   campaign pool's self-profiler ([`Profiler`] / [`PoolProfile`])
 //!   with per-worker phase timelines, contention counters, and the
 //!   [`scaling_audit`] efficiency-loss decomposition.
+//! * [`telemetry`] — the live serving-side plane: a leveled
+//!   ring-buffered structured [`EventLog`] (JSONL export), rolling
+//!   [`SloWindow`] latency/hit-ratio aggregates, and a
+//!   Prometheus-style text exposition of a [`MetricsSnapshot`].
 //!
-//! Everything except [`profiling`] is deterministic (no wall clock, no
-//! randomness, stable ordering), so exports can be golden-file tested,
-//! and everything is cheap when off: disabled registries, collectors
-//! and profilers reduce every probe to one branch on an `enabled` flag
-//! with no allocation.
+//! Everything except [`profiling`] and [`telemetry`] is deterministic
+//! (no wall clock, no randomness, stable ordering), so exports can be
+//! golden-file tested, and everything is cheap when off: disabled
+//! registries, collectors, profilers and event logs reduce every probe
+//! to one branch on an `enabled` flag with no allocation.
 
 pub mod attribution;
 pub mod metrics;
 pub mod perfetto;
 pub mod profiling;
 pub mod span;
+pub mod telemetry;
 
 pub use attribution::{
     attribute_cycles, attribute_cycles_by_master, BucketKey, DivergenceAuditor, EnergyLedger,
@@ -45,6 +50,10 @@ pub use profiling::{
     WorkerProfile, WorkerTimeline,
 };
 pub use span::{AccessClass, CounterTrack, Phase, SpanEvent, TraceCollector};
+pub use telemetry::{
+    prometheus_text, write_atomic, EventLog, Level, Quantiles, RequestSample, SloAggregate,
+    SloWindow, TelemetryEvent, Value, TELEMETRY_SCHEMA_VERSION,
+};
 
 /// Writes a CSV metrics dump to `path`, creating parent directories.
 pub fn save_csv(

@@ -82,7 +82,7 @@ impl Histogram {
     /// to the observed `[min, max]` — so the estimate is exact for
     /// point masses on bucket edges and at worst one bucket wide.
     pub fn percentile(&self, q: f64) -> Option<u64> {
-        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+        if self.count == 0 || !(q > 0.0 && q <= 1.0) {
             return None;
         }
         let rank = ((q * self.count as f64).ceil() as u64).max(1);
@@ -465,10 +465,45 @@ mod tests {
     fn percentile_of_empty_or_invalid_q_is_none() {
         let mut m = MetricsRegistry::new();
         let h = m.histogram("lat", &[10]);
+        // Empty histogram: every quantile is absent, never 0.
         assert_eq!(m.histogram_data(h).p50(), None);
+        assert_eq!(m.histogram_data(h).p99(), None);
+        assert_eq!(m.histogram_data(h).percentile(1.0), None);
         m.observe(h, 1);
         assert_eq!(m.histogram_data(h).percentile(1.5), None);
         assert_eq!(m.histogram_data(h).percentile(-0.1), None);
+        // The documented contract is 0 < q <= 1: q = 0 names no sample.
+        assert_eq!(m.histogram_data(h).percentile(0.0), None);
+        assert_eq!(m.histogram_data(h).percentile(f64::NAN), None);
+    }
+
+    #[test]
+    fn percentile_of_a_single_sample_is_that_sample() {
+        let mut m = MetricsRegistry::new();
+        let h = m.histogram("lat", &[10, 100]);
+        m.observe(h, 42);
+        let d = m.histogram_data(h);
+        // One sample in the le_100 bucket: min = max = 42 clamps the
+        // bucket edge to the sample itself at every quantile.
+        for q in [0.01, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(d.percentile(q), Some(42), "q={q}");
+        }
+    }
+
+    #[test]
+    fn percentile_with_all_samples_in_overflow_reports_tracked_max() {
+        let mut m = MetricsRegistry::new();
+        let h = m.histogram("lat", &[10]);
+        for v in [50, 60, 70] {
+            m.observe(h, v);
+        }
+        let d = m.histogram_data(h);
+        assert_eq!(d.counts, vec![0, 3]);
+        // The overflow bucket has no upper bound: every quantile clamps
+        // to the tracked max, never a fabricated edge or 0.
+        assert_eq!(d.p50(), Some(70));
+        assert_eq!(d.p99(), Some(70));
+        assert_eq!(d.percentile(0.01), Some(70));
     }
 
     #[test]
@@ -571,6 +606,60 @@ mod tests {
         assert!(csv.contains("hist,empty,le_10,0\n"));
         assert!(csv.contains("hist,empty,le_20,0\n"));
         assert!(csv.contains("hist,empty,le_inf,0\n"));
+    }
+
+    #[test]
+    fn snapshots_stay_consistent_under_concurrent_writers() {
+        use std::sync::{Arc, Mutex};
+
+        // The registry is shared behind a lock (as the serve daemon
+        // shares it); interleaved writers must never produce a snapshot
+        // where a counter regresses or a histogram's total disagrees
+        // with its buckets.
+        let shared = Arc::new(Mutex::new(MetricsRegistry::new()));
+        let (c, h) = {
+            let mut m = shared.lock().unwrap();
+            (m.counter("requests"), m.histogram("lat", &[4, 16, 64]))
+        };
+        let writers: Vec<_> = (0..4)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        let mut m = shared.lock().unwrap();
+                        m.inc(c);
+                        m.observe(h, (w * 37 + i) % 100);
+                    }
+                })
+            })
+            .collect();
+        let mut last_count = 0u64;
+        let mut last_hist = 0u64;
+        for _ in 0..200 {
+            let snap = shared.lock().unwrap().snapshot();
+            let count = snap.counters[0].1;
+            let hist = &snap.histograms[0];
+            assert!(
+                count >= last_count,
+                "counter regressed: {count} < {last_count}"
+            );
+            assert!(hist.count >= last_hist, "histogram total regressed");
+            assert_eq!(
+                hist.counts.iter().sum::<u64>(),
+                hist.count,
+                "bucket counts disagree with the histogram total"
+            );
+            last_count = count;
+            last_hist = hist.count;
+            std::thread::yield_now();
+        }
+        for t in writers {
+            t.join().unwrap();
+        }
+        let snap = shared.lock().unwrap().snapshot();
+        assert_eq!(snap.counters[0].1, 2000);
+        assert_eq!(snap.histograms[0].count, 2000);
+        assert_eq!(snap.histograms[0].counts.iter().sum::<u64>(), 2000);
     }
 
     #[test]

@@ -13,7 +13,10 @@
 
 use crate::span::{Phase, TraceCollector};
 
-fn escape(s: &str) -> String {
+/// JSON string escaping as the trace-event format needs it — public so
+/// other producers (the serve daemon's request-trace assembler) can
+/// build `args` objects that match this module's formatting exactly.
+pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

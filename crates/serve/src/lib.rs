@@ -30,8 +30,13 @@ pub mod cache;
 pub mod daemon;
 pub mod proto;
 pub mod session;
+pub mod telemetry;
 
 pub use cache::{ResultCache, CACHE_INDEX_VERSION};
 pub use daemon::{Daemon, DaemonOptions, ServeSummary, DEFAULT_CACHE_CAPACITY};
-pub use proto::{parse_request, Materialized, Op, Request, ScenarioSpec, PROTOCOL_VERSION};
+pub use proto::{
+    parse_request, Materialized, Op, Request, ScenarioSpec, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
+    RESULT_FORMAT_VERSION,
+};
 pub use session::{db_fingerprint, LeanResult, ServeSession};
+pub use telemetry::{RequestTrace, TraceBuilder, TraceRing, LAYER_SPAN_CAP};

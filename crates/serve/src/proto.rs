@@ -6,13 +6,17 @@
 //! response event, so a client can correlate streamed results with the
 //! request that produced them.
 //!
-//! Requests:
+//! Requests (protocol 2; version-1 requests are still accepted, the
+//! v2 operations below simply didn't exist then):
 //!
 //! ```text
-//! {"v":1,"id":"r1","op":"run","scenarios":[<spec>, ...]}
-//! {"v":1,"id":"r2","op":"stats"}
-//! {"v":1,"id":"r3","op":"ping"}
-//! {"v":1,"id":"r4","op":"shutdown"}
+//! {"v":2,"id":"r1","op":"run","scenarios":[<spec>, ...]}
+//! {"v":2,"id":"r2","op":"stats"}
+//! {"v":2,"id":"r3","op":"ping"}
+//! {"v":2,"id":"r4","op":"health"}
+//! {"v":2,"id":"r5","op":"subscribe","every_ms":500}
+//! {"v":2,"id":"r6","op":"dump-trace"}
+//! {"v":2,"id":"r7","op":"shutdown"}
 //! ```
 //!
 //! A scenario spec is a named canned scenario, a seeded random mix
@@ -33,14 +37,37 @@
 //! daemon's farewell after a shutdown is a `bye` event, and requests
 //! still queued when a shutdown arrives get a `retry` event each —
 //! nothing is silently dropped.
+//!
+//! The v2 telemetry operations: `health` is answered out-of-band by
+//! the reader thread (so a daemon busy with a long batch still answers
+//! its liveness probe) with an `ok`/`degraded` status plus reasons;
+//! `subscribe` asks the monitor thread to stream periodic `snapshot`
+//! events — the extended `stats` body — interleaved with whatever else
+//! the session is emitting (`every_ms: 0` unsubscribes); `dump-trace`
+//! writes every retained per-request Perfetto trace to the daemon's
+//! `--trace-dir` and answers with the file list.
 
 use hierbus_campaign::{Fingerprint, Json};
 use hierbus_ec::sequences::{self, DataProfile, MixParams, Scenario};
 use hierbus_ec::{ArbitrationPolicy, BurstLen, DmaParams, DmaProgram, MultiScenario, WaitProfile};
 
-/// The protocol version this daemon speaks; requests carrying any
-/// other version are rejected with an `error` event.
-pub const PROTOCOL_VERSION: u64 = 1;
+/// The protocol version this daemon speaks; response events carry it.
+pub const PROTOCOL_VERSION: u64 = 2;
+
+/// The oldest protocol version still accepted. Version 1 requests are
+/// a strict subset of version 2 (the telemetry operations are new), so
+/// v1 clients keep working unchanged; anything outside
+/// `MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION` is rejected with an
+/// `error` event.
+pub const MIN_PROTOCOL_VERSION: u64 = 1;
+
+/// Version of the *result encoding* (the serialized `LeanResult` bytes
+/// a fingerprint addresses). Part of every cache fingerprint instead
+/// of [`PROTOCOL_VERSION`], so protocol revisions that leave result
+/// bytes unchanged — like v2's telemetry operations — don't invalidate
+/// warm persisted caches. Bump only when the result bytes themselves
+/// change meaning.
+pub const RESULT_FORMAT_VERSION: u64 = 1;
 
 /// One scenario specification of a `run` request.
 #[derive(Debug, Clone, PartialEq)]
@@ -331,7 +358,7 @@ impl ScenarioSpec {
     /// result bytes.
     pub fn fingerprint(&self, db_fingerprint: &str) -> String {
         Fingerprint::new()
-            .field(&format!("hierbus-serve/v{PROTOCOL_VERSION}"))
+            .field(&format!("hierbus-serve/v{RESULT_FORMAT_VERSION}"))
             .field(db_fingerprint)
             .field(&self.canonical())
             .finish()
@@ -392,6 +419,18 @@ pub enum Op {
     Stats,
     /// Liveness probe.
     Ping,
+    /// Health probe: `ok` or `degraded` with reasons, answered
+    /// out-of-band even while a batch is executing.
+    Health,
+    /// Stream periodic `snapshot` events every `every_ms` ms,
+    /// interleaved with other responses; `0` cancels the subscription.
+    Subscribe {
+        /// Snapshot period in milliseconds (0 = unsubscribe).
+        every_ms: u64,
+    },
+    /// Write the retained per-request Perfetto traces to the daemon's
+    /// trace directory and report the files written.
+    DumpTrace,
     /// Drain and exit.
     Shutdown,
 }
@@ -418,10 +457,11 @@ pub fn parse_request(line: &str) -> Result<Request, (String, String)> {
         .to_owned();
     let fail = |msg: String| Err((id.clone(), msg));
     match json.get("v").and_then(Json::as_u64) {
-        Some(PROTOCOL_VERSION) => {}
+        Some(v) if (MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&v) => {}
         Some(v) => {
             return fail(format!(
-                "unsupported protocol version {v} (this daemon speaks {PROTOCOL_VERSION})"
+                "unsupported protocol version {v} (this daemon speaks \
+                 {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION})"
             ))
         }
         None => return fail("request missing integer field v".to_owned()),
@@ -447,6 +487,24 @@ pub fn parse_request(line: &str) -> Result<Request, (String, String)> {
         }
         Some("stats") => Ok(Request { id, op: Op::Stats }),
         Some("ping") => Ok(Request { id, op: Op::Ping }),
+        Some("health") => Ok(Request { id, op: Op::Health }),
+        Some("subscribe") => {
+            let every_ms = match json.get("every_ms") {
+                None => 1_000,
+                Some(v) => match v.as_u64() {
+                    Some(ms) => ms,
+                    None => return fail("subscribe field every_ms is not an integer".to_owned()),
+                },
+            };
+            Ok(Request {
+                id,
+                op: Op::Subscribe { every_ms },
+            })
+        }
+        Some("dump-trace") => Ok(Request {
+            id,
+            op: Op::DumpTrace,
+        }),
         Some("shutdown") => Ok(Request {
             id,
             op: Op::Shutdown,
@@ -524,8 +582,10 @@ mod tests {
 
     #[test]
     fn version_and_op_are_enforced() {
-        let (id, err) = parse_request(r#"{"v":2,"id":"a","op":"ping"}"#).unwrap_err();
+        let (id, err) = parse_request(r#"{"v":3,"id":"a","op":"ping"}"#).unwrap_err();
         assert_eq!(id, "a");
+        assert!(err.contains("unsupported protocol version"), "{err}");
+        let (_, err) = parse_request(r#"{"v":0,"id":"a","op":"ping"}"#).unwrap_err();
         assert!(err.contains("unsupported protocol version"), "{err}");
         let (_, err) = parse_request(r#"{"id":"a","op":"ping"}"#).unwrap_err();
         assert!(err.contains("missing integer field v"), "{err}");
@@ -533,6 +593,45 @@ mod tests {
         assert!(err.contains("unknown op"), "{err}");
         let (_, err) = parse_request("not json at all").unwrap_err();
         assert!(err.contains("not valid JSON"), "{err}");
+        // v1 requests remain valid on a v2 daemon.
+        let req = parse_request(r#"{"v":1,"id":"old","op":"ping"}"#).unwrap();
+        assert_eq!(req.op, Op::Ping);
+    }
+
+    #[test]
+    fn telemetry_ops_parse() {
+        let req = parse_request(r#"{"v":2,"id":"h","op":"health"}"#).unwrap();
+        assert_eq!(req.op, Op::Health);
+        let req = parse_request(r#"{"v":2,"id":"t","op":"dump-trace"}"#).unwrap();
+        assert_eq!(req.op, Op::DumpTrace);
+        let req = parse_request(r#"{"v":2,"id":"s","op":"subscribe","every_ms":250}"#).unwrap();
+        assert_eq!(req.op, Op::Subscribe { every_ms: 250 });
+        // every_ms defaults; 0 is the unsubscribe sentinel.
+        let req = parse_request(r#"{"v":2,"id":"s","op":"subscribe"}"#).unwrap();
+        assert_eq!(req.op, Op::Subscribe { every_ms: 1_000 });
+        let req = parse_request(r#"{"v":2,"id":"s","op":"subscribe","every_ms":0}"#).unwrap();
+        assert_eq!(req.op, Op::Subscribe { every_ms: 0 });
+        let (_, err) =
+            parse_request(r#"{"v":2,"id":"s","op":"subscribe","every_ms":"fast"}"#).unwrap_err();
+        assert!(err.contains("every_ms"), "{err}");
+    }
+
+    #[test]
+    fn fingerprints_survive_the_protocol_bump() {
+        // Cache fingerprints hash RESULT_FORMAT_VERSION, not
+        // PROTOCOL_VERSION: the v1→v2 protocol revision left result
+        // bytes unchanged, so warm persisted caches must keep matching.
+        assert_eq!(RESULT_FORMAT_VERSION, 1);
+        let spec = ScenarioSpec::Named {
+            name: "burst_reads".to_owned(),
+        };
+        // The domain string predates the bump; pin it.
+        let expected = Fingerprint::new()
+            .field("hierbus-serve/v1")
+            .field("db00")
+            .field(&spec.canonical())
+            .finish();
+        assert_eq!(spec.fingerprint("db00"), expected);
     }
 
     #[test]

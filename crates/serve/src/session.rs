@@ -13,6 +13,7 @@ use hierbus_campaign::{CampaignPayload, Fingerprint, Json};
 use hierbus_core::{MemSlave, MultiMasterSystem, Tlm1Bus, TlmSystem};
 use hierbus_ec::sequences::Scenario;
 use hierbus_ec::{AccessRights, Address, AddressRange, MultiScenario, SignalClass, SlaveConfig};
+use hierbus_obs::TraceCollector;
 use hierbus_power::{BatchedLayer1, CharacterizationDb, Layer1EnergyModel};
 
 /// Cycle ceiling for served scenarios; hitting it is a deadlock bug.
@@ -77,20 +78,30 @@ impl ServeSession {
     /// overridable) — bit-identical to the scalar path, so cached
     /// results stay portable across backends.
     pub fn run(&mut self, scenario: &Scenario) -> LeanResult {
+        self.run_single(scenario, false).0
+    }
+
+    fn run_single(&mut self, scenario: &Scenario, observe: bool) -> (LeanResult, TraceCollector) {
         self.engine.reset();
         let mem = MemSlave::new(scenario_slave(scenario));
         let mut bus = Tlm1Bus::new(vec![Box::new(mem)]);
         bus.enable_frames();
+        if observe {
+            bus.enable_obs();
+        }
         let mut sys = TlmSystem::new(bus, scenario.ops.clone());
         sys.disable_records();
         let engine = &mut self.engine;
         let report = sys.run(MAX_CYCLES, |bus: &mut Tlm1Bus| {
             engine.on_frame(bus.last_frame());
         });
-        LeanResult {
-            cycles: report.cycles,
-            energy_pj: engine.model().total_energy(),
-        }
+        (
+            LeanResult {
+                cycles: report.cycles,
+                energy_pj: engine.model().total_energy(),
+            },
+            sys.bus().obs().clone(),
+        )
     }
 
     /// Runs one CPU+DMA workload in the same throughput mode: the
@@ -98,20 +109,34 @@ impl ServeSession {
     /// off. Cycles and energy are bit-identical to the multi-master
     /// harness's layer-1 run of the same workload.
     pub fn run_multi(&mut self, ms: &MultiScenario) -> LeanResult {
+        self.run_multi_inner(ms, false).0
+    }
+
+    fn run_multi_inner(
+        &mut self,
+        ms: &MultiScenario,
+        observe: bool,
+    ) -> (LeanResult, TraceCollector) {
         self.engine.reset();
         let mem = MemSlave::new(scenario_slave(&ms.cpu));
         let mut bus = Tlm1Bus::new(vec![Box::new(mem)]);
         bus.enable_frames();
+        if observe {
+            bus.enable_obs();
+        }
         let mut sys = MultiMasterSystem::for_multi(bus, ms);
         sys.disable_records();
         let engine = &mut self.engine;
         let report = sys.run(MAX_CYCLES, |bus: &mut Tlm1Bus| {
             engine.on_frame(bus.last_frame());
         });
-        LeanResult {
-            cycles: report.cycles,
-            energy_pj: engine.model().total_energy(),
-        }
+        (
+            LeanResult {
+                cycles: report.cycles,
+                energy_pj: engine.model().total_energy(),
+            },
+            sys.bus().obs().clone(),
+        )
     }
 
     /// Runs either shape of materialized workload.
@@ -119,6 +144,19 @@ impl ServeSession {
         match m {
             Materialized::Single(s) => self.run(s),
             Materialized::Multi(ms) => self.run_multi(ms),
+        }
+    }
+
+    /// Like [`run_materialized`](Self::run_materialized) but with the
+    /// bus span collector enabled, returning the model-layer phase
+    /// spans alongside the result. Span collection is observational —
+    /// cycles and energy are bit-identical to the unobserved run (the
+    /// daemon's tracing tests pin this), so traced results are safe to
+    /// cache and replay interchangeably with untraced ones.
+    pub fn run_observed(&mut self, m: &Materialized) -> (LeanResult, TraceCollector) {
+        match m {
+            Materialized::Single(s) => self.run_single(s, true),
+            Materialized::Multi(ms) => self.run_multi_inner(ms, true),
         }
     }
 }
@@ -162,6 +200,32 @@ mod tests {
             .map(|s| ServeSession::new(&db).run(s))
             .collect();
         assert_eq!(first, fresh);
+    }
+
+    #[test]
+    fn observed_runs_are_bit_identical_and_collect_spans() {
+        let db = CharacterizationDb::uniform();
+        let mut session = ServeSession::new(&db);
+        for scenario in sequences::all_scenarios().iter().take(3) {
+            let plain = session.run(scenario);
+            let (observed, collector) =
+                session.run_observed(&Materialized::Single(scenario.clone()));
+            assert_eq!(
+                plain, observed,
+                "{}: observation changed the result",
+                scenario.name
+            );
+            assert!(collector.span_count() > 0, "{}: no spans", scenario.name);
+            assert_eq!(
+                collector.open_count(),
+                0,
+                "{}: dangling spans",
+                scenario.name
+            );
+        }
+        // The unobserved path keeps its collector disabled (no buffers).
+        let (_, collector) = session.run_single(&sequences::all_scenarios()[0], false);
+        assert_eq!(collector.span_count(), 0);
     }
 
     #[test]

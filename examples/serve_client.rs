@@ -6,7 +6,9 @@
 //! submits a small campaign twice: the first submission simulates on
 //! the worker pool, the resubmission is answered entirely from the
 //! content-addressed result cache with byte-identical result payloads.
-//! A `stats` request shows the cache counters and latency percentiles,
+//! A `health` probe answers out-of-band (before queued work), a
+//! `subscribe` request acks with an immediate telemetry snapshot, a
+//! `stats` request shows the cache counters and latency percentiles,
 //! and a `shutdown` request drains the session.
 //!
 //! ```sh
@@ -20,13 +22,19 @@ use hierbus::serve::{Daemon, DaemonOptions, ScenarioSpec};
 use std::io::Cursor;
 use std::sync::Arc;
 
-/// Builds one protocol request line.
+/// Builds one protocol request line (v2 — the daemon still accepts v1
+/// clients, which simply never send the telemetry ops).
 fn request(id: &str, op: &str, scenarios: Option<&[ScenarioSpec]>) -> String {
     let mut fields = vec![
-        ("v".to_owned(), Json::Num(1.0)),
+        ("v".to_owned(), Json::Num(2.0)),
         ("id".to_owned(), Json::Str(id.to_owned())),
         ("op".to_owned(), Json::Str(op.to_owned())),
     ];
+    if op == "subscribe" {
+        // A deliberately long period: the ack snapshot is immediate, so
+        // the example stays deterministic without waiting a tick out.
+        fields.push(("every_ms".to_owned(), Json::Num(60_000.0)));
+    }
     if let Some(specs) = scenarios {
         fields.push((
             "scenarios".to_owned(),
@@ -63,9 +71,15 @@ fn main() {
         },
     ];
 
-    // First session: pipeline the cold run, the warm resubmission and
-    // a stats probe, then hang up (EOF drains the queue completely).
+    // First session: a liveness probe, a telemetry subscription, the
+    // cold run, the warm resubmission and a stats probe, then hang up
+    // (EOF drains the queue completely). `health` is answered by the
+    // reader thread the moment it arrives — even mid-batch — and the
+    // subscription acks with an immediate `snapshot` event carrying the
+    // same rolling-window aggregates as `stats`.
     let script = [
+        request("alive", "health", None),
+        request("watch", "subscribe", None),
         request("cold", "run", Some(&specs)),
         request("warm", "run", Some(&specs)),
         request("stats", "stats", None),
@@ -83,9 +97,18 @@ fn main() {
         .expect("in-memory session");
 
     println!("\n--- daemon streams back ---");
-    for line in String::from_utf8(output).expect("utf-8 protocol").lines() {
+    let streamed = String::from_utf8(output).expect("utf-8 protocol");
+    for line in streamed.lines() {
         println!("< {line}");
     }
+    assert!(
+        streamed.contains(r#""event":"health""#) && streamed.contains(r#""status":"ok""#),
+        "the health probe answers ok on a live daemon"
+    );
+    assert!(
+        streamed.contains(r#""event":"snapshot""#),
+        "the subscription acks with an immediate snapshot"
+    );
 
     println!(
         "\nsession: {} requests, {} results, {} cache hits, {} misses",

@@ -166,9 +166,14 @@ fn main() {
     let trace_path = dir.join("smartcard_boot.trace.json");
     hierbus::obs::perfetto::save(&trace_path, std::slice::from_ref(&obs))
         .expect("write boot trace");
+    let snapshot = reg.snapshot();
     let csv_path = dir.join("smartcard_boot.metrics.csv");
-    hierbus::obs::save_csv(&csv_path, &reg.snapshot()).expect("write boot metrics");
+    hierbus::obs::save_csv(&csv_path, &snapshot).expect("write boot metrics");
+    let prom_path = dir.join("smartcard_boot.metrics.prom");
+    std::fs::write(&prom_path, hierbus::obs::prometheus_text(&snapshot))
+        .expect("write boot exposition");
     println!("\nObservability artifacts:");
     println!("  {} ({} spans)", trace_path.display(), obs.span_count());
     println!("  {}", csv_path.display());
+    println!("  {}", prom_path.display());
 }

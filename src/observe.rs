@@ -195,9 +195,11 @@ fn slug(name: &str) -> String {
         .collect()
 }
 
-/// Writes `<dir>/<name>.trace.json` (Perfetto/Chrome trace-event JSON)
-/// and `<dir>/<name>.metrics.csv`, creating `dir` as needed. Returns
-/// the two paths.
+/// Writes `<dir>/<name>.trace.json` (Perfetto/Chrome trace-event JSON),
+/// `<dir>/<name>.metrics.csv`, and `<dir>/<name>.metrics.prom` (the
+/// same snapshot in the Prometheus text exposition format the serve
+/// daemon's `--metrics-file` uses), creating `dir` as needed. Returns
+/// the trace and CSV paths.
 ///
 /// # Errors
 ///
@@ -207,8 +209,11 @@ pub fn export(run: &ObservedRun, dir: &Path) -> std::io::Result<(PathBuf, PathBu
     let base = slug(&run.name);
     let trace_path = dir.join(format!("{base}.trace.json"));
     hierbus_obs::perfetto::save(&trace_path, &run.collectors)?;
+    let snapshot = run.metrics.snapshot();
     let csv_path = dir.join(format!("{base}.metrics.csv"));
-    hierbus_obs::save_csv(&csv_path, &run.metrics.snapshot())?;
+    hierbus_obs::save_csv(&csv_path, &snapshot)?;
+    let prom_path = dir.join(format!("{base}.metrics.prom"));
+    std::fs::write(&prom_path, hierbus_obs::prometheus_text(&snapshot))?;
     Ok((trace_path, csv_path))
 }
 
@@ -487,6 +492,11 @@ mod tests {
         let metrics = std::fs::read_to_string(&csv).unwrap();
         assert!(metrics.starts_with("kind,name,field,value\n"));
         assert!(metrics.contains("counter,rtl.txns,count,4\n"));
+        // The Prometheus exposition rides alongside, sanitized to the
+        // exposition charset.
+        let prom = std::fs::read_to_string(csv.with_extension("prom")).unwrap();
+        assert!(prom.contains("# TYPE rtl_txns counter\nrtl_txns 4\n"));
+        assert!(prom.contains("# TYPE tlm1_txn_latency_cycles histogram\n"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -17,7 +17,7 @@ fn daemon(workers: usize, cache_capacity: usize) -> Daemon {
         DaemonOptions {
             workers,
             cache_capacity,
-            cache_index: None,
+            ..DaemonOptions::default()
         },
     )
 }
@@ -207,6 +207,7 @@ fn backend_forced_serve_child() {
             workers: 2,
             cache_capacity: 64,
             cache_index: Some(dir.join("cache.json")),
+            ..DaemonOptions::default()
         },
     );
     let specs = specs(5);

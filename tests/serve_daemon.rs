@@ -128,7 +128,7 @@ fn ping_stats_and_errors_are_correlated() {
         r#"{"v":1,"id":"p1","op":"ping"}"#,
         r#"{"v":1,"id":"s1","op":"stats"}"#,
         r#"{"v":1,"id":"bad-op","op":"dance"}"#,
-        r#"{"v":2,"id":"bad-version","op":"ping"}"#,
+        r#"{"v":3,"id":"bad-version","op":"ping"}"#,
         "this is not json",
         r#"{"v":1,"id":"bad-name","op":"run","scenarios":[{"kind":"named","name":"nope"}]}"#,
     ]
@@ -509,6 +509,7 @@ fn cache_index_persists_across_daemons_and_rejects_foreign_dbs() {
         workers: 1,
         cache_capacity: 16,
         cache_index: Some(index.clone()),
+        ..DaemonOptions::default()
     };
     let script =
         r#"{"v":1,"id":"a","op":"run","scenarios":[{"kind":"named","name":"burst_reads"}]}"#;
